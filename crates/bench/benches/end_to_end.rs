@@ -1,0 +1,36 @@
+//! Criterion: full-system simulation throughput per execution mode.
+//!
+//! Measures how fast the *simulator itself* executes a complete
+//! staged-input → deserialize → kernel benchmark run (useful for sizing
+//! figure-regeneration sweeps).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use morpheus::{Mode, System, SystemParams};
+use morpheus_workloads::{run_benchmark, stage_input, suite};
+use std::hint::black_box;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    let benches = suite();
+    let pagerank = benches.iter().find(|b| b.name == "pagerank").unwrap();
+    let mut sys = System::new(SystemParams::paper_testbed());
+    stage_input(&mut sys, pagerank, 2 << 20, 42).unwrap();
+
+    for mode in [Mode::Conventional, Mode::Morpheus] {
+        g.bench_function(format!("pagerank_2MiB_{mode}"), |b| {
+            b.iter(|| black_box(run_benchmark(&mut sys, pagerank, mode).unwrap()))
+        });
+    }
+
+    let spmv = benches.iter().find(|b| b.name == "spmv").unwrap();
+    stage_input(&mut sys, spmv, 2 << 20, 42).unwrap();
+    g.bench_function("spmv_2MiB_morpheus", |b| {
+        b.iter(|| black_box(run_benchmark(&mut sys, spmv, Mode::Morpheus).unwrap()))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

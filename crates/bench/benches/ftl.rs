@@ -1,0 +1,67 @@
+//! Criterion: FTL operation throughput (writes, overwrites under GC,
+//! reads) — the substrate the Morpheus-SSD stands on.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use morpheus_flash::{FlashArray, FlashGeometry, FlashTiming};
+use morpheus_ftl::{Ftl, FtlConfig, Lpn};
+use std::hint::black_box;
+
+fn fresh_ftl() -> Ftl {
+    Ftl::new(
+        FlashArray::new(FlashGeometry::small(), FlashTiming::default()),
+        FtlConfig::default(),
+    )
+}
+
+fn bench_ftl(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ftl");
+
+    g.bench_function("sequential_fill", |b| {
+        b.iter_batched(
+            fresh_ftl,
+            |mut ftl| {
+                let cap = ftl.capacity_pages();
+                for l in 0..cap {
+                    ftl.write(Lpn(l), &[l as u8; 64]).unwrap();
+                }
+                black_box(ftl.stats())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("overwrite_storm_with_gc", |b| {
+        b.iter_batched(
+            fresh_ftl,
+            |mut ftl| {
+                let cap = ftl.capacity_pages();
+                for round in 0u8..4 {
+                    for l in 0..cap {
+                        ftl.write(Lpn(l), &[round; 64]).unwrap();
+                    }
+                }
+                assert!(ftl.stats().gc_runs > 0);
+                black_box(ftl.stats().write_amplification())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("random_reads", |b| {
+        let mut ftl = fresh_ftl();
+        let cap = ftl.capacity_pages();
+        for l in 0..cap {
+            ftl.write(Lpn(l), &[l as u8; 64]).unwrap();
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i * 1103515245 + 12345) % cap;
+            black_box(ftl.read(Lpn(i)).unwrap().data)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_ftl);
+criterion_main!(benches);

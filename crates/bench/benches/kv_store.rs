@@ -1,0 +1,66 @@
+//! Criterion: flash-backed KV store operation throughput (simulator
+//! wall-clock).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use morpheus_flash::{FlashGeometry, FlashTiming};
+use morpheus_kvstore::{synth_pairs, KvConfig, KvStore};
+use morpheus_ssd::{Ssd, SsdConfig};
+use std::hint::black_box;
+
+fn populated() -> (Ssd, KvStore) {
+    let mut ssd = Ssd::new(
+        SsdConfig::default(),
+        FlashGeometry::workload(),
+        FlashTiming::default(),
+    );
+    let kv = KvStore::format(&mut ssd, 0, KvConfig::default()).unwrap();
+    for (k, v) in synth_pairs(500, 100_000, 1) {
+        kv.put(&mut ssd, k, &v).unwrap();
+    }
+    (ssd, kv)
+}
+
+fn bench_kv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kvstore");
+
+    g.bench_function("put_500_pairs", |b| {
+        b.iter_batched(
+            || {
+                let mut ssd = Ssd::new(
+                    SsdConfig::default(),
+                    FlashGeometry::workload(),
+                    FlashTiming::default(),
+                );
+                let kv = KvStore::format(&mut ssd, 0, KvConfig::default()).unwrap();
+                (ssd, kv, synth_pairs(500, 100_000, 2))
+            },
+            |(mut ssd, kv, pairs)| {
+                for (k, v) in &pairs {
+                    kv.put(&mut ssd, *k, v).unwrap();
+                }
+                black_box(ssd.stats())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("get_hit", |b| {
+        let (mut ssd, kv) = populated();
+        let keys: Vec<u64> = synth_pairs(500, 100_000, 1).iter().map(|(k, _)| *k).collect();
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            black_box(kv.get(&mut ssd, keys[i]).unwrap())
+        })
+    });
+
+    g.bench_function("range_scan_host", |b| {
+        let (mut ssd, kv) = populated();
+        b.iter(|| black_box(kv.scan_range_host(&mut ssd, 10_000, 60_000).unwrap()))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_kv);
+criterion_main!(benches);

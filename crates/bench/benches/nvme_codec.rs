@@ -1,0 +1,46 @@
+//! Criterion: NVMe packet codec and queue-ring throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use morpheus_nvme::{
+    CompletionQueue, IoOpcode, MorpheusCommand, NvmeCommand, StatusCode, SubmissionQueue,
+};
+use std::hint::black_box;
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nvme");
+    g.throughput(Throughput::Elements(1));
+
+    let cmd = MorpheusCommand::Read {
+        instance_id: 3,
+        slba: 123_456,
+        blocks: 4096,
+        dma_addr: 0x0dea_dbee_f000,
+    }
+    .into_command(77, 1);
+
+    g.bench_function("encode", |b| b.iter(|| black_box(cmd).encode()));
+
+    let bytes = cmd.encode();
+    g.bench_function("decode_and_parse", |b| {
+        b.iter(|| {
+            let c = NvmeCommand::decode(black_box(&bytes)).unwrap();
+            MorpheusCommand::parse(&c).unwrap()
+        })
+    });
+
+    g.bench_function("queue_round_trip", |b| {
+        let mut sq = SubmissionQueue::new(64);
+        let mut cq = CompletionQueue::new(64);
+        b.iter(|| {
+            sq.submit(NvmeCommand::new(IoOpcode::Flush, 1, 1)).unwrap();
+            let c = sq.pop().unwrap();
+            cq.post(c.cid, StatusCode::Success, 0).unwrap();
+            black_box(cq.reap().unwrap())
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion: real wall-clock throughput of the text parsers.
+//!
+//! This measures our actual parsing code (the functional layer both
+//! execution paths share), not the simulated platform.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use morpheus_format::{parse_buffer, parse_chunked, FieldKind, Schema, TextScanner};
+use morpheus_workloads::{edge_list_text, int_list_text, sparse_coo_text};
+use std::hint::black_box;
+
+fn bench_parsers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parser");
+    let edge_schema = Schema::new(vec![FieldKind::U32, FieldKind::U32]);
+    let coo_schema = Schema::new(vec![FieldKind::U32, FieldKind::U32, FieldKind::F64]);
+
+    let edges = edge_list_text(1 << 20, 1);
+    g.throughput(Throughput::Bytes(edges.len() as u64));
+    g.bench_function("edge_list_whole_buffer", |b| {
+        b.iter(|| parse_buffer(black_box(&edges), &edge_schema).unwrap())
+    });
+    g.bench_function("edge_list_streaming_16k_chunks", |b| {
+        b.iter(|| parse_chunked(black_box(&edges), &edge_schema, 16 * 1024).unwrap())
+    });
+
+    let coo = sparse_coo_text(1 << 20, 2);
+    g.throughput(Throughput::Bytes(coo.len() as u64));
+    g.bench_function("coo_with_floats", |b| {
+        b.iter(|| parse_buffer(black_box(&coo), &coo_schema).unwrap())
+    });
+
+    let ints = int_list_text(1 << 20, 3, 1_000_000_000);
+    g.throughput(Throughput::Bytes(ints.len() as u64));
+    g.bench_function("raw_u64_scan", |b| {
+        b.iter(|| {
+            let mut s = TextScanner::new(black_box(&ints));
+            let mut acc = 0u64;
+            while !s.at_end() {
+                acc = acc.wrapping_add(s.parse_u64().unwrap());
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_parsers);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 8: object-deserialization speedup with Morpheus-SSD.
+//!
+//! Paper claim: up to **2.3×**, average **1.66×**; SpMV is the outlier
+//! (~1.1×) because a third of its tokens are floats and the embedded cores
+//! have no FPU.
+
+use morpheus_bench::{mean, print_table, run_pair, Harness};
+use morpheus_workloads::suite;
+
+fn main() {
+    let h = Harness::from_args();
+    println!("Figure 8: deserialization speedup, Morpheus-SSD vs baseline (scale 1/{})\n", h.scale);
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    for bench in suite() {
+        let (conv, morp) = run_pair(&h, &bench);
+        let s = morp.report.deser_speedup_over(&conv.report);
+        speedups.push(s);
+        rows.push(vec![
+            bench.name.to_string(),
+            format!("{:.3}s", conv.report.phases.deserialization_s),
+            format!("{:.3}s", morp.report.phases.deserialization_s),
+            format!("{s:.2}x"),
+        ]);
+    }
+    print_table(&["app", "baseline", "morpheus-ssd", "speedup"], &rows);
+    println!();
+    println!(
+        "average speedup: {:.2}x  (paper: ~1.66x, max ~2.3x, spmv lowest at ~1.1x)",
+        mean(&speedups)
+    );
+}

@@ -1,0 +1,23 @@
+//! Runs every figure/table regenerator in sequence (the full evaluation).
+//!
+//! Usage: `cargo run --release -p morpheus-bench --bin run_all -- --scale 256`
+
+use std::process::Command;
+
+fn main() {
+    let passthrough: Vec<String> = std::env::args().skip(1).collect();
+    let bins = [
+        "table1", "fig2", "fig3", "fig8", "fig9", "fig10", "fig11", "fig12", "traffic", "micro",
+        "ablate", "ext", "kv",
+    ];
+    let me = std::env::current_exe().expect("current exe path");
+    let dir = me.parent().expect("exe directory");
+    for bin in bins {
+        println!("\n==================== {bin} ====================\n");
+        let status = Command::new(dir.join(bin))
+            .args(&passthrough)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+}

@@ -1,0 +1,168 @@
+//! Shared harness for the figure/table regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md's experiment index). Inputs are the paper's nominal sizes
+//! divided by a `--scale` factor (default 256) and clamped to a tractable
+//! range; all reported quantities are ratios or rates, which a scale sweep
+//! (`ablate --sweep scale`) shows to be size-stable.
+
+#![warn(missing_docs)]
+
+use morpheus::{Mode, RunReport, StorageKind, System, SystemParams};
+use morpheus_workloads::{run_benchmark, stage_input, BenchOutcome, Benchmark};
+
+/// Command-line configuration shared by all figure binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct Harness {
+    /// Divisor applied to the paper's nominal input sizes.
+    pub scale: u64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Harness {
+    /// Parses `--scale N` and `--seed N` from the process arguments.
+    pub fn from_args() -> Self {
+        let mut h = Harness {
+            scale: 256,
+            seed: 42,
+        };
+        let args: Vec<String> = std::env::args().collect();
+        for i in 0..args.len() {
+            if args[i] == "--scale" {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    h.scale = v;
+                }
+            }
+            if args[i] == "--seed" {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    h.seed = v;
+                }
+            }
+        }
+        h
+    }
+
+    /// Bytes staged for a benchmark at this scale.
+    pub fn input_bytes(&self, bench: &Benchmark) -> u64 {
+        (bench.nominal_bytes / self.scale.max(1)).clamp(2_000_000, 48_000_000)
+    }
+
+    /// A fresh paper-testbed system with this benchmark's input staged.
+    pub fn app_system(&self, bench: &Benchmark) -> System {
+        self.app_system_with(bench, StorageKind::NvmeSsd, None)
+    }
+
+    /// A fresh system with the given conventional-path storage device and
+    /// optional host frequency override.
+    pub fn app_system_with(
+        &self,
+        bench: &Benchmark,
+        storage: StorageKind,
+        freq_hz: Option<f64>,
+    ) -> System {
+        let mut params = SystemParams::paper_testbed();
+        params.storage = storage;
+        let mut sys = System::new(params);
+        if let Some(f) = freq_hz {
+            sys.cpu.set_frequency(f);
+        }
+        stage_input(&mut sys, bench, self.input_bytes(bench), self.seed)
+            .expect("staging benchmark input");
+        sys
+    }
+}
+
+/// Runs one benchmark under one mode on its own fresh system.
+pub fn run_mode(h: &Harness, bench: &Benchmark, mode: Mode) -> BenchOutcome {
+    let mut sys = h.app_system(bench);
+    run_benchmark(&mut sys, bench, mode).expect("benchmark run")
+}
+
+/// Runs conventional and Morpheus over the *same* staged input.
+pub fn run_pair(h: &Harness, bench: &Benchmark) -> (BenchOutcome, BenchOutcome) {
+    let mut sys = h.app_system(bench);
+    let conv = run_benchmark(&mut sys, bench, Mode::Conventional).expect("conventional run");
+    let morp = run_benchmark(&mut sys, bench, Mode::Morpheus).expect("morpheus run");
+    assert_eq!(
+        conv.kernel, morp.kernel,
+        "{}: modes must compute identical results",
+        bench.name
+    );
+    (conv, morp)
+}
+
+/// Geometric mean.
+///
+/// # Panics
+///
+/// Panics on an empty slice or non-positive values.
+pub fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "geomean of empty slice");
+    let s: f64 = xs
+        .iter()
+        .map(|x| {
+            assert!(*x > 0.0, "geomean needs positive values");
+            x.ln()
+        })
+        .sum();
+    (s / xs.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "mean of empty slice");
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Prints an aligned table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Formats a report's deserialization seconds.
+pub fn deser_s(r: &RunReport) -> f64 {
+    r.phases.deserialization_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_and_mean() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn input_bytes_clamped() {
+        let h = Harness {
+            scale: 1_000_000,
+            seed: 1,
+        };
+        let bench = &morpheus_workloads::suite()[0];
+        assert_eq!(h.input_bytes(bench), 2_000_000);
+    }
+}

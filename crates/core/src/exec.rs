@@ -1,0 +1,806 @@
+//! Application execution drivers for the three modes.
+//!
+//! Each driver runs the *same* functional deserialization (bytes out of the
+//! simulated flash, through the shared parser, into [`ParsedColumns`]) but
+//! prices it on a different engine:
+//!
+//! * [`Mode::Conventional`] — Fig. 1: raw text DMAs to a host buffer, the
+//!   host CPU runs the `read()`+parse loop (with all its OS overhead and
+//!   context switches), objects are stored back to DRAM.
+//! * [`Mode::Morpheus`] — Fig. 4: a [`DeserializeApp`] runs on the SSD's
+//!   embedded cores behind MINIT/MREAD/MDEINIT; only finished binary
+//!   objects cross the interconnect; the host merely takes one completion
+//!   interrupt per chunk.
+//! * [`Mode::MorpheusP2P`] — same, but MREAD results DMA straight into GPU
+//!   memory through the BAR NVMe-P2P mapped.
+
+use crate::report::{Mode, Phases, RunReport};
+use crate::system::ChunkIo;
+use crate::{
+    BinaryDeserializeApp, DeserializeApp, MorpheusError, StorageApp, StorageKind, System,
+};
+use morpheus_format::{
+    BinaryStreamParser, Endianness, ParseError, ParseWork, ParsedColumns, Schema,
+    StreamingParser,
+};
+use morpheus_gpu::KernelCost;
+use morpheus_host::CodeClass;
+use morpheus_nvme::{MorpheusCommand, NvmeCommand, StatusCode};
+use morpheus_pcie::{DmaDir, PcieError};
+use morpheus_simcore::{Metrics, SimDuration, SimTime};
+use morpheus_ssd::SsdError;
+use std::error::Error;
+use std::fmt;
+
+/// How the compute kernel parallelizes (Table I's "parallel model").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParallelModel {
+    /// MPI-style multi-threaded CPU kernel.
+    CpuThreads(u32),
+    /// CUDA kernel on the discrete GPU.
+    GpuCuda,
+}
+
+/// How a staged input file is encoded (§I's "other input formats").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputFormat {
+    /// Whitespace/comma-separated decimal text (the paper's focus).
+    Text,
+    /// Packed binary records at the given byte order.
+    Binary(Endianness),
+}
+
+/// Per-record GPU kernel demands.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuKernelPerRecord {
+    /// ALU operations per record.
+    pub flops: f64,
+    /// Device-memory bytes per record.
+    pub bytes: f64,
+}
+
+/// A benchmark application: its input, deserialization schema, and kernel
+/// cost model. The *functional* kernel lives in `morpheus-workloads`; these
+/// constants drive the timing model only.
+#[derive(Debug, Clone)]
+pub struct AppSpec {
+    /// Application name.
+    pub name: String,
+    /// Input file (created with [`System::create_input_file`]).
+    pub input: String,
+    /// Record schema of the input.
+    pub schema: Schema,
+    /// Kernel parallel model.
+    pub parallel: ParallelModel,
+    /// CPU kernel instructions per record (for [`ParallelModel::CpuThreads`]).
+    pub kernel_cpu_instr_per_record: f64,
+    /// GPU kernel demands (required for [`ParallelModel::GpuCuda`]).
+    pub gpu_kernel: Option<GpuKernelPerRecord>,
+    /// Host-side setup/partitioning instructions per record.
+    pub other_cpu_instr_per_record: f64,
+    /// Encoding of the input file.
+    pub input_format: InputFormat,
+}
+
+impl AppSpec {
+    /// A CPU (MPI-style) application.
+    pub fn cpu_app(
+        name: &str,
+        input: &str,
+        schema: Schema,
+        threads: u32,
+        kernel_instr_per_record: f64,
+    ) -> Self {
+        AppSpec {
+            name: name.to_string(),
+            input: input.to_string(),
+            schema,
+            parallel: ParallelModel::CpuThreads(threads.max(1)),
+            kernel_cpu_instr_per_record: kernel_instr_per_record,
+            gpu_kernel: None,
+            other_cpu_instr_per_record: kernel_instr_per_record * 0.15,
+            input_format: InputFormat::Text,
+        }
+    }
+
+    /// A CUDA application.
+    pub fn gpu_app(
+        name: &str,
+        input: &str,
+        schema: Schema,
+        flops_per_record: f64,
+        bytes_per_record: f64,
+        other_cpu_instr_per_record: f64,
+    ) -> Self {
+        AppSpec {
+            name: name.to_string(),
+            input: input.to_string(),
+            schema,
+            parallel: ParallelModel::GpuCuda,
+            kernel_cpu_instr_per_record: 0.0,
+            gpu_kernel: Some(GpuKernelPerRecord {
+                flops: flops_per_record,
+                bytes: bytes_per_record,
+            }),
+            other_cpu_instr_per_record,
+            input_format: InputFormat::Text,
+        }
+    }
+
+    /// Switches the spec to a differently encoded input file.
+    pub fn with_input_format(mut self, format: InputFormat) -> Self {
+        self.input_format = format;
+        self
+    }
+}
+
+/// Host-side parser dispatch over the input encoding.
+enum HostParser {
+    Text(StreamingParser),
+    Binary(BinaryStreamParser),
+}
+
+impl HostParser {
+    fn new(schema: &Schema, format: InputFormat) -> HostParser {
+        match format {
+            InputFormat::Text => HostParser::Text(StreamingParser::new(schema.clone())),
+            InputFormat::Binary(e) => {
+                HostParser::Binary(BinaryStreamParser::new(schema.clone(), e))
+            }
+        }
+    }
+
+    fn feed(&mut self, chunk: &[u8]) -> Result<(), ParseError> {
+        match self {
+            HostParser::Text(p) => p.feed(chunk),
+            HostParser::Binary(p) => p.feed(chunk),
+        }
+    }
+
+    fn work(&self) -> ParseWork {
+        match self {
+            HostParser::Text(p) => p.work(),
+            HostParser::Binary(p) => p.work(),
+        }
+    }
+
+    fn finish(self) -> Result<ParsedColumns, ParseError> {
+        match self {
+            HostParser::Text(p) => p.finish(),
+            HostParser::Binary(p) => p.finish(),
+        }
+    }
+}
+
+/// Errors from a run.
+#[derive(Debug)]
+pub enum RunError {
+    /// The input file was never created.
+    UnknownFile(String),
+    /// The input text did not parse.
+    Parse(ParseError),
+    /// The Morpheus firmware rejected a command.
+    Morpheus(MorpheusError),
+    /// The drive failed.
+    Ssd(SsdError),
+    /// The PCIe fabric rejected a DMA.
+    Pcie(PcieError),
+    /// Host DRAM exhausted.
+    OutOfHostMemory,
+    /// GPU memory exhausted.
+    OutOfGpuMemory,
+    /// P2P mode needs a GPU application.
+    NotGpuApp(String),
+    /// A GPU app spec without a GPU kernel cost.
+    MissingGpuKernel(String),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::UnknownFile(n) => write!(f, "input file {n:?} was never created"),
+            RunError::Parse(e) => write!(f, "input parse failure: {e}"),
+            RunError::Morpheus(e) => write!(f, "morpheus firmware error: {e}"),
+            RunError::Ssd(e) => write!(f, "drive error: {e}"),
+            RunError::Pcie(e) => write!(f, "fabric error: {e}"),
+            RunError::OutOfHostMemory => write!(f, "host dram exhausted"),
+            RunError::OutOfGpuMemory => write!(f, "gpu memory exhausted"),
+            RunError::NotGpuApp(n) => write!(f, "p2p mode requires a gpu app, {n:?} is not"),
+            RunError::MissingGpuKernel(n) => {
+                write!(f, "gpu app {n:?} has no gpu kernel cost")
+            }
+        }
+    }
+}
+
+impl Error for RunError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RunError::Parse(e) => Some(e),
+            RunError::Morpheus(e) => Some(e),
+            RunError::Ssd(e) => Some(e),
+            RunError::Pcie(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for RunError {
+    fn from(e: ParseError) -> Self {
+        RunError::Parse(e)
+    }
+}
+impl From<MorpheusError> for RunError {
+    fn from(e: MorpheusError) -> Self {
+        RunError::Morpheus(e)
+    }
+}
+impl From<SsdError> for RunError {
+    fn from(e: SsdError) -> Self {
+        RunError::Ssd(e)
+    }
+}
+impl From<PcieError> for RunError {
+    fn from(e: PcieError) -> Self {
+        RunError::Pcie(e)
+    }
+}
+
+/// A completed run: the measurements and the actual application objects.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// All measurements.
+    pub report: RunReport,
+    /// The deserialized objects (bit-identical across modes).
+    pub objects: ParsedColumns,
+}
+
+/// Internal summary of the deserialization window.
+struct DeserWindow {
+    end: SimTime,
+    cpu_busy: SimDuration,
+    text_bytes: u64,
+    /// Host address of the object region (0 when objects live on the GPU).
+    obj_addr: u64,
+}
+
+impl System {
+    /// Executes an application under the given mode.
+    ///
+    /// Timing state is reset first ([`System::reset_timing`]); staged files
+    /// persist, so the same input serves all modes.
+    ///
+    /// # Errors
+    ///
+    /// See [`RunError`].
+    pub fn run(&mut self, spec: &AppSpec, mode: Mode) -> Result<RunOutcome, RunError> {
+        if matches!(spec.parallel, ParallelModel::GpuCuda) && spec.gpu_kernel.is_none() {
+            return Err(RunError::MissingGpuKernel(spec.name.clone()));
+        }
+        self.reset_timing();
+        match mode {
+            Mode::Conventional => self.run_conventional(spec),
+            Mode::Morpheus => self.run_morpheus(spec, false),
+            Mode::MorpheusP2P => {
+                if !matches!(spec.parallel, ParallelModel::GpuCuda) {
+                    return Err(RunError::NotGpuApp(spec.name.clone()));
+                }
+                self.run_morpheus(spec, true)
+            }
+        }
+    }
+
+    fn run_conventional(&mut self, spec: &AppSpec) -> Result<RunOutcome, RunError> {
+        let meta = self
+            .fs
+            .open(&spec.input)
+            .map_err(|_| RunError::UnknownFile(spec.input.clone()))?
+            .clone();
+        let chunks = Self::file_chunks(&meta, self.params.conventional_chunk_bytes);
+        let mut parser = HostParser::new(&spec.schema, spec.input_format);
+        // Buffer X of Fig. 1(b): the raw-text landing buffer.
+        let buf_addr = self
+            .dram
+            .alloc(self.params.conventional_chunk_bytes)
+            .ok_or(RunError::OutOfHostMemory)?;
+        let mut last_work = ParseWork::default();
+        let mut cpu_ready = SimTime::ZERO;
+        let mut cpu_busy = SimDuration::ZERO;
+        for c in &chunks {
+            let cid = self.alloc_cid();
+            let (text, io_done) = self.conventional_io(c, cid, buf_addr)?;
+            parser.feed(&text[..c.valid_bytes as usize])?;
+            let w = parser.work();
+            let dw = work_delta(&w, &last_work);
+            last_work = w;
+            let os_cost = self.os.buffered_read(c.valid_bytes);
+            let os_t = self.cpu.duration(os_cost.instructions, CodeClass::OsKernel);
+            let parse_t = self.cpu.duration(
+                self.params.host_cost.int_path_instructions(&dw)
+                    + self.params.host_cost.float_path_instructions(&dw),
+                CodeClass::Deserialize,
+            );
+            let iv = self.cpu_cores.acquire(io_done.max(cpu_ready), os_t + parse_t);
+            cpu_ready = iv.end;
+            cpu_busy += iv.duration();
+            // The parse loop streams the text back out of DRAM.
+            self.membus.account(c.valid_bytes);
+        }
+        let mut objects = parser.finish()?;
+        objects.canonicalize();
+        let obj_bytes = objects.binary_bytes();
+        // Location Y of Fig. 1(b): the object arrays.
+        let obj_addr = self
+            .dram
+            .alloc(obj_bytes.max(1))
+            .ok_or(RunError::OutOfHostMemory)?;
+        self.membus.account(obj_bytes);
+        let window = DeserWindow {
+            end: cpu_ready,
+            cpu_busy,
+            text_bytes: meta.len,
+            obj_addr,
+        };
+        self.finish_run(spec, Mode::Conventional, objects, window)
+    }
+
+    /// One conventional-path input chunk on the configured storage device.
+    fn conventional_io(
+        &mut self,
+        c: &ChunkIo,
+        cid: u16,
+        buf_addr: u64,
+    ) -> Result<(Vec<u8>, SimTime), RunError> {
+        match self.params.storage {
+            StorageKind::NvmeSsd => {
+                let cmd = NvmeCommand::read(cid, 1, c.slba, c.blocks, buf_addr);
+                self.mssd.protocol_round_trip(cmd, StatusCode::Success, 0);
+                let (data, t) = self.mssd.dev.read_range(c.slba, c.blocks, SimTime::ZERO)?;
+                let dma =
+                    self.fabric
+                        .dma(self.ssd_dev, DmaDir::Write, buf_addr, c.valid_bytes, t)?;
+                let mb = self.membus.transfer(dma.start, c.valid_bytes);
+                Ok((data, dma.end.max(mb.end)))
+            }
+            StorageKind::RamDrive => {
+                let data = self.mssd.dev.read_range_untimed(c.slba, c.blocks)?;
+                let mb = self.membus.transfer(SimTime::ZERO, c.valid_bytes);
+                Ok((data, mb.end))
+            }
+            StorageKind::Hdd => {
+                let data = self.mssd.dev.read_range_untimed(c.slba, c.blocks)?;
+                let seek = SimDuration::from_secs_f64(self.params.hdd_seek_ms / 1e3);
+                let stream = SimDuration::from_secs_f64(
+                    c.valid_bytes as f64 / (self.params.hdd_mbs * 1e6),
+                );
+                let iv = self.hdd.acquire(SimTime::ZERO, seek + stream);
+                let mb = self.membus.transfer(iv.start, c.valid_bytes);
+                Ok((data, iv.end.max(mb.end)))
+            }
+        }
+    }
+
+    fn run_morpheus(&mut self, spec: &AppSpec, p2p: bool) -> Result<RunOutcome, RunError> {
+        // The runtime resolves the file into a stream (ms_stream_create):
+        // permission checks and LBA layout stay on the host, §V-A2.
+        let stream = crate::ms_stream_create(&self.fs, &spec.input, self.params.mread_chunk_bytes)
+            .map_err(|_| RunError::UnknownFile(spec.input.clone()))?;
+        let meta = stream.meta().clone();
+        let chunks = stream.chunks().to_vec();
+        let iid = self.alloc_instance();
+        let app: Box<dyn StorageApp> = match spec.input_format {
+            InputFormat::Text => Box::new(DeserializeApp::new(&spec.name, spec.schema.clone())),
+            InputFormat::Binary(e) => {
+                Box::new(BinaryDeserializeApp::new(&spec.name, spec.schema.clone(), e))
+            }
+        };
+        let code_bytes = app.code_bytes();
+
+        // Host side: issue MINIT (one syscall + switch into the driver).
+        let init_cost = self.os.command_completion();
+        let init_iv = self.cpu_cores.acquire(
+            SimTime::ZERO,
+            self.cpu.duration(init_cost.instructions, CodeClass::OsKernel),
+        );
+        let mut cpu_busy = init_iv.duration();
+        let cid = self.alloc_cid();
+        let wire = MorpheusCommand::Init {
+            instance_id: iid,
+            code_ptr: 0x4000,
+            code_len: code_bytes,
+            arg: meta.len as u32,
+        }
+        .into_command(cid, 1);
+        self.mssd.protocol_round_trip(wire, StatusCode::Success, 0);
+        let ready = self.mssd.minit(iid, app, init_iv.end)?;
+
+        let bar = if p2p { Some(self.map_gpu_bar()) } else { None };
+        let mut obj_bin: Vec<u8> = Vec::new();
+        let mut last_end = ready;
+        for c in &chunks {
+            let out = self.mssd.mread(iid, c.slba, c.blocks, c.valid_bytes, ready)?;
+            let end = self.deliver_output(&out.output, bar, iid, c.slba, c.blocks)?;
+            if let Some(e) = end {
+                cpu_busy += e.1;
+                last_end = last_end.max(e.0);
+            } else {
+                last_end = last_end.max(out.done);
+            }
+            obj_bin.extend_from_slice(&out.output);
+        }
+
+        // MDEINIT: collect the final output and the return value.
+        let cid = self.alloc_cid();
+        let wire = MorpheusCommand::Deinit { instance_id: iid }.into_command(cid, 1);
+        let dein = self.mssd.mdeinit(iid, last_end)?;
+        let (retval, tail, dein_done) = (dein.retval, dein.host_output, dein.done);
+        self.mssd
+            .protocol_round_trip(wire, StatusCode::Success, retval as u32);
+        let end = self.deliver_output(&tail, bar, iid, 0, 0)?;
+        let deinit_wakeup = {
+            let c = self.os.command_completion();
+            let base = end.map(|e| e.0).unwrap_or(dein_done);
+            let iv = self
+                .cpu_cores
+                .acquire(base, self.cpu.duration(c.instructions, CodeClass::OsKernel));
+            cpu_busy += iv.duration();
+            iv.end
+        };
+        obj_bin.extend_from_slice(&tail);
+
+        let objects = ParsedColumns::decode(spec.schema.clone(), &obj_bin)?;
+        debug_assert_eq!(retval as u64 as i64 as i32, objects.records as i32);
+        let window = DeserWindow {
+            end: deinit_wakeup,
+            cpu_busy,
+            text_bytes: meta.len,
+            obj_addr: 0x2000,
+        };
+        let mode = if p2p { Mode::MorpheusP2P } else { Mode::Morpheus };
+        self.finish_run(spec, mode, objects, window)
+    }
+
+    /// DMAs one MREAD's output to its destination (host DRAM or the GPU
+    /// BAR) and takes the per-completion host wakeup. Returns the wakeup's
+    /// (end, cpu-time), or `None` for empty outputs.
+    fn deliver_output(
+        &mut self,
+        output: &[u8],
+        bar: Option<morpheus_pcie::BarWindow>,
+        iid: u32,
+        slba: u64,
+        blocks: u64,
+    ) -> Result<Option<(SimTime, SimDuration)>, RunError> {
+        if output.is_empty() {
+            return Ok(None);
+        }
+        let n = output.len() as u64;
+        let addr = match bar {
+            Some(w) => {
+                let buf = self.gpu.alloc(n).ok_or(RunError::OutOfGpuMemory)?;
+                w.base + buf.offset
+            }
+            None => self.dram.alloc(n).ok_or(RunError::OutOfHostMemory)?,
+        };
+        if blocks > 0 {
+            let cid = self.alloc_cid();
+            let wire = MorpheusCommand::Read {
+                instance_id: iid,
+                slba,
+                blocks,
+                dma_addr: addr,
+            }
+            .into_command(cid, 1);
+            self.mssd.protocol_round_trip(wire, StatusCode::Success, 0);
+        }
+        // The SSD pushes finished objects; time base is the caller's
+        // staging completion, which the fabric sees via its own timelines.
+        let ready = self.mssd.dev.cores().horizon();
+        let dma = self.fabric.dma(self.ssd_dev, DmaDir::Write, addr, n, ready)?;
+        if bar.is_none() {
+            self.membus.transfer(dma.start, n);
+        }
+        let c = self.os.command_completion();
+        let iv = self.cpu_cores.acquire(
+            dma.end,
+            self.cpu.duration(c.instructions, CodeClass::OsKernel),
+        );
+        Ok(Some((iv.end, iv.duration())))
+    }
+
+    /// Shared tail: other-CPU phase, copy phase, kernel phase, report.
+    fn finish_run(
+        &mut self,
+        spec: &AppSpec,
+        mode: Mode,
+        objects: ParsedColumns,
+        window: DeserWindow,
+    ) -> Result<RunOutcome, RunError> {
+        let records = objects.records;
+        let obj_bytes = objects.binary_bytes();
+        let membus_deser = self.membus.traffic_bytes();
+        let acct = self.os.accounting();
+
+        // Other host computation (setup, partitioning, result handling).
+        let other_instr = spec.other_cpu_instr_per_record * records as f64;
+        let other_iv = self.cpu_cores.acquire(
+            window.end,
+            self.cpu.duration(other_instr, CodeClass::AppKernel),
+        );
+        let mut cpu_busy_total = window.cpu_busy + other_iv.duration();
+
+        let mut copy_s = 0.0;
+        let kernel_start;
+        let kernel_end;
+        match spec.parallel {
+            ParallelModel::CpuThreads(threads) => {
+                let t = threads.clamp(1, self.cpu_cores.units() as u32);
+                let per_thread = spec.kernel_cpu_instr_per_record * records as f64 / t as f64;
+                let d = self.cpu.duration(per_thread, CodeClass::AppKernel);
+                let mut kend = other_iv.end;
+                for _ in 0..t {
+                    let iv = self.cpu_cores.acquire(other_iv.end, d);
+                    kend = kend.max(iv.end);
+                    cpu_busy_total += iv.duration();
+                }
+                self.membus.account(obj_bytes);
+                kernel_start = other_iv.end;
+                kernel_end = kend;
+            }
+            ParallelModel::GpuCuda => {
+                let gk = spec
+                    .gpu_kernel
+                    .expect("checked in run()");
+                let copy_end = if mode == Mode::MorpheusP2P {
+                    other_iv.end
+                } else {
+                    // Pageable cudaMemcpy H2D: the driver first stages the
+                    // object arrays through a pinned bounce buffer (a CPU
+                    // memcpy: one read + one write across the memory bus),
+                    // then DMAs from the pinned region.
+                    let staged = self.membus.transfer(other_iv.end, 2 * obj_bytes);
+                    let dma = self.fabric.dma(
+                        self.gpu_dev,
+                        DmaDir::Read,
+                        window.obj_addr,
+                        obj_bytes,
+                        staged.end,
+                    )?;
+                    let mb = self.membus.transfer(dma.start, obj_bytes);
+                    dma.end.max(mb.end)
+                };
+                copy_s = copy_end
+                    .saturating_duration_since(other_iv.end)
+                    .as_secs_f64();
+                let cost = KernelCost::new(
+                    gk.flops * records as f64,
+                    (gk.bytes * records as f64) as u64,
+                );
+                let iv = self.gpu.launch(cost, copy_end);
+                kernel_start = copy_end;
+                kernel_end = iv.end;
+            }
+        }
+
+        // --- measurements ---
+        let deser_s = window.end.as_secs_f64();
+        let total_s = kernel_end.as_secs_f64();
+        let p = self.params.power;
+        let cpu_delta = p.cpu_delta(self.cpu.frequency());
+        let ssd_pool_busy_s = self.mssd.parse_core_busy().as_secs_f64()
+            / self.params.ssd.embedded_cores as f64;
+        let dram_j_deser = p.dram_watts_per_gbs * (membus_deser as f64 / 1e9);
+        let deser_energy = p.idle_watts * deser_s
+            + cpu_delta * window.cpu_busy.as_secs_f64()
+            + p.ssd_cores_delta_watts * ssd_pool_busy_s
+            + dram_j_deser;
+        let gpu_busy_s = self.gpu.busy().as_secs_f64();
+        let total_energy = p.idle_watts * total_s
+            + cpu_delta * cpu_busy_total.as_secs_f64()
+            + p.ssd_cores_delta_watts * ssd_pool_busy_s
+            + p.gpu_active_delta_watts * gpu_busy_s
+            + p.dram_watts_per_gbs * (self.membus.traffic_bytes() as f64 / 1e9);
+
+        let mut metrics = Metrics::new();
+        metrics.set("ssd_parse_core_busy_s", self.mssd.parse_core_busy().as_secs_f64());
+        metrics.set("cpu_busy_deser_s", window.cpu_busy.as_secs_f64());
+        metrics.set("gpu_busy_s", gpu_busy_s);
+        metrics.set("pcie_p2p_bytes", self.fabric.traffic().p2p_bytes as f64);
+        metrics.set(
+            "kernel_start_s",
+            kernel_start.as_secs_f64(),
+        );
+
+        let report = RunReport {
+            app: spec.name.clone(),
+            mode,
+            storage: self.params.storage,
+            cpu_freq_hz: self.cpu.frequency(),
+            phases: Phases {
+                deserialization_s: deser_s,
+                other_cpu_s: other_iv.duration().as_secs_f64(),
+                copy_s,
+                kernel_s: kernel_end.saturating_duration_since(kernel_start).as_secs_f64(),
+            },
+            text_bytes: window.text_bytes,
+            object_bytes: obj_bytes,
+            records,
+            checksum: objects.checksum(),
+            effective_bandwidth_mbs: if deser_s > 0.0 {
+                obj_bytes as f64 / deser_s / 1e6
+            } else {
+                0.0
+            },
+            context_switches: acct.context_switches,
+            cs_per_second: if deser_s > 0.0 {
+                acct.context_switches as f64 / deser_s
+            } else {
+                0.0
+            },
+            syscalls: acct.syscalls,
+            page_faults: acct.page_faults,
+            pcie_bytes: self.fabric.traffic().total_bytes,
+            membus_bytes: self.membus.traffic_bytes(),
+            deser_power_watts: if deser_s > 0.0 {
+                deser_energy / deser_s
+            } else {
+                p.idle_watts
+            },
+            deser_energy_j: deser_energy,
+            total_energy_j: total_energy,
+            host_dram_peak: self.dram.high_watermark(),
+            metrics,
+        };
+        Ok(RunOutcome { report, objects })
+    }
+}
+
+fn work_delta(now: &ParseWork, before: &ParseWork) -> ParseWork {
+    ParseWork {
+        bytes_scanned: now.bytes_scanned - before.bytes_scanned,
+        int_tokens: now.int_tokens - before.int_tokens,
+        int_digits: now.int_digits - before.int_digits,
+        float_tokens: now.float_tokens - before.float_tokens,
+        float_digits: now.float_digits - before.float_digits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morpheus_format::FieldKind;
+
+    fn edge_schema() -> Schema {
+        Schema::new(vec![FieldKind::U32, FieldKind::U32])
+    }
+
+    fn edge_text(edges: u32) -> Vec<u8> {
+        let mut w = morpheus_format::TextWriter::new();
+        for i in 0..edges {
+            w.write_u64(u64::from(i) * 7 % 1000);
+            w.sep();
+            w.write_u64(u64::from(i) * 13 % 1000);
+            w.newline();
+        }
+        w.into_bytes()
+    }
+
+    fn test_system() -> System {
+        System::new(SystemParams::paper_testbed())
+    }
+
+    use crate::SystemParams;
+
+    #[test]
+    fn conventional_and_morpheus_produce_identical_objects() {
+        let mut sys = test_system();
+        sys.create_input_file("edges.txt", &edge_text(5000)).unwrap();
+        let spec = AppSpec::cpu_app("bfs", "edges.txt", edge_schema(), 4, 100.0);
+        let conv = sys.run(&spec, Mode::Conventional).unwrap();
+        let morp = sys.run(&spec, Mode::Morpheus).unwrap();
+        assert_eq!(conv.report.checksum, morp.report.checksum);
+        assert_eq!(conv.objects, morp.objects);
+        assert_eq!(conv.report.records, 5000);
+    }
+
+    #[test]
+    fn morpheus_speeds_up_deserialization() {
+        let mut sys = test_system();
+        sys.create_input_file("edges.txt", &edge_text(20_000)).unwrap();
+        let spec = AppSpec::cpu_app("bfs", "edges.txt", edge_schema(), 4, 100.0);
+        let conv = sys.run(&spec, Mode::Conventional).unwrap();
+        let morp = sys.run(&spec, Mode::Morpheus).unwrap();
+        let speedup = morp.report.deser_speedup_over(&conv.report);
+        assert!(
+            speedup > 1.1 && speedup < 3.5,
+            "deser speedup {speedup} out of plausible range"
+        );
+    }
+
+    #[test]
+    fn morpheus_slashes_context_switches() {
+        let mut sys = test_system();
+        // Large enough that the conventional path needs many 64 KiB reads.
+        sys.create_input_file("edges.txt", &edge_text(200_000)).unwrap();
+        let spec = AppSpec::cpu_app("bfs", "edges.txt", edge_schema(), 4, 100.0);
+        let conv = sys.run(&spec, Mode::Conventional).unwrap();
+        let morp = sys.run(&spec, Mode::Morpheus).unwrap();
+        assert!(
+            morp.report.context_switches * 5 < conv.report.context_switches,
+            "morpheus {} vs conventional {}",
+            morp.report.context_switches,
+            conv.report.context_switches
+        );
+    }
+
+    #[test]
+    fn p2p_runs_for_gpu_apps_and_skips_host_memory() {
+        let mut sys = test_system();
+        sys.create_input_file("edges.txt", &edge_text(20_000)).unwrap();
+        let spec = AppSpec::gpu_app("bfs", "edges.txt", edge_schema(), 40.0, 16.0, 20.0);
+        let conv = sys.run(&spec, Mode::Conventional).unwrap();
+        let p2p = sys.run(&spec, Mode::MorpheusP2P).unwrap();
+        assert_eq!(conv.report.checksum, p2p.report.checksum);
+        assert!(p2p.report.membus_bytes < conv.report.membus_bytes / 2);
+        assert_eq!(p2p.report.phases.copy_s, 0.0);
+        assert!(p2p.report.metrics.get("pcie_p2p_bytes") > 0.0);
+    }
+
+    #[test]
+    fn p2p_rejected_for_cpu_apps() {
+        let mut sys = test_system();
+        sys.create_input_file("edges.txt", &edge_text(100)).unwrap();
+        let spec = AppSpec::cpu_app("bfs", "edges.txt", edge_schema(), 4, 100.0);
+        assert!(matches!(
+            sys.run(&spec, Mode::MorpheusP2P),
+            Err(RunError::NotGpuApp(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_file_rejected() {
+        let mut sys = test_system();
+        let spec = AppSpec::cpu_app("bfs", "missing.txt", edge_schema(), 4, 100.0);
+        assert!(matches!(
+            sys.run(&spec, Mode::Conventional),
+            Err(RunError::UnknownFile(_))
+        ));
+    }
+
+    #[test]
+    fn reports_are_self_consistent() {
+        let mut sys = test_system();
+        sys.create_input_file("edges.txt", &edge_text(10_000)).unwrap();
+        let spec = AppSpec::gpu_app("nn", "edges.txt", edge_schema(), 60.0, 16.0, 30.0);
+        for mode in [Mode::Conventional, Mode::Morpheus, Mode::MorpheusP2P] {
+            let out = sys.run(&spec, mode).unwrap();
+            let r = &out.report;
+            assert!(r.phases.total_s() > 0.0, "{mode}: empty run");
+            assert!(r.deser_energy_j > 0.0);
+            assert!(r.total_energy_j >= r.deser_energy_j);
+            assert!(r.deser_power_watts >= sys.params.power.idle_watts);
+            assert!(r.effective_bandwidth_mbs > 0.0);
+            assert_eq!(r.object_bytes, 10_000 * 8);
+        }
+    }
+
+    #[test]
+    fn slower_cpu_hurts_conventional_more_than_morpheus() {
+        let mut fast = System::new(SystemParams::paper_testbed());
+        let mut slow = System::new(SystemParams::slow_server());
+        let text = edge_text(20_000);
+        fast.create_input_file("e.txt", &text).unwrap();
+        slow.create_input_file("e.txt", &text).unwrap();
+        let spec = AppSpec::cpu_app("bfs", "e.txt", edge_schema(), 4, 100.0);
+        let conv_fast = fast.run(&spec, Mode::Conventional).unwrap();
+        let conv_slow = slow.run(&spec, Mode::Conventional).unwrap();
+        let morp_fast = fast.run(&spec, Mode::Morpheus).unwrap();
+        let morp_slow = slow.run(&spec, Mode::Morpheus).unwrap();
+        let fast_speedup = morp_fast.report.deser_speedup_over(&conv_fast.report);
+        let slow_speedup = morp_slow.report.deser_speedup_over(&conv_slow.report);
+        assert!(
+            slow_speedup > fast_speedup,
+            "slow {slow_speedup} should exceed fast {fast_speedup}"
+        );
+    }
+}

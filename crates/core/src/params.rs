@@ -1,0 +1,240 @@
+//! All calibration parameters of the modelled platform in one place.
+//!
+//! Values are chosen once to reproduce the baseline observations of §II
+//! (deserialization ≈ 64 % of runtime, CPU-bound against storage speed,
+//! IPC ≈ 1.2, overhead-dominated host path) and then held fixed across
+//! every experiment. See DESIGN.md §4 for the calibration rationale.
+
+use morpheus_flash::{EccModel, FlashGeometry, FlashTiming};
+use morpheus_format::CostModel;
+use morpheus_gpu::GpuSpec;
+use morpheus_host::{CpuSpec, HostPowerParams, OsParams};
+use morpheus_pcie::{LinkConfig, PcieGen};
+use morpheus_ssd::SsdConfig;
+
+/// Which device backs the input file in the *conventional* path (Fig. 3
+/// compares them; the Morpheus path always uses the NVMe SSD).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StorageKind {
+    /// The modelled NVMe SSD (default).
+    NvmeSsd,
+    /// A DRAM-backed file (tmpfs): data moves at memory-bus speed.
+    RamDrive,
+    /// A magnetic disk streaming sequentially.
+    Hdd,
+}
+
+/// A multiprogrammed co-runner sharing the host (§II/§III: the Morpheus
+/// model "mitigates system overheads in multiprogrammed environments").
+///
+/// The co-runner occupies CPU cores outright, consumes a share of the
+/// memory-bus bandwidth, and pressures the page cache so the foreground
+/// application's conventional read path preempts and faults more often.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoRunner {
+    /// Host cores the co-runner keeps busy.
+    pub cores_taken: u32,
+    /// Fraction of memory-bus bandwidth it consumes (0..1).
+    pub membus_share: f64,
+    /// Multiplier on context switches per blocking read (scheduler
+    /// pressure) and on page faults per MB (cache pressure).
+    pub pressure: f64,
+}
+
+impl CoRunner {
+    /// A moderate co-runner: one core, 25 % of the bus, 2× OS pressure.
+    pub fn moderate() -> Self {
+        CoRunner {
+            cores_taken: 1,
+            membus_share: 0.25,
+            pressure: 2.0,
+        }
+    }
+
+    /// A heavy co-runner: two cores, half the bus, 4× OS pressure.
+    pub fn heavy() -> Self {
+        CoRunner {
+            cores_taken: 2,
+            membus_share: 0.5,
+            pressure: 4.0,
+        }
+    }
+}
+
+/// Full platform configuration.
+#[derive(Debug, Clone)]
+pub struct SystemParams {
+    /// Host CPU specification.
+    pub cpu: CpuSpec,
+    /// OS overhead parameters.
+    pub os: OsParams,
+    /// Wall-power parameters.
+    pub power: HostPowerParams,
+    /// CPU-memory bus bandwidth, GB/s.
+    pub membus_gbs: f64,
+    /// Host DRAM capacity, bytes.
+    pub host_dram_bytes: u64,
+    /// SSD controller configuration.
+    pub ssd: SsdConfig,
+    /// Flash array shape.
+    pub flash_geometry: FlashGeometry,
+    /// Flash latencies.
+    pub flash_timing: FlashTiming,
+    /// Flash bit-error / wear injection model (perfect by default).
+    pub flash_ecc: EccModel,
+    /// Seed for the error-injection generator.
+    pub flash_seed: u64,
+    /// Parse cost table for the host CPU.
+    pub host_cost: CostModel,
+    /// Parse cost table for the embedded cores.
+    pub device_cost: CostModel,
+    /// PCIe link of the SSD.
+    pub ssd_link: LinkConfig,
+    /// PCIe link of the GPU.
+    pub gpu_link: LinkConfig,
+    /// Root-complex link.
+    pub root_link: LinkConfig,
+    /// GPU specification.
+    pub gpu: GpuSpec,
+    /// Conventional-path read granularity (page-cache readahead window
+    /// drives the I/O pipeline).
+    pub conventional_chunk_bytes: u64,
+    /// Morpheus MREAD chunk size (bounded by `MAX_IO_BLOCKS`).
+    pub mread_chunk_bytes: u64,
+    /// Storage backing the conventional path.
+    pub storage: StorageKind,
+    /// HDD sequential bandwidth, MB/s (Fig. 3's disk is 158 MB/s).
+    pub hdd_mbs: f64,
+    /// HDD initial seek.
+    pub hdd_seek_ms: f64,
+    /// Optional multiprogrammed co-runner.
+    pub corunner: Option<CoRunner>,
+}
+
+impl SystemParams {
+    /// The paper's testbed configuration.
+    pub fn paper_testbed() -> Self {
+        SystemParams {
+            cpu: CpuSpec::xeon_quad(),
+            os: OsParams::default(),
+            power: HostPowerParams::testbed(),
+            membus_gbs: 12.8,
+            host_dram_bytes: 16 << 30,
+            ssd: SsdConfig::default(),
+            flash_geometry: FlashGeometry::workload(),
+            flash_timing: FlashTiming::default(),
+            flash_ecc: EccModel::perfect(),
+            flash_seed: 0,
+            host_cost: CostModel::host_cpu(),
+            device_cost: CostModel::embedded_core(),
+            ssd_link: LinkConfig::new(PcieGen::Gen3, 4),
+            gpu_link: LinkConfig::new(PcieGen::Gen2, 16), // the K20's interface
+            root_link: LinkConfig::new(PcieGen::Gen3, 16),
+            gpu: GpuSpec::k20(),
+            conventional_chunk_bytes: 1 << 20,
+            mread_chunk_bytes: 8 << 20,
+            storage: StorageKind::NvmeSsd,
+            hdd_mbs: 158.0,
+            hdd_seek_ms: 8.0,
+            corunner: None,
+        }
+    }
+
+    /// Same testbed with the host clocked down to 1.2 GHz (the paper's
+    /// "slower server" sensitivity study).
+    pub fn slow_server() -> Self {
+        let mut p = Self::paper_testbed();
+        p.cpu.max_freq_hz = 1.2e9;
+        p
+    }
+
+    /// The testbed sharing its host with a co-runner.
+    pub fn multiprogrammed(corunner: CoRunner) -> Self {
+        let mut p = Self::paper_testbed();
+        p.corunner = Some(corunner);
+        p
+    }
+
+    /// Host cores left for the foreground application.
+    pub fn effective_cores(&self) -> u32 {
+        let taken = self.corunner.map(|c| c.cores_taken).unwrap_or(0);
+        (self.cpu.cores.saturating_sub(taken)).max(1)
+    }
+
+    /// Memory-bus bandwidth left for the foreground application, GB/s.
+    pub fn effective_membus_gbs(&self) -> f64 {
+        let share = self.corunner.map(|c| c.membus_share).unwrap_or(0.0);
+        self.membus_gbs * (1.0 - share.clamp(0.0, 0.95))
+    }
+
+    /// OS parameters under co-runner pressure.
+    pub fn effective_os(&self) -> morpheus_host::OsParams {
+        let mut os = self.os;
+        if let Some(c) = self.corunner {
+            os.switches_per_read *= c.pressure;
+            os.faults_per_mb *= c.pressure;
+        }
+        os
+    }
+}
+
+impl Default for SystemParams {
+    fn default() -> Self {
+        Self::paper_testbed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_is_valid() {
+        let p = SystemParams::paper_testbed();
+        p.ssd.validate();
+        assert!(p.mread_chunk_bytes <= morpheus_nvme::MAX_IO_BLOCKS * morpheus_nvme::LBA_BYTES);
+        assert!(p.conventional_chunk_bytes > 0);
+    }
+
+    #[test]
+    fn slow_server_runs_at_1_2_ghz() {
+        let p = SystemParams::slow_server();
+        assert_eq!(p.cpu.max_freq_hz, 1.2e9);
+    }
+}
+
+#[cfg(test)]
+mod corunner_tests {
+    use super::*;
+
+    #[test]
+    fn corunner_steals_resources() {
+        let p = SystemParams::multiprogrammed(CoRunner::heavy());
+        assert_eq!(p.effective_cores(), 2);
+        assert!(p.effective_membus_gbs() < p.membus_gbs);
+        assert!(p.effective_os().switches_per_read > p.os.switches_per_read);
+        assert!(p.effective_os().faults_per_mb > p.os.faults_per_mb);
+    }
+
+    #[test]
+    fn idle_host_keeps_everything() {
+        let p = SystemParams::paper_testbed();
+        assert_eq!(p.effective_cores(), p.cpu.cores);
+        assert_eq!(p.effective_membus_gbs(), p.membus_gbs);
+        assert_eq!(p.effective_os(), p.os);
+    }
+
+    #[test]
+    fn at_least_one_core_always_remains() {
+        let mut p = SystemParams::multiprogrammed(CoRunner {
+            cores_taken: 99,
+            membus_share: 0.999,
+            pressure: 1.0,
+        });
+        assert_eq!(p.effective_cores(), 1);
+        // Bus share is clamped below 100%.
+        assert!(p.effective_membus_gbs() > 0.0);
+        p.corunner = Some(CoRunner::moderate());
+        assert_eq!(p.effective_cores(), 3);
+    }
+}

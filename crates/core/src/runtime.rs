@@ -1,0 +1,203 @@
+//! The host-side Morpheus runtime (§V): streams and command plans.
+//!
+//! §V-A2: "the programming model requires the host application to create a
+//! `ms_stream` and pass this stream as an argument of the StorageApp. …
+//! `ms_stream_create` interacts with the underlying file system to get
+//! permission to access a file and information about the logical block
+//! addresses in file layouts." — [`ms_stream_create`] is exactly that
+//! call; permission/layout work stays on the host, the SSD never parses a
+//! filesystem.
+//!
+//! §V-B: the compiler replaces a StorageApp call site with runtime calls
+//! that issue MINIT, break the stream into MREADs no larger than the NVMe
+//! transfer limit, and finish with MDEINIT. [`CommandPlan`] is that lowered
+//! sequence, inspectable before execution; the `System` drivers execute an
+//! equivalent plan command by command through the real submission queue.
+
+use crate::system::ChunkIo;
+use crate::System;
+use morpheus_host::{FileMeta, FsError, SimFs};
+use morpheus_nvme::MorpheusCommand;
+
+/// A Morpheus stream: the host-resolved layout of one input file.
+///
+/// Created by [`ms_stream_create`]; owns the file's byte length and the
+/// MREAD-sized chunks covering it.
+#[derive(Debug, Clone)]
+pub struct MsStream {
+    name: String,
+    meta: FileMeta,
+    chunks: Vec<ChunkIo>,
+}
+
+impl MsStream {
+    /// The file's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Exact byte length of the stream.
+    pub fn len(&self) -> u64 {
+        self.meta.len
+    }
+
+    /// True for an empty file.
+    pub fn is_empty(&self) -> bool {
+        self.meta.len == 0
+    }
+
+    /// The MREAD-sized pieces covering the file, in order.
+    pub fn chunks(&self) -> &[ChunkIo] {
+        &self.chunks
+    }
+
+    /// The underlying extent layout.
+    pub fn meta(&self) -> &FileMeta {
+        &self.meta
+    }
+}
+
+/// Resolves a file into a [`MsStream`] (the paper's `ms_stream_create`).
+///
+/// `chunk_bytes` bounds each MREAD; it is additionally clamped to the
+/// NVMe per-command limit and rounded to whole logical blocks.
+///
+/// # Errors
+///
+/// Returns [`FsError::NotFound`] for unknown files.
+pub fn ms_stream_create(
+    fs: &SimFs,
+    name: &str,
+    chunk_bytes: u64,
+) -> Result<MsStream, FsError> {
+    let meta = fs.open(name)?.clone();
+    let chunks = System::file_chunks(&meta, chunk_bytes);
+    Ok(MsStream {
+        name: name.to_string(),
+        meta,
+        chunks,
+    })
+}
+
+/// The NVMe command sequence the Morpheus compiler's inserted runtime
+/// calls will issue for one StorageApp invocation (§V-B).
+#[derive(Debug, Clone)]
+pub struct CommandPlan {
+    /// Commands in issue order: MINIT, the MREADs, MDEINIT.
+    pub commands: Vec<MorpheusCommand>,
+    /// The instance every command targets.
+    pub instance_id: u32,
+}
+
+impl CommandPlan {
+    /// Lowers a stream into the plan for `instance_id`, with StorageApp
+    /// code of `code_len` bytes at host address `code_ptr` and results
+    /// DMAed to `dma_base`.
+    pub fn lower(
+        stream: &MsStream,
+        instance_id: u32,
+        code_ptr: u64,
+        code_len: u32,
+        dma_base: u64,
+    ) -> CommandPlan {
+        let mut commands = Vec::with_capacity(stream.chunks().len() + 2);
+        commands.push(MorpheusCommand::Init {
+            instance_id,
+            code_ptr,
+            code_len,
+            arg: stream.len() as u32,
+        });
+        for c in stream.chunks() {
+            commands.push(MorpheusCommand::Read {
+                instance_id,
+                slba: c.slba,
+                blocks: c.blocks,
+                dma_addr: dma_base,
+            });
+        }
+        commands.push(MorpheusCommand::Deinit { instance_id });
+        CommandPlan {
+            commands,
+            instance_id,
+        }
+    }
+
+    /// Number of MREAD commands in the plan.
+    pub fn reads(&self) -> usize {
+        self.commands
+            .iter()
+            .filter(|c| matches!(c, MorpheusCommand::Read { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morpheus_nvme::{LBA_BYTES, MAX_IO_BLOCKS};
+
+    fn fs_with(name: &str, len: u64) -> SimFs {
+        let mut fs = SimFs::new(LBA_BYTES, 1 << 24);
+        fs.create(name, len).unwrap();
+        fs
+    }
+
+    #[test]
+    fn stream_covers_the_file_exactly() {
+        let fs = fs_with("in.txt", 10_000_000);
+        let s = ms_stream_create(&fs, "in.txt", 1 << 20).unwrap();
+        assert_eq!(s.len(), 10_000_000);
+        let covered: u64 = s.chunks().iter().map(|c| c.valid_bytes).sum();
+        assert_eq!(covered, 10_000_000);
+        assert_eq!(s.chunks().len(), 10); // ceil(10e6 / 1MiB)
+    }
+
+    #[test]
+    fn unknown_file_rejected() {
+        let fs = SimFs::new(LBA_BYTES, 1024);
+        assert!(ms_stream_create(&fs, "missing", 1 << 20).is_err());
+    }
+
+    #[test]
+    fn chunks_respect_the_nvme_limit() {
+        let fs = fs_with("big.txt", 100 << 20);
+        // Ask for absurdly large chunks; the runtime must clamp.
+        let s = ms_stream_create(&fs, "big.txt", u64::MAX / 2).unwrap();
+        for c in s.chunks() {
+            assert!(c.blocks <= MAX_IO_BLOCKS);
+        }
+    }
+
+    #[test]
+    fn plan_brackets_reads_with_init_and_deinit() {
+        let fs = fs_with("in.txt", 3 << 20);
+        let s = ms_stream_create(&fs, "in.txt", 1 << 20).unwrap();
+        let plan = CommandPlan::lower(&s, 7, 0x4000, 16 * 1024, 0x9000);
+        assert_eq!(plan.commands.len(), 3 + 2);
+        assert_eq!(plan.reads(), 3);
+        assert!(matches!(
+            plan.commands.first(),
+            Some(MorpheusCommand::Init { instance_id: 7, arg, .. }) if *arg == (3u32 << 20)
+        ));
+        assert!(matches!(
+            plan.commands.last(),
+            Some(MorpheusCommand::Deinit { instance_id: 7 })
+        ));
+        // Reads are ordered and contiguous over the file.
+        let mut next_slba = 0;
+        for c in &plan.commands[1..plan.commands.len() - 1] {
+            if let MorpheusCommand::Read { slba, blocks, .. } = c {
+                assert_eq!(*slba, next_slba);
+                next_slba += blocks;
+            }
+        }
+    }
+
+    #[test]
+    fn empty_file_has_one_empty_chunk_covering_zero_bytes() {
+        let fs = fs_with("empty.txt", 0);
+        let s = ms_stream_create(&fs, "empty.txt", 1 << 20).unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s.chunks().iter().map(|c| c.valid_bytes).sum::<u64>(), 0);
+    }
+}

@@ -1,0 +1,326 @@
+//! The serialization direction at system level (§I's "other kinds of
+//! interactions between memory objects and file data").
+//!
+//! [`System::run_serialize`] turns in-memory application objects into a
+//! text interchange file on the drive:
+//!
+//! * **Conventional**: the host CPU formats every record (`printf`-path
+//!   costs) and writes raw text over NVMe.
+//! * **Morpheus**: MWRITE pushes *binary* objects to a [`SerializeApp`]
+//!   running on the embedded cores; the text is produced and made durable
+//!   inside the drive, so only the compact binary representation crosses
+//!   the interconnect.
+
+use crate::{Mode, RunError, SerializeApp, System};
+use morpheus_format::{Column, ParsedColumns, TextWriter};
+use morpheus_host::CodeClass;
+use morpheus_nvme::{MorpheusCommand, NvmeCommand, StatusCode, LBA_BYTES};
+use morpheus_pcie::DmaDir;
+use morpheus_simcore::{SimDuration, SimTime};
+use serde::Serialize;
+
+/// Host-side `printf`-path serialization costs (locale, format-string
+/// interpretation, buffered stdio) — the mirror image of the `scanf` path.
+const HOST_SERIALIZE_INSTR_PER_BYTE: f64 = 30.0;
+const HOST_SERIALIZE_INSTR_PER_TOKEN: f64 = 70.0;
+
+/// Records pushed per MWRITE / formatted per host batch.
+const RECORDS_PER_BATCH: u64 = 16_384;
+
+/// Measurements of a serialization run.
+#[derive(Debug, Clone, Serialize)]
+pub struct SerializeReport {
+    /// Execution mode (Conventional or Morpheus).
+    pub mode: Mode,
+    /// Wall time until the file is durable.
+    pub serialize_s: f64,
+    /// Host CPU busy time.
+    pub cpu_busy_s: f64,
+    /// Binary object bytes serialized.
+    pub object_bytes: u64,
+    /// Text bytes produced.
+    pub text_bytes: u64,
+    /// Bytes that crossed the PCIe fabric.
+    pub pcie_bytes: u64,
+    /// Context switches taken.
+    pub context_switches: u64,
+}
+
+impl System {
+    /// Serializes `objects` into a text file named `output` on the drive.
+    ///
+    /// The produced file is byte-identical across modes (verified by the
+    /// integration suite): records are written as space-separated tokens,
+    /// floats at six decimals.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unsupported modes ([`Mode::MorpheusP2P`] has no meaning
+    /// here), firmware faults, or a full drive.
+    pub fn run_serialize(
+        &mut self,
+        objects: &ParsedColumns,
+        output: &str,
+        mode: Mode,
+    ) -> Result<SerializeReport, RunError> {
+        if mode == Mode::MorpheusP2P {
+            return Err(RunError::NotGpuApp(output.to_string()));
+        }
+        self.reset_timing();
+        let obj_bytes = objects.binary_bytes();
+        // Worst-case text size bounds the file allocation; the file is
+        // truncated to the real length afterwards.
+        let per_record_max: u64 = objects
+            .schema
+            .fields()
+            .iter()
+            .map(|f| if f.is_float() { 28 } else { 21 })
+            .sum::<u64>()
+            + 1;
+        let upper = (objects.records * per_record_max).max(LBA_BYTES);
+        self.fs
+            .create(output, upper)
+            .map_err(|_| RunError::UnknownFile(output.to_string()))?;
+        let base_slba = self.fs.open(output).expect("just created").extents[0].slba;
+
+        let outcome = match mode {
+            Mode::Conventional => self.serialize_conventional(objects, base_slba)?,
+            Mode::Morpheus => self.serialize_morpheus(objects, base_slba)?,
+            Mode::MorpheusP2P => unreachable!("rejected above"),
+        };
+        let (end, cpu_busy, text_bytes) = outcome;
+        self.fs
+            .truncate(output, text_bytes)
+            .expect("file exists");
+        let acct = self.os.accounting();
+        Ok(SerializeReport {
+            mode,
+            serialize_s: end.as_secs_f64(),
+            cpu_busy_s: cpu_busy.as_secs_f64(),
+            object_bytes: obj_bytes,
+            text_bytes,
+            pcie_bytes: self.fabric.traffic().total_bytes,
+            context_switches: acct.context_switches,
+        })
+    }
+
+    /// Host formats text, drive stores raw bytes.
+    fn serialize_conventional(
+        &mut self,
+        objects: &ParsedColumns,
+        base_slba: u64,
+    ) -> Result<(SimTime, SimDuration, u64), RunError> {
+        let src_addr = self.dram.alloc(1 << 20).ok_or(RunError::OutOfHostMemory)?;
+        let mut cpu_ready = SimTime::ZERO;
+        let mut cpu_busy = SimDuration::ZERO;
+        let mut end = SimTime::ZERO;
+        let mut text_off = 0u64;
+        let mut carry: Vec<u8> = Vec::new();
+        let mut rec = 0u64;
+        while rec < objects.records || !carry.is_empty() {
+            let hi = (rec + RECORDS_PER_BATCH).min(objects.records);
+            let mut w = TextWriter::new();
+            for r in rec..hi {
+                render_record(objects, r as usize, &mut w);
+            }
+            rec = hi;
+            let work = w.work();
+            // Format on the CPU (printf-ish code, low IPC).
+            let instr = work.bytes_emitted as f64 * HOST_SERIALIZE_INSTR_PER_BYTE
+                + work.tokens as f64 * HOST_SERIALIZE_INSTR_PER_TOKEN;
+            let iv = self
+                .cpu_cores
+                .acquire(cpu_ready, self.cpu.duration(instr, CodeClass::Deserialize));
+            cpu_ready = iv.end;
+            cpu_busy += iv.duration();
+            // write() syscall per batch.
+            let c = self.os.command_completion();
+            let os_iv = self.cpu_cores.acquire(
+                cpu_ready,
+                self.cpu.duration(c.instructions, CodeClass::OsKernel),
+            );
+            cpu_ready = os_iv.end;
+            cpu_busy += os_iv.duration();
+
+            carry.extend_from_slice(w.as_bytes());
+            let flush = if rec == objects.records {
+                carry.len()
+            } else {
+                carry.len() - carry.len() % LBA_BYTES as usize
+            };
+            if flush == 0 {
+                continue;
+            }
+            let chunk: Vec<u8> = carry.drain(..flush).collect();
+            self.membus.account(chunk.len() as u64);
+            let dma = self.fabric.dma(
+                self.ssd_dev,
+                DmaDir::Read,
+                src_addr,
+                chunk.len() as u64,
+                os_iv.end,
+            )?;
+            let durable = self
+                .mssd
+                .dev
+                .write_range(base_slba + text_off / LBA_BYTES, &chunk, dma.end)?;
+            let cid = self.alloc_cid();
+            let cmd = NvmeCommand::write(
+                cid,
+                1,
+                base_slba + text_off / LBA_BYTES,
+                (chunk.len() as u64).div_ceil(LBA_BYTES),
+                src_addr,
+            );
+            self.mssd.protocol_round_trip(cmd, StatusCode::Success, 0);
+            text_off += chunk.len() as u64;
+            end = end.max(durable);
+            if rec == objects.records && carry.is_empty() {
+                break;
+            }
+        }
+        Ok((end.max(cpu_ready), cpu_busy, text_off))
+    }
+
+    /// Host pushes binary objects; the drive formats and stores the text.
+    fn serialize_morpheus(
+        &mut self,
+        objects: &ParsedColumns,
+        base_slba: u64,
+    ) -> Result<(SimTime, SimDuration, u64), RunError> {
+        let iid = self.alloc_instance();
+        let init = self.os.command_completion();
+        let init_iv = self.cpu_cores.acquire(
+            SimTime::ZERO,
+            self.cpu.duration(init.instructions, CodeClass::OsKernel),
+        );
+        let mut cpu_busy = init_iv.duration();
+        let app = SerializeApp::new("serialize", objects.schema.clone());
+        let ready = self.mssd.minit(iid, Box::new(app), init_iv.end)?;
+        let src_addr = self.dram.alloc(1 << 20).ok_or(RunError::OutOfHostMemory)?;
+
+        let mut rec = 0u64;
+        let mut issue = ready;
+        while rec < objects.records {
+            let hi = (rec + RECORDS_PER_BATCH).min(objects.records);
+            let mut bin = Vec::new();
+            objects.encode_rows(rec, hi, &mut bin);
+            rec = hi;
+            self.membus.account(bin.len() as u64);
+            let dma = self
+                .fabric
+                .dma(self.ssd_dev, DmaDir::Read, src_addr, bin.len() as u64, issue)?;
+            let cid = self.alloc_cid();
+            let wire = MorpheusCommand::Write {
+                instance_id: iid,
+                slba: base_slba,
+                blocks: (bin.len() as u64).div_ceil(LBA_BYTES),
+                dma_addr: src_addr,
+            }
+            .into_command(cid, 1);
+            self.mssd.protocol_round_trip(wire, StatusCode::Success, 0);
+            let out = self.mssd.mwrite(iid, base_slba, &bin, dma.end)?;
+            // One host wakeup per completion.
+            let c = self.os.command_completion();
+            let iv = self.cpu_cores.acquire(
+                out.durable,
+                self.cpu.duration(c.instructions, CodeClass::OsKernel),
+            );
+            cpu_busy += iv.duration();
+            issue = iv.end;
+        }
+        let cid = self.alloc_cid();
+        let wire = MorpheusCommand::Deinit { instance_id: iid }.into_command(cid, 1);
+        let dein = self.mssd.mdeinit(iid, issue)?;
+        self.mssd
+            .protocol_round_trip(wire, StatusCode::Success, dein.retval as u32);
+        let c = self.os.command_completion();
+        let iv = self.cpu_cores.acquire(
+            dein.done,
+            self.cpu.duration(c.instructions, CodeClass::OsKernel),
+        );
+        cpu_busy += iv.duration();
+        Ok((iv.end, cpu_busy, dein.flushed_to_flash))
+    }
+}
+
+/// Renders one record exactly as [`SerializeApp`] does (shared format so
+/// the two paths produce byte-identical files).
+fn render_record(objects: &ParsedColumns, r: usize, w: &mut TextWriter) {
+    for (i, col) in objects.columns.iter().enumerate() {
+        if i > 0 {
+            w.sep();
+        }
+        match col {
+            Column::Ints(v) => w.write_i64(v[r]),
+            Column::Floats(v) => w.write_f64(v[r], 6),
+        }
+    }
+    w.newline();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SystemParams;
+    use morpheus_format::{parse_buffer, FieldKind, Schema};
+
+    fn objects(n: u64) -> ParsedColumns {
+        let schema = Schema::new(vec![FieldKind::U32, FieldKind::F64]);
+        let mut w = TextWriter::new();
+        for i in 0..n {
+            w.write_u64(i * 31 % 100_000);
+            w.sep();
+            w.write_f64(i as f64 * 0.25 - 10.0, 2);
+            w.newline();
+        }
+        let (mut p, _) = parse_buffer(w.as_bytes(), &schema).unwrap();
+        p.canonicalize();
+        p
+    }
+
+    #[test]
+    fn both_modes_produce_identical_files() {
+        let objs = objects(20_000);
+        let mut sys = System::new(SystemParams::paper_testbed());
+        let conv = sys.run_serialize(&objs, "out_conv.txt", Mode::Conventional).unwrap();
+        let morp = sys.run_serialize(&objs, "out_morph.txt", Mode::Morpheus).unwrap();
+        let a = sys.read_file_bytes("out_conv.txt").unwrap();
+        let b = sys.read_file_bytes("out_morph.txt").unwrap();
+        assert_eq!(a, b, "files must be byte-identical");
+        assert_eq!(conv.text_bytes, morp.text_bytes);
+        assert_eq!(a.len() as u64, conv.text_bytes);
+        // And the file re-parses to the original objects.
+        let (mut back, _) = parse_buffer(&a, &objs.schema).unwrap();
+        back.canonicalize();
+        assert_eq!(back.checksum(), objs.checksum());
+    }
+
+    #[test]
+    fn morpheus_ships_fewer_bytes_over_pcie() {
+        let objs = objects(50_000);
+        let mut sys = System::new(SystemParams::paper_testbed());
+        let conv = sys.run_serialize(&objs, "c.txt", Mode::Conventional).unwrap();
+        let morp = sys.run_serialize(&objs, "m.txt", Mode::Morpheus).unwrap();
+        // Binary objects are more compact than the text they become here
+        // (u32 + f64 as text ≈ 18 bytes vs 12 binary).
+        assert!(morp.pcie_bytes < conv.pcie_bytes);
+        assert!(morp.cpu_busy_s < conv.cpu_busy_s / 4.0);
+    }
+
+    #[test]
+    fn p2p_mode_rejected() {
+        let objs = objects(10);
+        let mut sys = System::new(SystemParams::paper_testbed());
+        assert!(sys.run_serialize(&objs, "x.txt", Mode::MorpheusP2P).is_err());
+    }
+
+    #[test]
+    fn empty_objects_serialize_to_empty_file() {
+        let objs = objects(0);
+        let mut sys = System::new(SystemParams::paper_testbed());
+        let rep = sys.run_serialize(&objs, "empty.txt", Mode::Morpheus).unwrap();
+        assert_eq!(rep.text_bytes, 0);
+        assert_eq!(sys.read_file_bytes("empty.txt").unwrap().len(), 0);
+    }
+}

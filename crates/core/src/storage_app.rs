@@ -1,0 +1,385 @@
+//! The Morpheus programming model: StorageApps and the device library.
+//!
+//! A **StorageApp** is the user-defined function the host application
+//! installs into the Morpheus-SSD with MINIT and feeds with MREAD (§V-A).
+//! In the paper it is C code cross-compiled for the embedded cores; here it
+//! is a Rust trait object executed by the modelled firmware. The device
+//! library surface mirrors the paper's: the app consumes a byte stream
+//! (`ms_stream`), parses with `ms_scanf`-style primitives (our
+//! [`TextScanner`](morpheus_format::TextScanner)/
+//! [`StreamingParser`](morpheus_format::StreamingParser)), and pushes
+//! results to the host with `ms_memcpy` ([`DeviceCtx::ms_memcpy`]).
+//!
+//! The [`DeviceCtx`] enforces the platform restrictions of §V-A1: the
+//! working set must fit the embedded core's D-SRAM (larger sets must spill
+//! by flushing output early), and all host communication goes through the
+//! staged output buffer — a StorageApp cannot touch host memory directly.
+
+use morpheus_format::{ParseError, ParseWork, Schema, StreamingParser};
+use std::error::Error;
+use std::fmt;
+
+/// Errors a StorageApp can raise (surface as the `AppFault` NVMe status).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AppError {
+    /// Input did not parse.
+    Parse(ParseError),
+    /// Working set exceeded the embedded core's D-SRAM.
+    SramOverflow {
+        /// Bytes the app needed resident.
+        needed: u64,
+        /// D-SRAM capacity.
+        dsram: u32,
+    },
+    /// Application-specific failure.
+    App(String),
+}
+
+impl fmt::Display for AppError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AppError::Parse(e) => write!(f, "parse failure: {e}"),
+            AppError::SramOverflow { needed, dsram } => {
+                write!(f, "working set of {needed} bytes exceeds {dsram}-byte d-sram")
+            }
+            AppError::App(msg) => write!(f, "storageapp failure: {msg}"),
+        }
+    }
+}
+
+impl Error for AppError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AppError::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for AppError {
+    fn from(e: ParseError) -> Self {
+        AppError::Parse(e)
+    }
+}
+
+/// The device-library context handed to a StorageApp invocation.
+///
+/// Collects the app's output (bound for the host via DMA), its parse work
+/// (priced by the firmware at the embedded core's cost table), and any
+/// extra app-specific instructions, while enforcing the D-SRAM limit.
+#[derive(Debug)]
+pub struct DeviceCtx {
+    dsram_bytes: u32,
+    /// Output staged in D-SRAM; auto-flushed to controller DRAM when half
+    /// the D-SRAM fills (the paper's "transfer part of the results and
+    /// reuse the memory buffer" pattern).
+    staged: Vec<u8>,
+    /// Output already flushed to controller DRAM this invocation.
+    flushed: Vec<u8>,
+    work: ParseWork,
+    extra_instructions: f64,
+    flushes: u64,
+}
+
+impl DeviceCtx {
+    /// Creates a context for a core with `dsram_bytes` of data SRAM.
+    pub fn new(dsram_bytes: u32) -> Self {
+        DeviceCtx {
+            dsram_bytes,
+            staged: Vec::new(),
+            flushed: Vec::new(),
+            work: ParseWork::default(),
+            extra_instructions: 0.0,
+            flushes: 0,
+        }
+    }
+
+    /// D-SRAM capacity of the executing core.
+    pub fn dsram_bytes(&self) -> u32 {
+        self.dsram_bytes
+    }
+
+    /// `ms_memcpy`: queue `bytes` for transfer to the destination buffer
+    /// (host DRAM or GPU memory — the runtime binds the target address).
+    pub fn ms_memcpy(&mut self, bytes: &[u8]) {
+        self.staged.extend_from_slice(bytes);
+        if self.staged.len() as u64 > self.dsram_bytes as u64 / 2 {
+            self.flushed.append(&mut self.staged);
+            self.flushes += 1;
+        }
+    }
+
+    /// Charges parse work performed with the device library's scanning
+    /// primitives.
+    pub fn charge_work(&mut self, work: &ParseWork) {
+        self.work.merge(work);
+    }
+
+    /// Charges app-specific instructions (beyond parsing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instructions` is negative or not finite.
+    pub fn charge_instructions(&mut self, instructions: f64) {
+        assert!(
+            instructions.is_finite() && instructions >= 0.0,
+            "instruction count must be finite and non-negative"
+        );
+        self.extra_instructions += instructions;
+    }
+
+    /// Verifies a resident working set fits D-SRAM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AppError::SramOverflow`] when it does not.
+    pub fn ensure_working_set(&self, bytes: u64) -> Result<(), AppError> {
+        if bytes > self.dsram_bytes as u64 {
+            Err(AppError::SramOverflow {
+                needed: bytes,
+                dsram: self.dsram_bytes,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Drains everything the app produced (flushed + still staged), in
+    /// emission order.
+    pub fn take_output(&mut self) -> Vec<u8> {
+        let mut out = std::mem::take(&mut self.flushed);
+        out.append(&mut self.staged);
+        out
+    }
+
+    /// Parse work accumulated (and clears it).
+    pub fn take_work(&mut self) -> ParseWork {
+        std::mem::take(&mut self.work)
+    }
+
+    /// Extra instructions accumulated (and clears them).
+    pub fn take_extra_instructions(&mut self) -> f64 {
+        std::mem::replace(&mut self.extra_instructions, 0.0)
+    }
+
+    /// D-SRAM output spills so far.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+}
+
+/// A user-defined program the Morpheus-SSD can execute.
+///
+/// The firmware feeds the app file data chunk by chunk (as MREAD commands
+/// deliver it) and finally asks it to wrap up; the returned `i32` travels
+/// back to the host in the MDEINIT completion (§IV-A).
+pub trait StorageApp: fmt::Debug + Send {
+    /// Name (for traces and reports).
+    fn name(&self) -> &str;
+
+    /// Size of the compiled binary image; must fit the core's I-SRAM.
+    fn code_bytes(&self) -> u32 {
+        16 * 1024
+    }
+
+    /// Processes the next piece of the input stream.
+    ///
+    /// # Errors
+    ///
+    /// Any [`AppError`] aborts the instance with an `AppFault` status.
+    fn on_chunk(&mut self, ctx: &mut DeviceCtx, data: &[u8]) -> Result<(), AppError>;
+
+    /// Finishes the stream; returns the value delivered with MDEINIT.
+    ///
+    /// # Errors
+    ///
+    /// Any [`AppError`] aborts the instance with an `AppFault` status.
+    fn on_finish(&mut self, ctx: &mut DeviceCtx) -> Result<i32, AppError>;
+}
+
+/// The paper's flagship StorageApp (Fig. 7's `inputapplet`, generalized):
+/// scans the input stream against a [`Schema`], converts tokens to binary,
+/// and `ms_memcpy`s the resulting object records to the host.
+///
+/// # Example
+///
+/// Driving the app directly through the device-library surface:
+///
+/// ```
+/// use morpheus::{DeviceCtx, DeserializeApp, StorageApp};
+/// use morpheus_format::{FieldKind, ParsedColumns, Schema};
+///
+/// let schema = Schema::new(vec![FieldKind::U32]);
+/// let mut app = DeserializeApp::new("ints", schema.clone());
+/// let mut ctx = DeviceCtx::new(256 * 1024);
+/// app.on_chunk(&mut ctx, b"12\n34").unwrap();   // chunk ends mid-token
+/// let records = app.on_finish(&mut ctx).unwrap();
+/// assert_eq!(records, 2);
+/// let objects = ParsedColumns::decode(schema, &ctx.take_output()).unwrap();
+/// assert_eq!(objects.columns[0].as_ints().unwrap(), &[12, 34]);
+/// ```
+#[derive(Debug)]
+pub struct DeserializeApp {
+    name: String,
+    parser: Option<StreamingParser>,
+    schema: Schema,
+    emitted_records: u64,
+    last_work: ParseWork,
+}
+
+impl DeserializeApp {
+    /// Creates the app for a record schema.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        DeserializeApp {
+            name: name.into(),
+            parser: Some(StreamingParser::new(schema.clone())),
+            schema,
+            emitted_records: 0,
+            last_work: ParseWork::default(),
+        }
+    }
+
+    /// The schema being deserialized.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn emit_new_records(&mut self, ctx: &mut DeviceCtx) {
+        let parser = self.parser.as_ref().expect("instance still live");
+        let total = parser.records();
+        if total > self.emitted_records {
+            let mut buf = Vec::new();
+            let mut cols = parser.peek().clone();
+            cols.canonicalize();
+            cols.encode_rows(self.emitted_records, total, &mut buf);
+            ctx.ms_memcpy(&buf);
+            // Emitting binary costs ~1 instruction per byte (stores).
+            ctx.charge_instructions(buf.len() as f64);
+            self.emitted_records = total;
+        }
+    }
+
+    fn charge_delta(&mut self, ctx: &mut DeviceCtx) {
+        let w = self.parser.as_ref().expect("instance still live").work();
+        let delta = ParseWork {
+            bytes_scanned: w.bytes_scanned - self.last_work.bytes_scanned,
+            int_tokens: w.int_tokens - self.last_work.int_tokens,
+            int_digits: w.int_digits - self.last_work.int_digits,
+            float_tokens: w.float_tokens - self.last_work.float_tokens,
+            float_digits: w.float_digits - self.last_work.float_digits,
+        };
+        ctx.charge_work(&delta);
+        self.last_work = w;
+    }
+}
+
+impl StorageApp for DeserializeApp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_chunk(&mut self, ctx: &mut DeviceCtx, data: &[u8]) -> Result<(), AppError> {
+        let parser = self.parser.as_mut().expect("on_chunk after finish");
+        parser.feed(data)?;
+        ctx.ensure_working_set(parser.carry_len() as u64 + data.len() as u64)?;
+        self.charge_delta(ctx);
+        self.emit_new_records(ctx);
+        Ok(())
+    }
+
+    fn on_finish(&mut self, ctx: &mut DeviceCtx) -> Result<i32, AppError> {
+        self.emit_new_records(ctx);
+        let parser = self.parser.take().expect("on_finish called twice");
+        // The final carry may hold one last unterminated token.
+        let before = self.emitted_records;
+        let mut cols = parser.finish()?;
+        cols.canonicalize();
+        if cols.records > before {
+            let mut buf = Vec::new();
+            cols.encode_rows(before, cols.records, &mut buf);
+            ctx.ms_memcpy(&buf);
+            ctx.charge_instructions(buf.len() as f64);
+        }
+        Ok(cols.records as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morpheus_format::{parse_buffer, FieldKind, ParsedColumns};
+
+    fn edge_schema() -> Schema {
+        Schema::new(vec![FieldKind::U32, FieldKind::U32])
+    }
+
+    #[test]
+    fn deserialize_app_emits_binary_objects() {
+        let text = b"1 2\n3 4\n5 6\n";
+        let mut app = DeserializeApp::new("edges", edge_schema());
+        let mut ctx = DeviceCtx::new(256 * 1024);
+        app.on_chunk(&mut ctx, &text[..5]).unwrap();
+        app.on_chunk(&mut ctx, &text[5..]).unwrap();
+        let ret = app.on_finish(&mut ctx).unwrap();
+        assert_eq!(ret, 3);
+        let bytes = ctx.take_output();
+        let decoded = ParsedColumns::decode(edge_schema(), &bytes).unwrap();
+        let (mut expect, _) = parse_buffer(text, &edge_schema()).unwrap();
+        expect.canonicalize();
+        assert_eq!(decoded, expect);
+    }
+
+    #[test]
+    fn work_is_charged_once_per_byte() {
+        let text = b"10 20\n30 40\n";
+        let mut app = DeserializeApp::new("edges", edge_schema());
+        let mut ctx = DeviceCtx::new(256 * 1024);
+        app.on_chunk(&mut ctx, text).unwrap();
+        app.on_finish(&mut ctx).unwrap();
+        let w = ctx.take_work();
+        assert_eq!(w.bytes_scanned, text.len() as u64);
+        assert_eq!(w.int_tokens, 4);
+    }
+
+    #[test]
+    fn dsram_overflow_detected() {
+        let mut app = DeserializeApp::new("edges", edge_schema());
+        let mut ctx = DeviceCtx::new(16); // absurdly small d-sram
+        let err = app.on_chunk(&mut ctx, b"123456789 123456789 ").unwrap_err();
+        assert!(matches!(err, AppError::SramOverflow { .. }));
+    }
+
+    #[test]
+    fn staged_output_flushes_at_half_dsram() {
+        let mut ctx = DeviceCtx::new(64);
+        ctx.ms_memcpy(&[0u8; 40]);
+        assert_eq!(ctx.flushes(), 1);
+        ctx.ms_memcpy(&[1u8; 4]);
+        let out = ctx.take_output();
+        assert_eq!(out.len(), 44);
+        assert_eq!(out[40], 1);
+    }
+
+    #[test]
+    fn parse_failure_surfaces() {
+        let mut app = DeserializeApp::new("edges", edge_schema());
+        let mut ctx = DeviceCtx::new(256 * 1024);
+        assert!(matches!(
+            app.on_chunk(&mut ctx, b"12 garbage\n"),
+            Err(AppError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn error_messages_nonempty() {
+        for e in [
+            AppError::SramOverflow {
+                needed: 10,
+                dsram: 5,
+            },
+            AppError::App("boom".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! Full-system composition (Fig. 5): host, Morpheus-SSD, GPU, PCIe fabric.
+
+use crate::{MorpheusSsd, SystemParams};
+use morpheus_gpu::Gpu;
+use morpheus_host::{Cpu, FileMeta, FsError, HostDram, MemBus, OsModel, SimFs};
+use morpheus_nvme::{LBA_BYTES, MAX_IO_BLOCKS};
+use morpheus_pcie::{BarWindow, DeviceId, Fabric};
+use morpheus_simcore::{Bandwidth, Timeline};
+use morpheus_ssd::{Ssd, SsdError};
+
+/// One I/O command's worth of a file: an LBA range plus how many of its
+/// bytes are real file content.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkIo {
+    /// Starting LBA.
+    pub slba: u64,
+    /// Blocks to transfer.
+    pub blocks: u64,
+    /// Valid file bytes within the range (the tail of the last block may
+    /// be padding).
+    pub valid_bytes: u64,
+    /// Byte offset of this chunk within the file.
+    pub file_offset: u64,
+}
+
+/// The modelled platform: a quad-core Xeon host with DDR3 memory, a PCIe
+/// 3.0 fabric, the Morpheus-SSD, and a K20-class GPU.
+///
+/// Input files are staged once with [`create_input_file`] (bytes live in
+/// the simulated flash, behind the FTL); timed runs execute over them via
+/// [`System::run`](crate::System::run) and can be repeated —
+/// [`reset_timing`] rewinds the clocks without touching storage.
+///
+/// [`create_input_file`]: System::create_input_file
+/// [`reset_timing`]: System::reset_timing
+#[derive(Debug)]
+pub struct System {
+    /// Platform parameters.
+    pub params: SystemParams,
+    /// Host CPU (DVFS operating point lives here).
+    pub cpu: Cpu,
+    /// Host core pool timeline.
+    pub cpu_cores: Timeline,
+    /// OS overhead model and accounting.
+    pub os: OsModel,
+    /// CPU-memory bus.
+    pub membus: MemBus,
+    /// Host DRAM occupancy.
+    pub dram: HostDram,
+    /// The mini filesystem over the SSD's logical block space.
+    pub fs: SimFs,
+    /// The Morpheus-SSD.
+    pub mssd: MorpheusSsd,
+    /// The GPU.
+    pub gpu: Gpu,
+    /// The PCIe switch fabric.
+    pub fabric: Fabric,
+    /// Synthetic HDD used by the Fig. 3 conventional-path comparison.
+    pub hdd: Timeline,
+    pub(crate) ssd_dev: DeviceId,
+    pub(crate) gpu_dev: DeviceId,
+    pub(crate) gpu_bar: Option<BarWindow>,
+    pub(crate) next_instance: u32,
+    pub(crate) next_cid: u16,
+}
+
+impl System {
+    /// Builds the platform.
+    pub fn new(params: SystemParams) -> Self {
+        let ssd = Ssd::with_ecc(
+            params.ssd,
+            params.flash_geometry,
+            params.flash_timing,
+            params.flash_ecc,
+            params.flash_seed,
+        );
+        let mut fabric = Fabric::new(params.root_link);
+        let ssd_dev = fabric.add_device("morpheus-ssd", params.ssd_link);
+        let gpu_dev = fabric.add_device("gpu", params.gpu_link);
+        let fs = SimFs::new(LBA_BYTES, ssd.capacity_lbas());
+        let mut cpu = Cpu::new(params.cpu);
+        cpu.set_frequency(params.cpu.max_freq_hz);
+        System {
+            cpu_cores: Timeline::new("host-cpu", params.effective_cores() as usize),
+            cpu,
+            os: OsModel::new(params.effective_os()),
+            membus: MemBus::new(Bandwidth::from_gb_per_s(params.effective_membus_gbs())),
+            dram: HostDram::new(params.host_dram_bytes),
+            fs,
+            mssd: MorpheusSsd::new(ssd, params.device_cost),
+            gpu: Gpu::new(params.gpu),
+            fabric,
+            hdd: Timeline::new("hdd", 1),
+            ssd_dev,
+            gpu_dev,
+            gpu_bar: None,
+            next_instance: 1,
+            next_cid: 0,
+            params,
+        }
+    }
+
+    /// Creates a file and stages its bytes on the SSD (untimed: inputs are
+    /// on the drive before the measured window starts, as in the paper).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem and drive errors.
+    pub fn create_input_file(&mut self, name: &str, data: &[u8]) -> Result<(), SsdError> {
+        let meta = self
+            .fs
+            .create(name, data.len() as u64)
+            .map_err(|e| match e {
+                FsError::NoSpace => SsdError::LbaOutOfRange {
+                    slba: 0,
+                    blocks: data.len() as u64 / LBA_BYTES,
+                },
+                other => panic!("file staging failed: {other}"),
+            })?
+            .clone();
+        let mut off = 0usize;
+        for e in &meta.extents {
+            let ext_bytes = (e.blocks * LBA_BYTES) as usize;
+            let end = (off + ext_bytes).min(data.len());
+            if off >= end {
+                break;
+            }
+            self.mssd.dev.load_at(e.slba, &data[off..end])?;
+            off = end;
+        }
+        Ok(())
+    }
+
+    /// Reads a staged file back (untimed; functional verification).
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown files or drive errors.
+    pub fn read_file_bytes(&mut self, name: &str) -> Result<Vec<u8>, SsdError> {
+        let meta = match self.fs.open(name) {
+            Ok(m) => m.clone(),
+            Err(_) => {
+                return Err(SsdError::LbaOutOfRange {
+                    slba: 0,
+                    blocks: 0,
+                })
+            }
+        };
+        let mut out = Vec::with_capacity(meta.len as usize);
+        let mut remaining = meta.len;
+        for e in &meta.extents {
+            if remaining == 0 {
+                break;
+            }
+            let bytes = self.mssd.dev.read_range_untimed(e.slba, e.blocks)?;
+            let take = remaining.min(e.blocks * LBA_BYTES) as usize;
+            out.extend_from_slice(&bytes[..take]);
+            remaining -= take as u64;
+        }
+        Ok(out)
+    }
+
+    /// Splits a file into I/O chunks of at most `chunk_bytes` (and at most
+    /// the NVMe per-command limit), respecting extent boundaries.
+    pub fn file_chunks(meta: &FileMeta, chunk_bytes: u64) -> Vec<ChunkIo> {
+        assert!(chunk_bytes > 0, "chunk size must be positive");
+        let max_cmd_bytes = MAX_IO_BLOCKS * LBA_BYTES;
+        // I/O happens in whole logical blocks: round the stride down to an
+        // LBA multiple (only the file's final chunk may be partial).
+        let step = (chunk_bytes.min(max_cmd_bytes) / LBA_BYTES).max(1) * LBA_BYTES;
+        let mut chunks = Vec::new();
+        let mut remaining = meta.len;
+        let mut file_offset = 0u64;
+        for e in &meta.extents {
+            let mut ext_off = 0u64;
+            let ext_bytes = e.blocks * LBA_BYTES;
+            while ext_off < ext_bytes && remaining > 0 {
+                let valid = remaining.min(step).min(ext_bytes - ext_off);
+                let blocks = valid.div_ceil(LBA_BYTES);
+                chunks.push(ChunkIo {
+                    slba: e.slba + ext_off / LBA_BYTES,
+                    blocks,
+                    valid_bytes: valid,
+                    file_offset,
+                });
+                ext_off += blocks * LBA_BYTES;
+                file_offset += valid;
+                remaining -= valid;
+            }
+        }
+        chunks
+    }
+
+    /// Maps the GPU's device memory into a PCIe BAR (the NVMe-P2P setup
+    /// step performed via GPUDirect/DirectGMA) and returns the window.
+    pub fn map_gpu_bar(&mut self) -> BarWindow {
+        if let Some(w) = self.gpu_bar {
+            return w;
+        }
+        let w = self
+            .fabric
+            .map_bar(self.gpu_dev, self.gpu.spec().memory_bytes)
+            .expect("gpu memory is non-empty");
+        self.gpu_bar = Some(w);
+        w
+    }
+
+    /// The fabric id of the SSD.
+    pub fn ssd_device(&self) -> DeviceId {
+        self.ssd_dev
+    }
+
+    /// The fabric id of the GPU.
+    pub fn gpu_device(&self) -> DeviceId {
+        self.gpu_dev
+    }
+
+    /// Rewinds every clock, counter, and occupancy to time zero while
+    /// keeping staged files intact, so successive runs start fresh.
+    pub fn reset_timing(&mut self) {
+        self.cpu_cores = Timeline::new("host-cpu", self.params.effective_cores() as usize);
+        self.os.reset();
+        self.membus = MemBus::new(Bandwidth::from_gb_per_s(self.params.effective_membus_gbs()));
+        self.dram = HostDram::new(self.params.host_dram_bytes);
+        self.hdd.reset();
+        self.mssd.reset_timing();
+        self.gpu = Gpu::new(self.params.gpu);
+        let mut fabric = Fabric::new(self.params.root_link);
+        self.ssd_dev = fabric.add_device("morpheus-ssd", self.params.ssd_link);
+        self.gpu_dev = fabric.add_device("gpu", self.params.gpu_link);
+        self.fabric = fabric;
+        self.gpu_bar = None;
+    }
+
+    /// Allocates a fresh StorageApp instance ID (for external runtimes
+    /// driving the firmware directly, e.g. the KV-store offload).
+    pub fn allocate_instance_id(&mut self) -> u32 {
+        self.alloc_instance()
+    }
+
+    pub(crate) fn alloc_instance(&mut self) -> u32 {
+        let id = self.next_instance;
+        self.next_instance += 1;
+        id
+    }
+
+    pub(crate) fn alloc_cid(&mut self) -> u16 {
+        let id = self.next_cid;
+        self.next_cid = self.next_cid.wrapping_add(1);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morpheus_flash::FlashGeometry;
+
+    fn small_system() -> System {
+        let mut p = SystemParams::paper_testbed();
+        p.flash_geometry = FlashGeometry::small();
+        System::new(p)
+    }
+
+    #[test]
+    fn file_round_trips_through_flash() {
+        let mut sys = small_system();
+        let data: Vec<u8> = (0..50_000u32).map(|i| (i % 241) as u8).collect();
+        sys.create_input_file("input.bin", &data).unwrap();
+        assert_eq!(sys.read_file_bytes("input.bin").unwrap(), data);
+    }
+
+    #[test]
+    fn chunks_cover_file_exactly_once() {
+        let mut sys = small_system();
+        sys.fs.set_max_extent_blocks(16); // force fragmentation
+        let data = vec![7u8; 40_000];
+        sys.create_input_file("frag.bin", &data).unwrap();
+        let meta = sys.fs.open("frag.bin").unwrap().clone();
+        let chunks = System::file_chunks(&meta, 4096);
+        let total: u64 = chunks.iter().map(|c| c.valid_bytes).sum();
+        assert_eq!(total, 40_000);
+        // Offsets are contiguous.
+        let mut expect = 0;
+        for c in &chunks {
+            assert_eq!(c.file_offset, expect);
+            expect += c.valid_bytes;
+            assert!(c.blocks * LBA_BYTES >= c.valid_bytes);
+        }
+    }
+
+    #[test]
+    fn gpu_bar_mapped_once() {
+        let mut sys = small_system();
+        let a = sys.map_gpu_bar();
+        let b = sys.map_gpu_bar();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reset_timing_keeps_files() {
+        let mut sys = small_system();
+        sys.create_input_file("keep.bin", b"persistent").unwrap();
+        sys.cpu_cores
+            .acquire(morpheus_simcore::SimTime::ZERO, morpheus_simcore::SimDuration::from_secs(1));
+        sys.reset_timing();
+        assert!(sys.cpu_cores.busy().is_zero());
+        assert_eq!(sys.read_file_bytes("keep.bin").unwrap(), b"persistent");
+    }
+
+    #[test]
+    fn instance_and_cid_allocation_advances() {
+        let mut sys = small_system();
+        assert_ne!(sys.alloc_instance(), sys.alloc_instance());
+        assert_ne!(sys.alloc_cid(), sys.alloc_cid());
+    }
+}

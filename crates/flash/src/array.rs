@@ -1,0 +1,472 @@
+//! The flash array: page state, real contents, NAND rules, wear, errors.
+
+use crate::{BlockId, EccModel, FlashError, FlashGeometry, FlashTiming, Ppa};
+use morpheus_simcore::{SimDuration, SplitMix64};
+use std::collections::HashMap;
+
+/// Lifecycle state of a physical page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PageState {
+    /// Erased and programmable.
+    #[default]
+    Free,
+    /// Holds live data.
+    Valid,
+    /// Holds stale data awaiting erase (set by the FTL on overwrite/trim).
+    Invalid,
+}
+
+/// What kind of flash operation a [`FlashOp`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlashOpKind {
+    /// Page read.
+    Read,
+    /// Page program.
+    Program,
+    /// Block erase.
+    Erase,
+}
+
+/// Timing description of one completed flash operation.
+///
+/// `cell_time` occupies the die; `bus_time` occupies the channel bus. The
+/// SSD controller decides how to overlay these on its channel timelines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlashOp {
+    /// Operation kind.
+    pub kind: FlashOpKind,
+    /// Channel the operation used.
+    pub channel: u32,
+    /// Die-busy time (array access, including any ECC retries).
+    pub cell_time: SimDuration,
+    /// Channel-bus time (data transfer to/from the controller).
+    pub bus_time: SimDuration,
+}
+
+impl FlashOp {
+    /// Total serialized latency of the operation.
+    pub fn total(&self) -> SimDuration {
+        self.cell_time + self.bus_time
+    }
+}
+
+/// Operation counters for the array.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlashStats {
+    /// Page reads served.
+    pub reads: u64,
+    /// Pages programmed.
+    pub programs: u64,
+    /// Blocks erased.
+    pub erases: u64,
+    /// Reads that required ECC correction retries.
+    pub corrected_reads: u64,
+    /// Reads that failed uncorrectably.
+    pub uncorrectable_reads: u64,
+    /// Blocks retired due to wear.
+    pub retired_blocks: u64,
+}
+
+/// The NAND flash array.
+///
+/// Stores real page contents (sparsely), enforces NAND programming rules,
+/// tracks per-block wear and state, and injects bit errors according to an
+/// [`EccModel`]. All operations are deterministic given the seed.
+#[derive(Debug, Clone)]
+pub struct FlashArray {
+    geometry: FlashGeometry,
+    timing: FlashTiming,
+    ecc: EccModel,
+    rng: SplitMix64,
+    data: HashMap<Ppa, Box<[u8]>>,
+    state: Vec<PageState>,
+    /// Next programmable page index per block (NAND sequential-program rule).
+    write_point: Vec<u32>,
+    erase_count: Vec<u64>,
+    bad: Vec<bool>,
+    stats: FlashStats,
+}
+
+impl FlashArray {
+    /// Creates an erased array.
+    pub fn new(geometry: FlashGeometry, timing: FlashTiming) -> Self {
+        Self::with_ecc(geometry, timing, EccModel::perfect(), 0)
+    }
+
+    /// Creates an erased array with a specific error model and seed.
+    pub fn with_ecc(
+        geometry: FlashGeometry,
+        timing: FlashTiming,
+        ecc: EccModel,
+        seed: u64,
+    ) -> Self {
+        let pages = geometry.total_pages() as usize;
+        let blocks = geometry.total_blocks() as usize;
+        FlashArray {
+            geometry,
+            timing,
+            ecc,
+            rng: SplitMix64::new(seed),
+            data: HashMap::new(),
+            state: vec![PageState::Free; pages],
+            write_point: vec![0; blocks],
+            erase_count: vec![0; blocks],
+            bad: vec![false; blocks],
+            stats: FlashStats::default(),
+        }
+    }
+
+    /// The array's geometry.
+    pub fn geometry(&self) -> &FlashGeometry {
+        &self.geometry
+    }
+
+    /// The array's timing parameters.
+    pub fn timing(&self) -> &FlashTiming {
+        &self.timing
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> FlashStats {
+        self.stats
+    }
+
+    /// State of a page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ppa` is out of range.
+    pub fn page_state(&self, ppa: Ppa) -> PageState {
+        self.state[self.index(ppa)]
+    }
+
+    /// Erase count of a block.
+    pub fn erase_count(&self, block: BlockId) -> u64 {
+        self.erase_count[block.0 as usize]
+    }
+
+    /// True if the block has been retired.
+    pub fn is_bad(&self, block: BlockId) -> bool {
+        self.bad[block.0 as usize]
+    }
+
+    /// Number of valid pages in a block.
+    pub fn valid_pages_in(&self, block: BlockId) -> u32 {
+        let first = self.geometry.first_page_of(block).0;
+        (0..self.geometry.pages_per_block as u64)
+            .filter(|i| self.state[(first + i) as usize] == PageState::Valid)
+            .count() as u32
+    }
+
+    /// Reads a page, returning its contents and the operation timing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError::ReadOfFreePage`] for unprogrammed pages,
+    /// [`FlashError::BadBlock`] for retired blocks,
+    /// [`FlashError::Uncorrectable`] when the error model injects a failure,
+    /// and [`FlashError::OutOfRange`] for invalid addresses.
+    pub fn read_page(&mut self, ppa: Ppa) -> Result<(Box<[u8]>, FlashOp), FlashError> {
+        let idx = self.checked_index(ppa)?;
+        let block = self.geometry.block_of(ppa);
+        if self.bad[block.0 as usize] {
+            return Err(FlashError::BadBlock(block));
+        }
+        if self.state[idx] == PageState::Free {
+            return Err(FlashError::ReadOfFreePage(ppa));
+        }
+        if self.rng.chance(self.ecc.uncorrectable_prob) {
+            self.stats.uncorrectable_reads += 1;
+            return Err(FlashError::Uncorrectable(ppa));
+        }
+        let mut cell_time = self.timing.read_latency;
+        if self.rng.chance(self.ecc.correctable_prob) {
+            self.stats.corrected_reads += 1;
+            cell_time += self.timing.read_latency * self.ecc.correction_retries as u64;
+        }
+        self.stats.reads += 1;
+        let data = self
+            .data
+            .get(&ppa)
+            .cloned()
+            .expect("valid/invalid page must have stored data");
+        let op = FlashOp {
+            kind: FlashOpKind::Read,
+            channel: self.geometry.channel_of(ppa),
+            cell_time,
+            bus_time: self.timing.bus_transfer(data.len() as u64),
+        };
+        Ok((data, op))
+    }
+
+    /// Programs a page with `data`, returning the operation timing.
+    ///
+    /// # Errors
+    ///
+    /// Enforces the NAND rules: a page may be programmed once per erase
+    /// cycle ([`FlashError::ProgramTwice`]), pages within a block must be
+    /// programmed in order ([`FlashError::ProgramOutOfOrder`]), the data
+    /// must fit ([`FlashError::DataTooLarge`]), and retired blocks reject
+    /// all operations ([`FlashError::BadBlock`]).
+    pub fn program_page(&mut self, ppa: Ppa, data: &[u8]) -> Result<FlashOp, FlashError> {
+        let idx = self.checked_index(ppa)?;
+        let block = self.geometry.block_of(ppa);
+        if self.bad[block.0 as usize] {
+            return Err(FlashError::BadBlock(block));
+        }
+        if data.len() > self.geometry.page_bytes as usize {
+            return Err(FlashError::DataTooLarge {
+                ppa,
+                len: data.len(),
+                page_bytes: self.geometry.page_bytes,
+            });
+        }
+        if self.state[idx] != PageState::Free {
+            return Err(FlashError::ProgramTwice(ppa));
+        }
+        let expected = self.write_point[block.0 as usize];
+        let page_idx = self.geometry.page_in_block(ppa);
+        if page_idx != expected {
+            return Err(FlashError::ProgramOutOfOrder {
+                ppa,
+                expected_page: expected,
+            });
+        }
+        self.write_point[block.0 as usize] = expected + 1;
+        self.state[idx] = PageState::Valid;
+        self.data.insert(ppa, data.into());
+        self.stats.programs += 1;
+        Ok(FlashOp {
+            kind: FlashOpKind::Program,
+            channel: self.geometry.channel_of(ppa),
+            cell_time: self.timing.program_latency,
+            bus_time: self.timing.bus_transfer(data.len() as u64),
+        })
+    }
+
+    /// Marks a page's contents stale (an FTL-level operation that costs no
+    /// flash time — the out-of-band metadata update is folded into the
+    /// controller's own costs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ppa` is out of range.
+    pub fn invalidate_page(&mut self, ppa: Ppa) {
+        let idx = self.index(ppa);
+        if self.state[idx] == PageState::Valid {
+            self.state[idx] = PageState::Invalid;
+        }
+    }
+
+    /// Erases a block, freeing all of its pages and advancing wear.
+    ///
+    /// Returns the operation timing. When the erase count reaches the error
+    /// model's wear limit the block is retired and subsequent operations on
+    /// it fail with [`FlashError::BadBlock`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError::BadBlock`] for already-retired blocks and
+    /// [`FlashError::OutOfRange`] for invalid block ids.
+    pub fn erase_block(&mut self, block: BlockId) -> Result<FlashOp, FlashError> {
+        if block.0 >= self.geometry.total_blocks() {
+            return Err(FlashError::OutOfRange(self.geometry.first_page_of(block)));
+        }
+        if self.bad[block.0 as usize] {
+            return Err(FlashError::BadBlock(block));
+        }
+        let first = self.geometry.first_page_of(block).0;
+        for i in 0..self.geometry.pages_per_block as u64 {
+            let ppa = Ppa(first + i);
+            self.state[ppa.0 as usize] = PageState::Free;
+            self.data.remove(&ppa);
+        }
+        self.write_point[block.0 as usize] = 0;
+        self.erase_count[block.0 as usize] += 1;
+        self.stats.erases += 1;
+        if self.erase_count[block.0 as usize] >= self.ecc.wear_limit {
+            self.bad[block.0 as usize] = true;
+            self.stats.retired_blocks += 1;
+        }
+        Ok(FlashOp {
+            kind: FlashOpKind::Erase,
+            channel: self.geometry.channel_of_block(block),
+            cell_time: self.timing.erase_latency,
+            bus_time: SimDuration::ZERO,
+        })
+    }
+
+    fn index(&self, ppa: Ppa) -> usize {
+        assert!(
+            self.geometry.contains(ppa),
+            "physical page {} out of range",
+            ppa.0
+        );
+        ppa.0 as usize
+    }
+
+    fn checked_index(&self, ppa: Ppa) -> Result<usize, FlashError> {
+        if self.geometry.contains(ppa) {
+            Ok(ppa.0 as usize)
+        } else {
+            Err(FlashError::OutOfRange(ppa))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> FlashArray {
+        FlashArray::new(FlashGeometry::small(), FlashTiming::default())
+    }
+
+    #[test]
+    fn program_then_read_returns_data() {
+        let mut a = small();
+        let ppa = a.geometry().ppa(0, 0, 0, 0, 0);
+        a.program_page(ppa, b"abc").unwrap();
+        let (d, op) = a.read_page(ppa).unwrap();
+        assert_eq!(&d[..], b"abc");
+        assert_eq!(op.kind, FlashOpKind::Read);
+        assert_eq!(op.channel, 0);
+        assert!(op.cell_time > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn read_of_free_page_fails() {
+        let mut a = small();
+        let ppa = a.geometry().ppa(0, 0, 0, 0, 0);
+        assert_eq!(a.read_page(ppa).unwrap_err(), FlashError::ReadOfFreePage(ppa));
+    }
+
+    #[test]
+    fn program_twice_fails() {
+        let mut a = small();
+        let ppa = a.geometry().ppa(0, 0, 0, 0, 0);
+        a.program_page(ppa, b"x").unwrap();
+        assert_eq!(
+            a.program_page(ppa, b"y").unwrap_err(),
+            FlashError::ProgramTwice(ppa)
+        );
+    }
+
+    #[test]
+    fn out_of_order_program_fails() {
+        let mut a = small();
+        let p2 = a.geometry().ppa(0, 0, 0, 0, 2);
+        match a.program_page(p2, b"x").unwrap_err() {
+            FlashError::ProgramOutOfOrder { expected_page, .. } => assert_eq!(expected_page, 0),
+            e => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn sequential_program_within_block_succeeds() {
+        let mut a = small();
+        for p in 0..4 {
+            let ppa = a.geometry().ppa(0, 0, 0, 1, p);
+            a.program_page(ppa, &[p as u8]).unwrap();
+        }
+        assert_eq!(a.stats().programs, 4);
+    }
+
+    #[test]
+    fn erase_frees_pages_and_counts_wear() {
+        let mut a = small();
+        let ppa = a.geometry().ppa(0, 0, 0, 0, 0);
+        a.program_page(ppa, b"x").unwrap();
+        let block = a.geometry().block_of(ppa);
+        a.erase_block(block).unwrap();
+        assert_eq!(a.page_state(ppa), PageState::Free);
+        assert_eq!(a.erase_count(block), 1);
+        // Programmable again from page 0.
+        a.program_page(ppa, b"y").unwrap();
+        let (d, _) = a.read_page(ppa).unwrap();
+        assert_eq!(&d[..], b"y");
+    }
+
+    #[test]
+    fn invalidate_marks_page_stale_but_readable() {
+        let mut a = small();
+        let ppa = a.geometry().ppa(0, 0, 0, 0, 0);
+        a.program_page(ppa, b"x").unwrap();
+        a.invalidate_page(ppa);
+        assert_eq!(a.page_state(ppa), PageState::Invalid);
+        // GC still needs to read stale pages' neighbours; reading invalid
+        // data is allowed at the flash level.
+        assert!(a.read_page(ppa).is_ok());
+    }
+
+    #[test]
+    fn oversized_data_rejected() {
+        let mut a = small();
+        let ppa = a.geometry().ppa(0, 0, 0, 0, 0);
+        let big = vec![0u8; 5000];
+        assert!(matches!(
+            a.program_page(ppa, &big).unwrap_err(),
+            FlashError::DataTooLarge { .. }
+        ));
+    }
+
+    #[test]
+    fn wear_limit_retires_block() {
+        let ecc = EccModel {
+            wear_limit: 2,
+            ..EccModel::perfect()
+        };
+        let mut a = FlashArray::with_ecc(FlashGeometry::small(), FlashTiming::default(), ecc, 1);
+        let b = BlockId(0);
+        a.erase_block(b).unwrap();
+        assert!(!a.is_bad(b));
+        a.erase_block(b).unwrap();
+        assert!(a.is_bad(b));
+        assert_eq!(a.erase_block(b).unwrap_err(), FlashError::BadBlock(b));
+        let ppa = a.geometry().ppa(0, 0, 0, 0, 0);
+        assert_eq!(a.program_page(ppa, b"x").unwrap_err(), FlashError::BadBlock(b));
+        assert_eq!(a.stats().retired_blocks, 1);
+    }
+
+    #[test]
+    fn uncorrectable_errors_injected_deterministically() {
+        let ecc = EccModel {
+            uncorrectable_prob: 1.0,
+            ..EccModel::perfect()
+        };
+        let mut a = FlashArray::with_ecc(FlashGeometry::small(), FlashTiming::default(), ecc, 7);
+        let ppa = a.geometry().ppa(0, 0, 0, 0, 0);
+        a.program_page(ppa, b"x").unwrap();
+        assert_eq!(a.read_page(ppa).unwrap_err(), FlashError::Uncorrectable(ppa));
+        assert_eq!(a.stats().uncorrectable_reads, 1);
+    }
+
+    #[test]
+    fn correctable_errors_add_retry_latency() {
+        let ecc = EccModel {
+            correctable_prob: 1.0,
+            correction_retries: 2,
+            ..EccModel::perfect()
+        };
+        let mut a = FlashArray::with_ecc(FlashGeometry::small(), FlashTiming::default(), ecc, 7);
+        let ppa = a.geometry().ppa(0, 0, 0, 0, 0);
+        a.program_page(ppa, b"x").unwrap();
+        let (_, op) = a.read_page(ppa).unwrap();
+        assert_eq!(
+            op.cell_time.as_nanos(),
+            FlashTiming::default().read_latency.as_nanos() * 3
+        );
+        assert_eq!(a.stats().corrected_reads, 1);
+    }
+
+    #[test]
+    fn valid_page_counting() {
+        let mut a = small();
+        let g = *a.geometry();
+        for p in 0..3 {
+            a.program_page(g.ppa(0, 0, 0, 0, p), b"x").unwrap();
+        }
+        a.invalidate_page(g.ppa(0, 0, 0, 0, 1));
+        assert_eq!(a.valid_pages_in(BlockId(0)), 2);
+    }
+}

@@ -1,0 +1,39 @@
+//! NAND flash array model.
+//!
+//! Models the flash medium inside the Morpheus-SSD at the level the paper's
+//! results depend on: a [`FlashGeometry`] of channels × dies × planes ×
+//! blocks × pages, per-operation [`FlashTiming`] (page read/program latency,
+//! block erase latency, channel bus transfer rate), *real page contents*
+//! (bytes written are bytes read back), NAND ordering rules (program-once
+//! pages, sequential programming within a block, erase-before-reuse), wear
+//! counters, grown bad blocks, and a bit-error/ECC model for failure
+//! injection.
+//!
+//! The array is purely functional + timing-descriptive: each operation
+//! returns a [`FlashOp`] describing how long the die core and the channel
+//! bus are occupied; the SSD controller layers those onto its channel
+//! [`Timeline`](morpheus_simcore::Timeline)s.
+//!
+//! # Example
+//!
+//! ```
+//! use morpheus_flash::{FlashArray, FlashGeometry, FlashTiming};
+//!
+//! let mut array = FlashArray::new(FlashGeometry::small(), FlashTiming::default());
+//! let ppa = array.geometry().ppa(0, 0, 0, 0, 0);
+//! array.program_page(ppa, b"hello flash").unwrap();
+//! let (data, _op) = array.read_page(ppa).unwrap();
+//! assert_eq!(&data[..], b"hello flash");
+//! ```
+
+#![warn(missing_docs)]
+
+mod array;
+mod errors;
+mod geometry;
+mod timing;
+
+pub use array::{FlashArray, FlashOp, FlashOpKind, FlashStats, PageState};
+pub use errors::{EccModel, FlashError};
+pub use geometry::{BlockId, FlashGeometry, Ppa};
+pub use timing::FlashTiming;

@@ -1,0 +1,58 @@
+//! Flash operation latencies.
+
+use morpheus_simcore::{Bandwidth, SimDuration};
+
+/// Latency parameters of the NAND chips and channel buses.
+///
+/// Defaults approximate the MLC-era parts in the Morpheus-SSD prototype:
+/// 70 µs page read, 600 µs program, 3 ms erase, 400 MB/s per channel bus.
+#[derive(Debug, Clone, Copy)]
+pub struct FlashTiming {
+    /// Array-to-register page read time (die busy).
+    pub read_latency: SimDuration,
+    /// Register-to-array page program time (die busy).
+    pub program_latency: SimDuration,
+    /// Block erase time (die busy).
+    pub erase_latency: SimDuration,
+    /// Channel bus rate for moving a page between die register and
+    /// controller.
+    pub bus_bandwidth: Bandwidth,
+}
+
+impl FlashTiming {
+    /// Bus transfer time for `bytes`.
+    pub fn bus_transfer(&self, bytes: u64) -> SimDuration {
+        self.bus_bandwidth.duration_for(bytes)
+    }
+}
+
+impl Default for FlashTiming {
+    fn default() -> Self {
+        FlashTiming {
+            read_latency: SimDuration::from_micros(70),
+            program_latency: SimDuration::from_micros(600),
+            erase_latency: SimDuration::from_millis(3),
+            bus_bandwidth: Bandwidth::from_mb_per_s(400.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_values_are_sane() {
+        let t = FlashTiming::default();
+        assert!(t.read_latency < t.program_latency);
+        assert!(t.program_latency < t.erase_latency);
+    }
+
+    #[test]
+    fn bus_transfer_scales_with_bytes() {
+        let t = FlashTiming::default();
+        let one = t.bus_transfer(4096);
+        let four = t.bus_transfer(4 * 4096);
+        assert_eq!(four.as_nanos(), one.as_nanos() * 4);
+    }
+}

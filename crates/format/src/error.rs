@@ -1,0 +1,65 @@
+//! Parse errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a parse failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// A byte that cannot start or continue the expected token.
+    UnexpectedChar(u8),
+    /// Integer literal overflowed its type.
+    Overflow,
+    /// Input ended in the middle of an expected token.
+    UnexpectedEof,
+}
+
+/// A parse failure with its byte offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseError {
+    /// Offset of the failure within the scanned buffer/stream.
+    pub offset: usize,
+    /// Failure category.
+    pub kind: ParseErrorKind,
+}
+
+impl ParseError {
+    /// Creates an error.
+    pub fn new(offset: usize, kind: ParseErrorKind) -> Self {
+        ParseError { offset, kind }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ParseErrorKind::UnexpectedChar(b) => write!(
+                f,
+                "unexpected byte {:?} at offset {}",
+                b as char, self.offset
+            ),
+            ParseErrorKind::Overflow => write!(f, "numeric overflow at offset {}", self.offset),
+            ParseErrorKind::UnexpectedEof => {
+                write!(f, "unexpected end of input at offset {}", self.offset)
+            }
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_offset() {
+        let e = ParseError::new(42, ParseErrorKind::Overflow);
+        assert!(e.to_string().contains("42"));
+        let e = ParseError::new(7, ParseErrorKind::UnexpectedChar(b'x'));
+        assert!(e.to_string().contains('x'));
+        assert!(ParseError::new(0, ParseErrorKind::UnexpectedEof)
+            .to_string()
+            .contains("end of input"));
+    }
+}

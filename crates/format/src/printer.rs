@@ -1,0 +1,179 @@
+//! Text serialization (the inverse direction, used by workload generators
+//! and the `ms_printf` device-library primitive).
+
+use serde::Serialize;
+
+/// Accounting of serialization work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct SerializeWork {
+    /// Bytes emitted (tokens + separators).
+    pub bytes_emitted: u64,
+    /// Tokens written.
+    pub tokens: u64,
+}
+
+/// A growable text buffer with numeric formatting and work accounting.
+///
+/// # Example
+///
+/// ```
+/// use morpheus_format::TextWriter;
+///
+/// let mut w = TextWriter::new();
+/// w.write_u64(12);
+/// w.sep();
+/// w.write_i64(-3);
+/// w.newline();
+/// assert_eq!(w.as_bytes(), b"12 -3\n");
+/// assert_eq!(w.work().tokens, 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TextWriter {
+    out: Vec<u8>,
+    work: SerializeWork,
+}
+
+impl TextWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a writer with reserved capacity.
+    pub fn with_capacity(bytes: usize) -> Self {
+        TextWriter {
+            out: Vec::with_capacity(bytes),
+            work: SerializeWork::default(),
+        }
+    }
+
+    /// The emitted bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.out
+    }
+
+    /// Consumes the writer, returning the buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.out
+    }
+
+    /// Serialization work so far.
+    pub fn work(&self) -> SerializeWork {
+        self.work
+    }
+
+    /// Emitted length in bytes.
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+
+    fn push_token(&mut self, s: &str) {
+        self.out.extend_from_slice(s.as_bytes());
+        self.work.bytes_emitted += s.len() as u64;
+        self.work.tokens += 1;
+    }
+
+    /// Writes an unsigned integer token.
+    pub fn write_u64(&mut self, v: u64) {
+        let mut buf = [0u8; 20];
+        let mut i = buf.len();
+        let mut v = v;
+        loop {
+            i -= 1;
+            buf[i] = b'0' + (v % 10) as u8;
+            v /= 10;
+            if v == 0 {
+                break;
+            }
+        }
+        let s = std::str::from_utf8(&buf[i..]).expect("digits are ascii");
+        self.push_token(s);
+    }
+
+    /// Writes a signed integer token.
+    pub fn write_i64(&mut self, v: i64) {
+        if v < 0 {
+            self.out.push(b'-');
+            self.work.bytes_emitted += 1;
+            self.write_u64(v.unsigned_abs());
+            // The sign and magnitude are one token.
+            self.work.tokens -= 1;
+            self.work.tokens += 1;
+        } else {
+            self.write_u64(v as u64);
+        }
+    }
+
+    /// Writes a float token with `decimals` fractional digits.
+    pub fn write_f64(&mut self, v: f64, decimals: usize) {
+        let s = format!("{v:.decimals$}");
+        self.push_token(&s);
+    }
+
+    /// Writes a single separating space (not counted as a token).
+    pub fn sep(&mut self) {
+        self.out.push(b' ');
+        self.work.bytes_emitted += 1;
+    }
+
+    /// Writes a newline (not counted as a token).
+    pub fn newline(&mut self) {
+        self.out.push(b'\n');
+        self.work.bytes_emitted += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TextScanner;
+
+    #[test]
+    fn u64_formatting_matches_std() {
+        for v in [0u64, 7, 10, 99, 12345678901234567890] {
+            let mut w = TextWriter::new();
+            w.write_u64(v);
+            assert_eq!(w.as_bytes(), v.to_string().as_bytes());
+        }
+    }
+
+    #[test]
+    fn i64_formatting_matches_std() {
+        for v in [0i64, -1, i64::MIN, i64::MAX, -987654321] {
+            let mut w = TextWriter::new();
+            w.write_i64(v);
+            assert_eq!(w.as_bytes(), v.to_string().as_bytes());
+        }
+    }
+
+    #[test]
+    fn float_round_trips_through_scanner() {
+        let mut w = TextWriter::new();
+        w.write_f64(-123.456, 3);
+        let mut s = TextScanner::new(w.as_bytes());
+        assert!((s.parse_f64().unwrap() + 123.456).abs() < 1e-9);
+    }
+
+    #[test]
+    fn work_counts_bytes_and_tokens() {
+        let mut w = TextWriter::new();
+        w.write_u64(12);
+        w.sep();
+        w.write_i64(-3);
+        w.newline();
+        let work = w.work();
+        assert_eq!(work.bytes_emitted, w.len() as u64);
+        assert_eq!(work.tokens, 2);
+    }
+
+    #[test]
+    fn capacity_constructor_and_emptiness() {
+        let w = TextWriter::with_capacity(64);
+        assert!(w.is_empty());
+    }
+}

@@ -1,0 +1,375 @@
+//! Byte-exact text scanning and numeric conversion.
+
+use crate::{ParseError, ParseErrorKind, ParseWork};
+
+/// True for the separator bytes the formats use (space, tab, newline,
+/// carriage return, comma).
+#[inline]
+pub(crate) fn is_separator(b: u8) -> bool {
+    matches!(b, b' ' | b'\t' | b'\n' | b'\r' | b',')
+}
+
+/// A scanner over a byte buffer that converts ASCII tokens to binary values
+/// while counting the work performed.
+///
+/// # Example
+///
+/// ```
+/// use morpheus_format::TextScanner;
+///
+/// let mut s = TextScanner::new(b"12 -3 4.5\n");
+/// assert_eq!(s.parse_i64().unwrap(), 12);
+/// assert_eq!(s.parse_i64().unwrap(), -3);
+/// assert!((s.parse_f64().unwrap() - 4.5).abs() < 1e-12);
+/// assert!(s.at_end());
+/// assert_eq!(s.work().int_tokens, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextScanner<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    /// Offset of `buf[0]` within the larger stream (for error reporting in
+    /// streaming parses).
+    base_offset: usize,
+    work: ParseWork,
+}
+
+impl<'a> TextScanner<'a> {
+    /// Creates a scanner over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self::with_base_offset(buf, 0)
+    }
+
+    /// Creates a scanner whose error offsets are shifted by `base_offset`.
+    pub fn with_base_offset(buf: &'a [u8], base_offset: usize) -> Self {
+        TextScanner {
+            buf,
+            pos: 0,
+            base_offset,
+            work: ParseWork::default(),
+        }
+    }
+
+    /// Current position within the buffer.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Work performed so far.
+    pub fn work(&self) -> ParseWork {
+        self.work
+    }
+
+    /// Skips separator bytes.
+    pub fn skip_separators(&mut self) {
+        let start = self.pos;
+        while self.pos < self.buf.len() && is_separator(self.buf[self.pos]) {
+            self.pos += 1;
+        }
+        self.work.bytes_scanned += (self.pos - start) as u64;
+    }
+
+    /// True once only separators remain.
+    pub fn at_end(&mut self) -> bool {
+        self.skip_separators();
+        self.pos == self.buf.len()
+    }
+
+    fn err(&self, kind: ParseErrorKind) -> ParseError {
+        ParseError::new(self.base_offset + self.pos, kind)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.buf.get(self.pos).copied()
+    }
+
+    /// Parses a (possibly signed) decimal integer token.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a non-numeric byte, on overflow, or at end of input.
+    pub fn parse_i64(&mut self) -> Result<i64, ParseError> {
+        self.skip_separators();
+        let tok_start = self.pos;
+        let mut neg = false;
+        match self.peek() {
+            Some(b'-') => {
+                neg = true;
+                self.pos += 1;
+            }
+            Some(b'+') => {
+                self.pos += 1;
+            }
+            _ => {}
+        }
+        let digits_start = self.pos;
+        let mut magnitude: u64 = 0;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() {
+                magnitude = magnitude
+                    .checked_mul(10)
+                    .and_then(|m| m.checked_add((b - b'0') as u64))
+                    .ok_or_else(|| self.err(ParseErrorKind::Overflow))?;
+                self.pos += 1;
+            } else if is_separator(b) {
+                break;
+            } else {
+                return Err(self.err(ParseErrorKind::UnexpectedChar(b)));
+            }
+        }
+        let ndigits = self.pos - digits_start;
+        if ndigits == 0 {
+            return Err(match self.peek() {
+                Some(b) => self.err(ParseErrorKind::UnexpectedChar(b)),
+                None => self.err(ParseErrorKind::UnexpectedEof),
+            });
+        }
+        self.work.bytes_scanned += (self.pos - tok_start) as u64;
+        self.work.int_tokens += 1;
+        self.work.int_digits += ndigits as u64;
+        let limit = if neg {
+            1u64 << 63
+        } else {
+            (1u64 << 63) - 1
+        };
+        if magnitude > limit {
+            return Err(self.err(ParseErrorKind::Overflow));
+        }
+        Ok(if neg {
+            (magnitude as i64).wrapping_neg()
+        } else {
+            magnitude as i64
+        })
+    }
+
+    /// Parses an unsigned decimal integer token.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a sign or non-numeric byte, on overflow, or at end of input.
+    pub fn parse_u64(&mut self) -> Result<u64, ParseError> {
+        self.skip_separators();
+        let tok_start = self.pos;
+        let digits_start = self.pos;
+        let mut value: u64 = 0;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() {
+                value = value
+                    .checked_mul(10)
+                    .and_then(|m| m.checked_add((b - b'0') as u64))
+                    .ok_or_else(|| self.err(ParseErrorKind::Overflow))?;
+                self.pos += 1;
+            } else if is_separator(b) {
+                break;
+            } else {
+                return Err(self.err(ParseErrorKind::UnexpectedChar(b)));
+            }
+        }
+        let ndigits = self.pos - digits_start;
+        if ndigits == 0 {
+            return Err(match self.peek() {
+                Some(b) => self.err(ParseErrorKind::UnexpectedChar(b)),
+                None => self.err(ParseErrorKind::UnexpectedEof),
+            });
+        }
+        self.work.bytes_scanned += (self.pos - tok_start) as u64;
+        self.work.int_tokens += 1;
+        self.work.int_digits += ndigits as u64;
+        Ok(value)
+    }
+
+    /// Parses a decimal floating-point token (`-12.5`, `3.0e-4`, `7`).
+    ///
+    /// # Errors
+    ///
+    /// Fails on a malformed literal or at end of input.
+    pub fn parse_f64(&mut self) -> Result<f64, ParseError> {
+        self.skip_separators();
+        let tok_start = self.pos;
+        let mut neg = false;
+        match self.peek() {
+            Some(b'-') => {
+                neg = true;
+                self.pos += 1;
+            }
+            Some(b'+') => {
+                self.pos += 1;
+            }
+            _ => {}
+        }
+        let mut digits = 0u64;
+        let mut mantissa: f64 = 0.0;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() {
+                mantissa = mantissa * 10.0 + (b - b'0') as f64;
+                digits += 1;
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let mut frac_scale = 1.0f64;
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while let Some(b) = self.peek() {
+                if b.is_ascii_digit() {
+                    mantissa = mantissa * 10.0 + (b - b'0') as f64;
+                    frac_scale *= 10.0;
+                    digits += 1;
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        if digits == 0 {
+            return Err(match self.peek() {
+                Some(b) => self.err(ParseErrorKind::UnexpectedChar(b)),
+                None => self.err(ParseErrorKind::UnexpectedEof),
+            });
+        }
+        let mut exp: i32 = 0;
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            let mut exp_neg = false;
+            match self.peek() {
+                Some(b'-') => {
+                    exp_neg = true;
+                    self.pos += 1;
+                }
+                Some(b'+') => {
+                    self.pos += 1;
+                }
+                _ => {}
+            }
+            let mut exp_digits = 0;
+            while let Some(b) = self.peek() {
+                if b.is_ascii_digit() {
+                    exp = exp.saturating_mul(10).saturating_add((b - b'0') as i32);
+                    exp_digits += 1;
+                    digits += 1;
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            if exp_digits == 0 {
+                return Err(match self.peek() {
+                    Some(b) => self.err(ParseErrorKind::UnexpectedChar(b)),
+                    None => self.err(ParseErrorKind::UnexpectedEof),
+                });
+            }
+            if exp_neg {
+                exp = -exp;
+            }
+        }
+        // Reject garbage stuck to the token.
+        if let Some(b) = self.peek() {
+            if !is_separator(b) {
+                return Err(self.err(ParseErrorKind::UnexpectedChar(b)));
+            }
+        }
+        self.work.bytes_scanned += (self.pos - tok_start) as u64;
+        self.work.float_tokens += 1;
+        self.work.float_digits += digits;
+        let mut value = mantissa / frac_scale * 10f64.powi(exp);
+        if neg {
+            value = -value;
+        }
+        Ok(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_signed_integers() {
+        let mut s = TextScanner::new(b"  42\t-17,+8\n");
+        assert_eq!(s.parse_i64().unwrap(), 42);
+        assert_eq!(s.parse_i64().unwrap(), -17);
+        assert_eq!(s.parse_i64().unwrap(), 8);
+        assert!(s.at_end());
+    }
+
+    #[test]
+    fn parses_u64_and_rejects_sign() {
+        let mut s = TextScanner::new(b"18446744073709551615");
+        assert_eq!(s.parse_u64().unwrap(), u64::MAX);
+        let mut s = TextScanner::new(b"-1");
+        assert!(matches!(
+            s.parse_u64().unwrap_err().kind,
+            ParseErrorKind::UnexpectedChar(b'-')
+        ));
+    }
+
+    #[test]
+    fn parses_extreme_i64() {
+        let mut s = TextScanner::new(b"-9223372036854775808 9223372036854775807");
+        assert_eq!(s.parse_i64().unwrap(), i64::MIN);
+        assert_eq!(s.parse_i64().unwrap(), i64::MAX);
+    }
+
+    #[test]
+    fn integer_overflow_detected() {
+        let mut s = TextScanner::new(b"9223372036854775808");
+        assert_eq!(s.parse_i64().unwrap_err().kind, ParseErrorKind::Overflow);
+        let mut s = TextScanner::new(b"99999999999999999999999");
+        assert_eq!(s.parse_u64().unwrap_err().kind, ParseErrorKind::Overflow);
+    }
+
+    #[test]
+    fn parses_floats() {
+        let cases: [(&[u8], f64); 7] = [
+            (b"0", 0.0),
+            (b"3.5", 3.5),
+            (b"-2.25", -2.25),
+            (b"1e3", 1000.0),
+            (b"2.5e-2", 0.025),
+            (b"+4.0E+1", 40.0),
+            (b"123456.789", 123456.789),
+        ];
+        for (text, want) in cases {
+            let mut s = TextScanner::new(text);
+            let got = s.parse_f64().unwrap();
+            assert!(
+                (got - want).abs() <= want.abs() * 1e-12,
+                "{:?} -> {got}, want {want}",
+                std::str::from_utf8(text).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_tokens() {
+        assert!(TextScanner::new(b"12x").parse_i64().is_err());
+        assert!(TextScanner::new(b"abc").parse_f64().is_err());
+        assert!(TextScanner::new(b".").parse_f64().is_err());
+        assert!(TextScanner::new(b"1e").parse_f64().is_err());
+        assert!(TextScanner::new(b"").parse_i64().is_err());
+        assert!(TextScanner::new(b"-").parse_i64().is_err());
+    }
+
+    #[test]
+    fn error_offsets_account_for_base() {
+        let mut s = TextScanner::with_base_offset(b"zz", 100);
+        assert_eq!(s.parse_i64().unwrap_err().offset, 100);
+    }
+
+    #[test]
+    fn work_counts_every_byte_once() {
+        let text = b" 12 34.5\t-6\n";
+        let mut s = TextScanner::new(text);
+        s.parse_i64().unwrap();
+        s.parse_f64().unwrap();
+        s.parse_i64().unwrap();
+        assert!(s.at_end());
+        let w = s.work();
+        assert_eq!(w.bytes_scanned, text.len() as u64);
+        assert_eq!(w.int_tokens, 2);
+        assert_eq!(w.float_tokens, 1);
+        assert_eq!(w.int_digits, 3);
+        assert_eq!(w.float_digits, 3);
+    }
+}

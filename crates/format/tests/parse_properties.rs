@@ -1,0 +1,89 @@
+//! Property tests: print→parse identity and streaming ≡ whole-buffer.
+
+use morpheus_format::{
+    parse_buffer, parse_chunked, FieldKind, Schema, TextScanner, TextWriter,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Any i64 printed by TextWriter parses back exactly.
+    #[test]
+    fn i64_print_parse_identity(v in any::<i64>()) {
+        let mut w = TextWriter::new();
+        w.write_i64(v);
+        w.newline();
+        let mut s = TextScanner::new(w.as_bytes());
+        prop_assert_eq!(s.parse_i64().unwrap(), v);
+    }
+
+    /// Any u64 printed by TextWriter parses back exactly.
+    #[test]
+    fn u64_print_parse_identity(v in any::<u64>()) {
+        let mut w = TextWriter::new();
+        w.write_u64(v);
+        w.sep();
+        let mut s = TextScanner::new(w.as_bytes());
+        prop_assert_eq!(s.parse_u64().unwrap(), v);
+    }
+
+    /// Floats printed with 6 decimals parse back within printing precision.
+    #[test]
+    fn f64_print_parse_close(v in -1e12f64..1e12) {
+        let mut w = TextWriter::new();
+        w.write_f64(v, 6);
+        w.newline();
+        let mut s = TextScanner::new(w.as_bytes());
+        let got = s.parse_f64().unwrap();
+        let tol = 1e-6 + v.abs() * 1e-12;
+        prop_assert!((got - v).abs() <= tol, "{v} -> {got}");
+    }
+
+    /// For any generated record table and any chunk size, the streaming
+    /// parse equals the whole-buffer parse (objects and checksum).
+    #[test]
+    fn streaming_equals_whole_buffer(
+        rows in proptest::collection::vec((any::<i32>(), any::<u32>(), -1e6f64..1e6), 0..60),
+        chunk in 1usize..64,
+    ) {
+        let schema = Schema::new(vec![FieldKind::I32, FieldKind::U32, FieldKind::F64]);
+        let mut w = TextWriter::new();
+        for (a, b, c) in &rows {
+            w.write_i64(*a as i64);
+            w.sep();
+            w.write_u64(*b as u64);
+            w.sep();
+            w.write_f64(*c, 6);
+            w.newline();
+        }
+        let data = w.into_bytes();
+        let (whole, whole_work) = parse_buffer(&data, &schema).unwrap();
+        let (streamed, stream_work) = parse_chunked(&data, &schema, chunk).unwrap();
+        prop_assert_eq!(&streamed, &whole);
+        prop_assert_eq!(streamed.records as usize, rows.len());
+        prop_assert_eq!(stream_work.int_tokens, whole_work.int_tokens);
+        prop_assert_eq!(stream_work.float_tokens, whole_work.float_tokens);
+        prop_assert_eq!(stream_work.bytes_scanned, whole_work.bytes_scanned);
+    }
+
+    /// Work accounting never exceeds the input length for bytes scanned,
+    /// and token counts match the schema arithmetic.
+    #[test]
+    fn work_is_consistent(
+        rows in proptest::collection::vec((any::<u16>(), any::<u16>()), 1..100),
+    ) {
+        let schema = Schema::new(vec![FieldKind::U32, FieldKind::U32]);
+        let mut w = TextWriter::new();
+        for (a, b) in &rows {
+            w.write_u64(*a as u64);
+            w.sep();
+            w.write_u64(*b as u64);
+            w.newline();
+        }
+        let data = w.into_bytes();
+        let (parsed, work) = parse_buffer(&data, &schema).unwrap();
+        prop_assert_eq!(work.bytes_scanned as usize, data.len());
+        prop_assert_eq!(work.int_tokens, 2 * rows.len() as u64);
+        prop_assert_eq!(parsed.records as usize, rows.len());
+        prop_assert!(work.int_digits >= work.int_tokens);
+    }
+}

@@ -1,0 +1,76 @@
+//! FTL configuration.
+
+/// Tunables of the page-mapping FTL.
+#[derive(Debug, Clone, Copy)]
+pub struct FtlConfig {
+    /// Fraction of physical blocks reserved as over-provisioning (hidden
+    /// from the logical capacity, used by GC). Must be in `(0, 0.9]`.
+    pub overprovision: f64,
+    /// Garbage collection starts on a channel when its free-block count
+    /// drops to this value. Must be at least 2 so a relocation always has a
+    /// destination block.
+    pub gc_watermark: u32,
+    /// Maximum read retries after an uncorrectable flash read error.
+    pub read_retries: u32,
+    /// Wear-levelling: when the erase-count spread within a channel exceeds
+    /// this, GC prefers the least-worn victim among the least-valid ones.
+    pub wear_spread: u64,
+}
+
+impl FtlConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range values; configurations are build-time inputs,
+    /// so this is a programming error.
+    pub fn validate(&self) {
+        assert!(
+            self.overprovision > 0.0 && self.overprovision <= 0.9,
+            "overprovision must be in (0, 0.9], got {}",
+            self.overprovision
+        );
+        assert!(self.gc_watermark >= 2, "gc watermark must be at least 2");
+    }
+}
+
+impl Default for FtlConfig {
+    fn default() -> Self {
+        FtlConfig {
+            overprovision: 0.125,
+            gc_watermark: 2,
+            read_retries: 3,
+            wear_spread: 64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        FtlConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "overprovision")]
+    fn zero_overprovision_rejected() {
+        FtlConfig {
+            overprovision: 0.0,
+            ..FtlConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "watermark")]
+    fn low_watermark_rejected() {
+        FtlConfig {
+            gc_watermark: 1,
+            ..FtlConfig::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,80 @@
+//! FTL error type.
+
+use crate::Lpn;
+use morpheus_flash::FlashError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the FTL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FtlError {
+    /// Logical page beyond the exported capacity.
+    OutOfCapacity(Lpn),
+    /// Read of a logical page that was never written (or was trimmed).
+    Unmapped(Lpn),
+    /// Read failed even after the configured retries.
+    MediaFailure(Lpn, FlashError),
+    /// No free block could be found even after garbage collection (the
+    /// drive is truly full, e.g. all spare blocks retired).
+    NoFreeBlocks,
+    /// The underlying flash rejected an operation the FTL believed legal —
+    /// indicates an FTL bug or massive wear-out.
+    Flash(FlashError),
+}
+
+impl fmt::Display for FtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FtlError::OutOfCapacity(l) => {
+                write!(f, "logical page {} beyond exported capacity", l.0)
+            }
+            FtlError::Unmapped(l) => write!(f, "logical page {} is unmapped", l.0),
+            FtlError::MediaFailure(l, e) => {
+                write!(f, "media failure reading logical page {}: {e}", l.0)
+            }
+            FtlError::NoFreeBlocks => write!(f, "no free blocks available"),
+            FtlError::Flash(e) => write!(f, "flash error: {e}"),
+        }
+    }
+}
+
+impl Error for FtlError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FtlError::MediaFailure(_, e) | FtlError::Flash(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FlashError> for FtlError {
+    fn from(e: FlashError) -> Self {
+        FtlError::Flash(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morpheus_flash::Ppa;
+
+    #[test]
+    fn messages_are_nonempty() {
+        for e in [
+            FtlError::OutOfCapacity(Lpn(1)),
+            FtlError::Unmapped(Lpn(2)),
+            FtlError::MediaFailure(Lpn(3), FlashError::Uncorrectable(Ppa(4))),
+            FtlError::NoFreeBlocks,
+            FtlError::Flash(FlashError::OutOfRange(Ppa(5))),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn source_chains_flash_errors() {
+        let e = FtlError::MediaFailure(Lpn(0), FlashError::Uncorrectable(Ppa(0)));
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&FtlError::NoFreeBlocks).is_none());
+    }
+}

@@ -1,0 +1,37 @@
+//! Flash translation layer for the Morpheus-SSD model.
+//!
+//! The paper's Morpheus-SSD "leverages the existing read/write process and
+//! the FTL of the baseline SSD" (§IV-B) — StorageApps sit *above* a fully
+//! functional FTL, and in-SSD parsing pipelines with FTL page reads. This
+//! crate provides that substrate: a page-level mapping FTL with
+//! channel-striped allocation, greedy garbage collection, wear levelling,
+//! TRIM, bad-block handling, read retries, and write-amplification
+//! statistics.
+//!
+//! The FTL is functional (real bytes round-trip through the
+//! [`FlashArray`](morpheus_flash::FlashArray)) and timing-descriptive: every
+//! operation reports the [`FlashOp`](morpheus_flash::FlashOp)s it performed
+//! so the SSD controller can charge them to its channel timelines.
+//!
+//! # Example
+//!
+//! ```
+//! use morpheus_flash::{FlashArray, FlashGeometry, FlashTiming};
+//! use morpheus_ftl::{Ftl, FtlConfig, Lpn};
+//!
+//! let array = FlashArray::new(FlashGeometry::small(), FlashTiming::default());
+//! let mut ftl = Ftl::new(array, FtlConfig::default());
+//! ftl.write(Lpn(3), b"object data").unwrap();
+//! let read = ftl.read(Lpn(3)).unwrap();
+//! assert_eq!(&read.data[..], b"object data");
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod error;
+mod mapping;
+
+pub use config::FtlConfig;
+pub use error::FtlError;
+pub use mapping::{Ftl, FtlStats, Lpn, ReadOutcome, WriteOutcome};

@@ -1,0 +1,110 @@
+//! Property-based tests: the FTL must behave exactly like a flat
+//! `HashMap<Lpn, Vec<u8>>` under arbitrary interleavings of writes,
+//! overwrites, trims, and reads — including through GC storms and with
+//! injected correctable errors.
+
+use morpheus_flash::{EccModel, FlashArray, FlashGeometry, FlashTiming};
+use morpheus_ftl::{Ftl, FtlConfig, FtlError, Lpn};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write(u64, Vec<u8>),
+    Trim(u64),
+    Read(u64),
+}
+
+fn op_strategy(cap: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0..cap, proptest::collection::vec(any::<u8>(), 1..64))
+            .prop_map(|(l, d)| Op::Write(l, d)),
+        1 => (0..cap).prop_map(Op::Trim),
+        2 => (0..cap).prop_map(Op::Read),
+    ]
+}
+
+fn run_model_check(ops: Vec<Op>, ecc: EccModel, seed: u64) {
+    let flash = FlashArray::with_ecc(FlashGeometry::small(), FlashTiming::default(), ecc, seed);
+    let mut ftl = Ftl::new(flash, FtlConfig::default());
+    let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
+    for op in ops {
+        match op {
+            Op::Write(l, d) => {
+                ftl.write(Lpn(l), &d).unwrap();
+                model.insert(l, d);
+            }
+            Op::Trim(l) => {
+                ftl.trim(Lpn(l)).unwrap();
+                model.remove(&l);
+            }
+            Op::Read(l) => match (ftl.read(Lpn(l)), model.get(&l)) {
+                (Ok(out), Some(expect)) => assert_eq!(&out.data[..], &expect[..]),
+                (Err(FtlError::Unmapped(_)), None) => {}
+                (got, want) => panic!("mismatch: ftl={got:?} model={want:?}"),
+            },
+        }
+    }
+    // Final full audit.
+    for (l, expect) in &model {
+        let out = ftl.read(Lpn(*l)).unwrap();
+        assert_eq!(&out.data[..], &expect[..]);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ftl_matches_flat_map(ops in proptest::collection::vec(op_strategy(112), 1..300)) {
+        run_model_check(ops, EccModel::perfect(), 0);
+    }
+
+    #[test]
+    fn ftl_matches_flat_map_with_correctable_errors(
+        ops in proptest::collection::vec(op_strategy(112), 1..200),
+        seed in any::<u64>(),
+    ) {
+        let ecc = EccModel {
+            correctable_prob: 0.3,
+            correction_retries: 2,
+            ..EccModel::perfect()
+        };
+        run_model_check(ops, ecc, seed);
+    }
+
+    #[test]
+    fn mapping_is_injective(ops in proptest::collection::vec(op_strategy(112), 1..300)) {
+        let flash = FlashArray::new(FlashGeometry::small(), FlashTiming::default());
+        let mut ftl = Ftl::new(flash, FtlConfig::default());
+        for op in ops {
+            match op {
+                Op::Write(l, d) => { ftl.write(Lpn(l), &d).unwrap(); }
+                Op::Trim(l) => { ftl.trim(Lpn(l)).unwrap(); }
+                Op::Read(_) => {}
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        for l in 0..ftl.capacity_pages() {
+            if let Some(ppa) = ftl.translate(Lpn(l)) {
+                prop_assert!(seen.insert(ppa));
+            }
+        }
+    }
+
+    #[test]
+    fn write_amplification_is_at_least_one(
+        ops in proptest::collection::vec(op_strategy(112), 1..200),
+    ) {
+        let flash = FlashArray::new(FlashGeometry::small(), FlashTiming::default());
+        let mut ftl = Ftl::new(flash, FtlConfig::default());
+        for op in ops {
+            match op {
+                Op::Write(l, d) => { ftl.write(Lpn(l), &d).unwrap(); }
+                Op::Trim(l) => { ftl.trim(Lpn(l)).unwrap(); }
+                Op::Read(l) => { let _ = ftl.read(Lpn(l)); }
+            }
+        }
+        prop_assert!(ftl.stats().write_amplification() >= 1.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! Host system model: CPU, OS overheads, memory bus, mini filesystem, power.
+//!
+//! Section II of the paper pins object deserialization's cost on the *host*,
+//! not the storage device: the work is CPU-bound (Fig. 3), achieves IPC ≈
+//! 1.2, spends most of its cycles in file-system/locking/POSIX overhead
+//! rather than actual string conversion, storms the context-switch rate, and
+//! burns CPU-memory-bus bandwidth on raw text it immediately discards. This
+//! crate models each of those mechanisms:
+//!
+//! * [`Cpu`] — core count, DVFS frequency range, and per-[`CodeClass`] IPC,
+//!   converting instruction counts into time.
+//! * [`OsModel`] — the conventional `read()` path: syscall and VFS/locking
+//!   costs per read window, page-cache copies, context switches and page
+//!   faults, with full accounting.
+//! * [`MemBus`] / [`HostDram`] — DDR bandwidth as a contended resource plus
+//!   a bump allocator handing out DMA-able host buffer addresses.
+//! * [`SimFs`] — an extent-based mini filesystem mapping file names to LBA
+//!   extents (what `ms_stream_create` consults so that permission checks and
+//!   layout stay on the host, §V-A2).
+//! * [`HostPowerParams`] — the wall-power parameters of the testbed.
+//!
+//! # Example
+//!
+//! ```
+//! use morpheus_host::{CodeClass, Cpu, CpuSpec};
+//!
+//! let mut cpu = Cpu::new(CpuSpec::xeon_quad());
+//! let fast = cpu.duration(2.5e9, CodeClass::Deserialize);
+//! cpu.set_frequency(1.2e9);
+//! let slow = cpu.duration(2.5e9, CodeClass::Deserialize);
+//! assert!(slow > fast);
+//! ```
+
+#![warn(missing_docs)]
+
+mod cpu;
+mod fs;
+mod memory;
+mod os;
+mod power;
+
+pub use cpu::{CodeClass, Cpu, CpuSpec};
+pub use fs::{Extent, FileMeta, FsError, SimFs};
+pub use memory::{HostDram, MemBus};
+pub use os::{OsAccounting, OsCost, OsModel, OsParams};
+pub use power::HostPowerParams;

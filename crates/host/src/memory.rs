@@ -1,0 +1,189 @@
+//! Host DRAM and the CPU–memory bus.
+//!
+//! The conventional model moves every input byte across the CPU-memory bus
+//! at least twice (DMA into buffer X, CPU load for parsing) and the
+//! resulting objects once more (store to location Y), while the Morpheus
+//! model touches DRAM only with finished objects (§II, §III). [`MemBus`]
+//! makes that bandwidth a contended resource and counts the traffic that
+//! backs the paper's "58 % less CPU-memory traffic" claim; [`HostDram`]
+//! hands out buffer addresses that PCIe DMA can target.
+
+use morpheus_simcore::{Bandwidth, Interval, SimDuration, SimTime, Timeline};
+
+/// The CPU–memory bus: a bandwidth resource plus a traffic counter.
+#[derive(Debug)]
+pub struct MemBus {
+    bw: Bandwidth,
+    timeline: Timeline,
+    traffic_bytes: u64,
+}
+
+impl MemBus {
+    /// Creates a bus with the given bandwidth (the paper's DDR3 testbed
+    /// peaks at 12.8 GB/s).
+    pub fn new(bw: Bandwidth) -> Self {
+        MemBus {
+            bw,
+            timeline: Timeline::new("membus", 1),
+            traffic_bytes: 0,
+        }
+    }
+
+    /// A 12.8 GB/s DDR3-1600 channel.
+    pub fn ddr3_1600() -> Self {
+        Self::new(Bandwidth::from_gb_per_s(12.8))
+    }
+
+    /// Moves `bytes` across the bus starting no earlier than `ready`.
+    pub fn transfer(&mut self, ready: SimTime, bytes: u64) -> Interval {
+        self.traffic_bytes += bytes;
+        self.timeline.acquire_bytes(ready, bytes, self.bw)
+    }
+
+    /// Accounts traffic without occupying the bus (used when the time is
+    /// already charged elsewhere, e.g. CPU parse loops whose loads are
+    /// overlapped by the core model).
+    pub fn account(&mut self, bytes: u64) {
+        self.traffic_bytes += bytes;
+    }
+
+    /// Total bytes moved.
+    pub fn traffic_bytes(&self) -> u64 {
+        self.traffic_bytes
+    }
+
+    /// Time the bus has been busy.
+    pub fn busy(&self) -> SimDuration {
+        self.timeline.busy()
+    }
+
+    /// The bus rate.
+    pub fn bandwidth(&self) -> Bandwidth {
+        self.bw
+    }
+
+    /// Clears traffic and timeline state.
+    pub fn reset(&mut self) {
+        self.traffic_bytes = 0;
+        self.timeline.reset();
+    }
+}
+
+/// Host DRAM: capacity tracking and a bump allocator for DMA buffers.
+///
+/// Addresses returned are bus addresses in the host range (below
+/// `HOST_MEMORY_TOP` in the PCIe fabric's map).
+#[derive(Debug, Clone)]
+pub struct HostDram {
+    capacity: u64,
+    next: u64,
+    allocated: u64,
+    high_watermark: u64,
+}
+
+impl HostDram {
+    /// Creates a DRAM of `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        HostDram {
+            capacity,
+            next: 0x1000, // leave page zero unmapped
+            allocated: 0,
+            high_watermark: 0,
+        }
+    }
+
+    /// Allocates a buffer, returning its bus address.
+    ///
+    /// Returns `None` if capacity is exhausted.
+    pub fn alloc(&mut self, bytes: u64) -> Option<u64> {
+        if self.allocated + bytes > self.capacity {
+            return None;
+        }
+        let addr = self.next;
+        // Page-align the next allocation.
+        self.next += bytes.div_ceil(4096) * 4096;
+        self.allocated += bytes;
+        self.high_watermark = self.high_watermark.max(self.allocated);
+        Some(addr)
+    }
+
+    /// Releases `bytes` of a previous allocation (bump allocators do not
+    /// reuse addresses; this only tracks occupancy).
+    pub fn free(&mut self, bytes: u64) {
+        self.allocated = self.allocated.saturating_sub(bytes);
+    }
+
+    /// Bytes currently allocated.
+    pub fn allocated(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Peak allocation over the run (the paper's memory-pressure argument:
+    /// Morpheus eliminates buffer X entirely).
+    pub fn high_watermark(&self) -> u64 {
+        self.high_watermark
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_takes_bandwidth_time_and_counts() {
+        let mut bus = MemBus::new(Bandwidth::from_gb_per_s(1.0));
+        let iv = bus.transfer(SimTime::ZERO, 1_000_000_000);
+        assert_eq!(iv.duration().as_secs_f64(), 1.0);
+        assert_eq!(bus.traffic_bytes(), 1_000_000_000);
+    }
+
+    #[test]
+    fn transfers_contend() {
+        let mut bus = MemBus::ddr3_1600();
+        let a = bus.transfer(SimTime::ZERO, 1 << 30);
+        let b = bus.transfer(SimTime::ZERO, 1 << 30);
+        assert_eq!(b.start, a.end);
+    }
+
+    #[test]
+    fn account_adds_traffic_without_time() {
+        let mut bus = MemBus::ddr3_1600();
+        bus.account(4096);
+        assert_eq!(bus.traffic_bytes(), 4096);
+        assert!(bus.busy().is_zero());
+    }
+
+    #[test]
+    fn dram_allocations_are_disjoint_and_page_aligned() {
+        let mut d = HostDram::new(1 << 30);
+        let a = d.alloc(100).unwrap();
+        let b = d.alloc(5000).unwrap();
+        assert!(b >= a + 4096);
+        assert_eq!(a % 4096, 0);
+        assert_eq!(b % 4096, 0);
+    }
+
+    #[test]
+    fn dram_capacity_enforced() {
+        let mut d = HostDram::new(8192);
+        assert!(d.alloc(8192).is_some());
+        assert!(d.alloc(1).is_none());
+        d.free(8192);
+        assert!(d.alloc(4096).is_some());
+    }
+
+    #[test]
+    fn high_watermark_tracks_peak() {
+        let mut d = HostDram::new(1 << 20);
+        d.alloc(1000).unwrap();
+        d.alloc(2000).unwrap();
+        d.free(2500);
+        d.alloc(100).unwrap();
+        assert_eq!(d.high_watermark(), 3000);
+    }
+}

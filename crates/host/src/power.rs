@@ -1,0 +1,95 @@
+//! Wall-power parameters of the modelled platform.
+//!
+//! The paper measures total system power with a Watts Up meter: 105 W idle;
+//! conventional deserialization raises it by ≈ 10.4 W (host CPU working),
+//! while the Morpheus path raises it by only ≈ 1.8 W (embedded cores
+//! working, host mostly idle) — the source of Fig. 9's 7 % average power
+//! and 42 % energy savings.
+
+use serde::Serialize;
+
+/// Platform power parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct HostPowerParams {
+    /// Whole-platform idle power, watts.
+    pub idle_watts: f64,
+    /// Extra watts while a host core runs flat out at maximum frequency.
+    pub cpu_active_delta_watts: f64,
+    /// Exponent relating CPU active power to frequency (`P ∝ f^k`; ~2–3
+    /// with voltage scaling).
+    pub cpu_freq_exponent: f64,
+    /// Extra watts while the SSD's embedded cores execute a StorageApp.
+    pub ssd_cores_delta_watts: f64,
+    /// Extra watts while the GPU executes kernels.
+    pub gpu_active_delta_watts: f64,
+    /// Extra watts per GB/s of sustained memory-bus traffic.
+    pub dram_watts_per_gbs: f64,
+    /// The frequency at which `cpu_active_delta_watts` was measured.
+    pub cpu_nominal_freq_hz: f64,
+}
+
+impl HostPowerParams {
+    /// The paper's testbed.
+    pub fn testbed() -> Self {
+        HostPowerParams {
+            idle_watts: 105.0,
+            cpu_active_delta_watts: 10.4,
+            cpu_freq_exponent: 2.0,
+            ssd_cores_delta_watts: 1.8,
+            gpu_active_delta_watts: 95.0,
+            dram_watts_per_gbs: 0.35,
+            cpu_nominal_freq_hz: 2.5e9,
+        }
+    }
+
+    /// CPU active delta at an arbitrary frequency, scaled from the maximum
+    /// operating point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_freq_hz` is not positive.
+    pub fn cpu_delta_at(&self, freq_hz: f64, max_freq_hz: f64) -> f64 {
+        assert!(max_freq_hz > 0.0, "max frequency must be positive");
+        self.cpu_active_delta_watts * (freq_hz / max_freq_hz).powf(self.cpu_freq_exponent)
+    }
+
+    /// CPU active delta at `freq_hz`, scaled from the nominal measurement
+    /// point.
+    pub fn cpu_delta(&self, freq_hz: f64) -> f64 {
+        self.cpu_delta_at(freq_hz, self.cpu_nominal_freq_hz)
+    }
+}
+
+impl Default for HostPowerParams {
+    fn default() -> Self {
+        Self::testbed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_matches_paper_numbers() {
+        let p = HostPowerParams::testbed();
+        assert_eq!(p.idle_watts, 105.0);
+        assert_eq!(p.cpu_active_delta_watts, 10.4);
+        assert_eq!(p.ssd_cores_delta_watts, 1.8);
+    }
+
+    #[test]
+    fn cpu_delta_scales_down_with_frequency() {
+        let p = HostPowerParams::testbed();
+        let full = p.cpu_delta_at(2.5e9, 2.5e9);
+        let slow = p.cpu_delta_at(1.2e9, 2.5e9);
+        assert_eq!(full, 10.4);
+        assert!(slow < full * 0.3, "1.2GHz delta should be well under 30%");
+    }
+
+    #[test]
+    fn morpheus_delta_is_much_smaller_than_cpu() {
+        let p = HostPowerParams::testbed();
+        assert!(p.ssd_cores_delta_watts < p.cpu_active_delta_watts / 4.0);
+    }
+}

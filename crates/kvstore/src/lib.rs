@@ -1,0 +1,61 @@
+//! Flash-backed key-value store with in-storage scan offload.
+//!
+//! Section I of the paper lists "emitting key-value pairs from \[a\]
+//! flash-based key-value store" among the interactions the Morpheus model
+//! generalizes to. This crate provides that substrate and the offload:
+//!
+//! * [`KvStore`] — a hash-bucketed KV table laid out over the SSD's
+//!   logical block space (open addressing with bucket-granular linear
+//!   probing), with `put`/`get`/`delete` and a host-side reference scan.
+//! * [`KvScanApp`] — a [`StorageApp`](morpheus::StorageApp) that scans the
+//!   bucket region *inside the drive* and emits only the pairs whose key
+//!   falls in a requested range, so cold buckets never cross the
+//!   interconnect.
+//!
+//! # Example
+//!
+//! ```
+//! use morpheus_flash::{FlashGeometry, FlashTiming};
+//! use morpheus_kvstore::{KvConfig, KvStore};
+//! use morpheus_ssd::{Ssd, SsdConfig};
+//!
+//! let mut ssd = Ssd::new(SsdConfig::default(), FlashGeometry::small(), FlashTiming::default());
+//! let kv = KvStore::format(&mut ssd, 0, KvConfig::default()).unwrap();
+//! kv.put(&mut ssd, 42, b"morpheus").unwrap();
+//! assert_eq!(kv.get(&mut ssd, 42).unwrap().as_deref(), Some(&b"morpheus"[..]));
+//! ```
+
+#![warn(missing_docs)]
+
+mod offload;
+mod scan_app;
+mod store;
+
+pub use offload::{scan_conventional, scan_morpheus, ScanOutcome, ScanReport};
+pub use scan_app::{synth_pairs, KvScanApp};
+pub use store::{KvConfig, KvError, KvStore};
+
+/// Encodes one emitted match: little-endian key, value length, value.
+pub(crate) fn encode_pair(out: &mut Vec<u8>, key: u64, value: &[u8]) {
+    out.extend_from_slice(&key.to_le_bytes());
+    out.extend_from_slice(&(value.len() as u16).to_le_bytes());
+    out.extend_from_slice(value);
+}
+
+/// Decodes a stream of emitted matches (the host-side inverse).
+///
+/// # Panics
+///
+/// Panics on a truncated stream; emitters always produce whole pairs.
+pub fn decode_pairs(mut bytes: &[u8]) -> Vec<(u64, Vec<u8>)> {
+    let mut out = Vec::new();
+    while !bytes.is_empty() {
+        assert!(bytes.len() >= 10, "truncated pair header");
+        let key = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"));
+        let vlen = u16::from_le_bytes(bytes[8..10].try_into().expect("2 bytes")) as usize;
+        assert!(bytes.len() >= 10 + vlen, "truncated pair value");
+        out.push((key, bytes[10..10 + vlen].to_vec()));
+        bytes = &bytes[10 + vlen..];
+    }
+    out
+}

@@ -1,0 +1,283 @@
+//! Admin command set: controller identification and I/O queue management.
+//!
+//! NVMe separates admin commands (queue creation, Identify, features) from
+//! I/O commands (§II: "a set of I/O commands to access the data and admin
+//! commands to manage I/O requests"). The Morpheus host runtime uses
+//! Identify to discover whether a drive speaks the extension — the
+//! vendor-specific region of the Identify Controller page advertises the
+//! StorageApp execution resources (core count, clock, SRAM sizes).
+
+use crate::{QueuePair, StatusCode};
+use bytes::{Buf, BufMut};
+use std::collections::BTreeMap;
+
+/// Admin-queue opcodes (NVMe 1.2 values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum AdminOpcode {
+    /// Delete an I/O submission queue.
+    DeleteIoSq = 0x00,
+    /// Create an I/O submission queue.
+    CreateIoSq = 0x01,
+    /// Delete an I/O completion queue.
+    DeleteIoCq = 0x04,
+    /// Create an I/O completion queue.
+    CreateIoCq = 0x05,
+    /// Identify controller/namespace.
+    Identify = 0x06,
+}
+
+impl AdminOpcode {
+    /// Decodes an opcode byte.
+    pub fn from_u8(b: u8) -> Option<AdminOpcode> {
+        Some(match b {
+            0x00 => AdminOpcode::DeleteIoSq,
+            0x01 => AdminOpcode::CreateIoSq,
+            0x04 => AdminOpcode::DeleteIoCq,
+            0x05 => AdminOpcode::CreateIoCq,
+            0x06 => AdminOpcode::Identify,
+            _ => return None,
+        })
+    }
+}
+
+/// Size of an Identify data page.
+pub const IDENTIFY_BYTES: usize = 4096;
+
+/// Offset of the vendor-specific Morpheus capability block within the
+/// Identify Controller page (the standard reserves 3072.. for vendors).
+const MORPHEUS_CAPS_OFFSET: usize = 3072;
+/// Magic tag marking a Morpheus-capable controller.
+const MORPHEUS_MAGIC: u32 = 0x4D4F_5248; // "MORH"
+
+/// Identify Controller data (the fields the model uses).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdentifyController {
+    /// PCI vendor id.
+    pub vendor_id: u16,
+    /// ASCII serial number (20 bytes, space padded).
+    pub serial: String,
+    /// ASCII model number (40 bytes, space padded).
+    pub model: String,
+    /// Maximum data transfer size as a power-of-two multiple of 4 KiB
+    /// pages (0 = unlimited).
+    pub mdts: u8,
+    /// Number of namespaces.
+    pub namespaces: u32,
+    /// Morpheus capability block, if the firmware supports StorageApps.
+    pub morpheus: Option<MorpheusCaps>,
+}
+
+/// The vendor-specific Morpheus capability block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MorpheusCaps {
+    /// General-purpose embedded cores available to StorageApps.
+    pub embedded_cores: u32,
+    /// Core clock in MHz.
+    pub core_clock_mhz: u32,
+    /// Instruction SRAM per core, bytes.
+    pub isram_bytes: u32,
+    /// Data SRAM per core, bytes.
+    pub dsram_bytes: u32,
+}
+
+impl IdentifyController {
+    /// Encodes the 4 KiB Identify page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `serial` exceeds 20 bytes or `model` exceeds 40.
+    pub fn encode(&self) -> Box<[u8; IDENTIFY_BYTES]> {
+        assert!(self.serial.len() <= 20, "serial too long");
+        assert!(self.model.len() <= 40, "model too long");
+        let mut page = Box::new([0u8; IDENTIFY_BYTES]);
+        {
+            let mut w: &mut [u8] = &mut page[..];
+            w.put_u16_le(self.vendor_id);
+            w.put_u16_le(self.vendor_id); // ssvid mirrors vid
+        }
+        let mut serial = [b' '; 20];
+        serial[..self.serial.len()].copy_from_slice(self.serial.as_bytes());
+        page[4..24].copy_from_slice(&serial);
+        let mut model = [b' '; 40];
+        model[..self.model.len()].copy_from_slice(self.model.as_bytes());
+        page[24..64].copy_from_slice(&model);
+        page[77] = self.mdts;
+        page[516..520].copy_from_slice(&self.namespaces.to_le_bytes());
+        if let Some(m) = self.morpheus {
+            let mut w: &mut [u8] = &mut page[MORPHEUS_CAPS_OFFSET..];
+            w.put_u32_le(MORPHEUS_MAGIC);
+            w.put_u32_le(m.embedded_cores);
+            w.put_u32_le(m.core_clock_mhz);
+            w.put_u32_le(m.isram_bytes);
+            w.put_u32_le(m.dsram_bytes);
+        }
+        page
+    }
+
+    /// Decodes an Identify page.
+    ///
+    /// Returns `None` if the buffer is the wrong size.
+    pub fn decode(page: &[u8]) -> Option<IdentifyController> {
+        if page.len() != IDENTIFY_BYTES {
+            return None;
+        }
+        let mut r: &[u8] = page;
+        let vendor_id = r.get_u16_le();
+        let _ssvid = r.get_u16_le();
+        let serial = String::from_utf8_lossy(&page[4..24]).trim_end().to_string();
+        let model = String::from_utf8_lossy(&page[24..64]).trim_end().to_string();
+        let mdts = page[77];
+        let namespaces = u32::from_le_bytes(page[516..520].try_into().expect("4 bytes"));
+        let mut caps: &[u8] = &page[MORPHEUS_CAPS_OFFSET..];
+        let morpheus = if caps.get_u32_le() == MORPHEUS_MAGIC {
+            Some(MorpheusCaps {
+                embedded_cores: caps.get_u32_le(),
+                core_clock_mhz: caps.get_u32_le(),
+                isram_bytes: caps.get_u32_le(),
+                dsram_bytes: caps.get_u32_le(),
+            })
+        } else {
+            None
+        };
+        Some(IdentifyController {
+            vendor_id,
+            serial,
+            model,
+            mdts,
+            namespaces,
+            morpheus,
+        })
+    }
+}
+
+/// The admin controller: serves Identify and manages I/O queue pairs.
+#[derive(Debug)]
+pub struct AdminController {
+    identity: IdentifyController,
+    io_queues: BTreeMap<u16, QueuePair>,
+    max_queues: u16,
+}
+
+impl AdminController {
+    /// Creates a controller with an identity and an I/O queue budget.
+    pub fn new(identity: IdentifyController, max_queues: u16) -> Self {
+        AdminController {
+            identity,
+            io_queues: BTreeMap::new(),
+            max_queues,
+        }
+    }
+
+    /// Serves Identify Controller: the 4 KiB page the host DMA-reads.
+    pub fn identify(&self) -> Box<[u8; IDENTIFY_BYTES]> {
+        self.identity.encode()
+    }
+
+    /// Creates I/O queue pair `qid` with the given depth.
+    ///
+    /// Returns the completion status (InvalidField for qid 0 — that is the
+    /// admin queue — duplicates, or exhausted budget).
+    pub fn create_io_queue(&mut self, qid: u16, depth: usize) -> StatusCode {
+        if qid == 0 || self.io_queues.contains_key(&qid) || depth == 0 {
+            return StatusCode::InvalidField;
+        }
+        if self.io_queues.len() as u16 >= self.max_queues {
+            return StatusCode::InvalidField;
+        }
+        self.io_queues.insert(qid, QueuePair::new(depth));
+        StatusCode::Success
+    }
+
+    /// Deletes I/O queue pair `qid`.
+    pub fn delete_io_queue(&mut self, qid: u16) -> StatusCode {
+        match self.io_queues.remove(&qid) {
+            Some(_) => StatusCode::Success,
+            None => StatusCode::InvalidField,
+        }
+    }
+
+    /// Accesses a created queue pair.
+    pub fn io_queue(&mut self, qid: u16) -> Option<&mut QueuePair> {
+        self.io_queues.get_mut(&qid)
+    }
+
+    /// Number of live I/O queues.
+    pub fn io_queue_count(&self) -> usize {
+        self.io_queues.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn identity() -> IdentifyController {
+        IdentifyController {
+            vendor_id: 0x1b4b,
+            serial: "MORPH-0001".into(),
+            model: "Morpheus-SSD 512GB".into(),
+            mdts: 5,
+            namespaces: 1,
+            morpheus: Some(MorpheusCaps {
+                embedded_cores: 4,
+                core_clock_mhz: 800,
+                isram_bytes: 128 * 1024,
+                dsram_bytes: 256 * 1024,
+            }),
+        }
+    }
+
+    #[test]
+    fn identify_page_round_trips() {
+        let id = identity();
+        let page = id.encode();
+        assert_eq!(page.len(), IDENTIFY_BYTES);
+        let back = IdentifyController::decode(&page[..]).unwrap();
+        assert_eq!(back, id);
+    }
+
+    #[test]
+    fn non_morpheus_drive_has_no_caps() {
+        let id = IdentifyController {
+            morpheus: None,
+            ..identity()
+        };
+        let back = IdentifyController::decode(&id.encode()[..]).unwrap();
+        assert_eq!(back.morpheus, None);
+    }
+
+    #[test]
+    fn decode_rejects_wrong_size() {
+        assert!(IdentifyController::decode(&[0u8; 100]).is_none());
+    }
+
+    #[test]
+    fn queue_lifecycle() {
+        let mut c = AdminController::new(identity(), 2);
+        assert_eq!(c.create_io_queue(1, 32), StatusCode::Success);
+        assert_eq!(c.create_io_queue(1, 32), StatusCode::InvalidField);
+        assert_eq!(c.create_io_queue(0, 32), StatusCode::InvalidField);
+        assert_eq!(c.create_io_queue(2, 32), StatusCode::Success);
+        assert_eq!(c.create_io_queue(3, 32), StatusCode::InvalidField); // budget
+        assert!(c.io_queue(1).is_some());
+        assert_eq!(c.io_queue_count(), 2);
+        assert_eq!(c.delete_io_queue(1), StatusCode::Success);
+        assert_eq!(c.delete_io_queue(1), StatusCode::InvalidField);
+        assert!(c.io_queue(1).is_none());
+    }
+
+    #[test]
+    fn admin_opcodes_round_trip() {
+        for op in [
+            AdminOpcode::DeleteIoSq,
+            AdminOpcode::CreateIoSq,
+            AdminOpcode::DeleteIoCq,
+            AdminOpcode::CreateIoCq,
+            AdminOpcode::Identify,
+        ] {
+            assert_eq!(AdminOpcode::from_u8(op as u8), Some(op));
+        }
+        assert_eq!(AdminOpcode::from_u8(0xFF), None);
+    }
+}

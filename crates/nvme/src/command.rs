@@ -1,0 +1,440 @@
+//! 64-byte NVMe command packets and the Morpheus typed views.
+
+use bytes::{Buf, BufMut};
+use std::fmt;
+
+/// Size of an encoded NVMe command packet.
+pub const CMD_BYTES: usize = 64;
+
+/// Logical block size used by the model's namespaces.
+pub const LBA_BYTES: u64 = 512;
+
+/// NVMe limits the data length of one I/O command; the paper notes the
+/// runtime must split files into multiple MREADs beyond this (§V-B).
+pub const MAX_IO_BLOCKS: u64 = 1 << 16;
+
+/// I/O-queue opcodes understood by the model, including the four Morpheus
+/// extensions in the vendor-specific space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum IoOpcode {
+    /// NVMe Flush.
+    Flush = 0x00,
+    /// NVMe Write.
+    Write = 0x01,
+    /// NVMe Read.
+    Read = 0x02,
+    /// NVMe Dataset Management (used for TRIM).
+    DatasetMgmt = 0x09,
+    /// Morpheus: initialize a StorageApp instance.
+    MInit = 0x80,
+    /// Morpheus: write data through a StorageApp.
+    MWrite = 0x81,
+    /// Morpheus: read data through a StorageApp.
+    MRead = 0x82,
+    /// Morpheus: finish a StorageApp instance.
+    MDeinit = 0x84,
+}
+
+impl IoOpcode {
+    /// Decodes an opcode byte.
+    pub fn from_u8(b: u8) -> Option<IoOpcode> {
+        Some(match b {
+            0x00 => IoOpcode::Flush,
+            0x01 => IoOpcode::Write,
+            0x02 => IoOpcode::Read,
+            0x09 => IoOpcode::DatasetMgmt,
+            0x80 => IoOpcode::MInit,
+            0x81 => IoOpcode::MWrite,
+            0x82 => IoOpcode::MRead,
+            0x84 => IoOpcode::MDeinit,
+            _ => return None,
+        })
+    }
+
+    /// True for the four Morpheus extension opcodes.
+    pub fn is_morpheus(self) -> bool {
+        matches!(
+            self,
+            IoOpcode::MInit | IoOpcode::MWrite | IoOpcode::MRead | IoOpcode::MDeinit
+        )
+    }
+}
+
+/// Alias kept for readability in APIs that accept any opcode byte.
+pub type Opcode = IoOpcode;
+
+/// A decoded NVMe submission-queue entry.
+///
+/// Field layout follows the NVMe 1.2 SQE: opcode/flags/cid in dword 0,
+/// namespace id, metadata and data pointers, then six command dwords. The
+/// encoding is byte-exact little-endian so packets round-trip through
+/// [`encode`](NvmeCommand::encode) / [`decode`](NvmeCommand::decode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NvmeCommand {
+    /// Command opcode.
+    pub opcode: IoOpcode,
+    /// Command flags (fused operations, PRP vs SGL; unused by the model).
+    pub flags: u8,
+    /// Command identifier, echoed in the completion entry.
+    pub cid: u16,
+    /// Namespace identifier.
+    pub nsid: u32,
+    /// Metadata pointer (unused by the model, preserved in encoding).
+    pub mptr: u64,
+    /// Data pointer 1 (host or peer bus address for DMA).
+    pub prp1: u64,
+    /// Data pointer 2 (second page or list; preserved).
+    pub prp2: u64,
+    /// Command dwords 10–15.
+    pub cdw: [u32; 6],
+}
+
+impl NvmeCommand {
+    /// Creates a command with zeroed optional fields.
+    pub fn new(opcode: IoOpcode, cid: u16, nsid: u32) -> Self {
+        NvmeCommand {
+            opcode,
+            flags: 0,
+            cid,
+            nsid,
+            mptr: 0,
+            prp1: 0,
+            prp2: 0,
+            cdw: [0; 6],
+        }
+    }
+
+    /// A standard read of `blocks` logical blocks starting at `slba`,
+    /// targeting bus address `prp1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is 0 or exceeds [`MAX_IO_BLOCKS`].
+    pub fn read(cid: u16, nsid: u32, slba: u64, blocks: u64, prp1: u64) -> Self {
+        Self::rw(IoOpcode::Read, cid, nsid, slba, blocks, prp1)
+    }
+
+    /// A standard write of `blocks` logical blocks starting at `slba`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is 0 or exceeds [`MAX_IO_BLOCKS`].
+    pub fn write(cid: u16, nsid: u32, slba: u64, blocks: u64, prp1: u64) -> Self {
+        Self::rw(IoOpcode::Write, cid, nsid, slba, blocks, prp1)
+    }
+
+    fn rw(op: IoOpcode, cid: u16, nsid: u32, slba: u64, blocks: u64, prp1: u64) -> Self {
+        assert!(
+            blocks > 0 && blocks <= MAX_IO_BLOCKS,
+            "blocks must be in 1..={MAX_IO_BLOCKS}, got {blocks}"
+        );
+        let mut c = NvmeCommand::new(op, cid, nsid);
+        c.prp1 = prp1;
+        c.cdw[0] = slba as u32;
+        c.cdw[1] = (slba >> 32) as u32;
+        // NLB is a 0-based field in NVMe.
+        c.cdw[2] = (blocks - 1) as u32;
+        c
+    }
+
+    /// Starting LBA of a read/write command.
+    pub fn slba(&self) -> u64 {
+        self.cdw[0] as u64 | ((self.cdw[1] as u64) << 32)
+    }
+
+    /// Block count of a read/write command (converting from the 0-based
+    /// on-wire field).
+    pub fn blocks(&self) -> u64 {
+        self.cdw[2] as u64 + 1
+    }
+
+    /// Encodes into the 64-byte on-wire packet.
+    pub fn encode(&self) -> [u8; CMD_BYTES] {
+        let mut buf = [0u8; CMD_BYTES];
+        {
+            let mut w: &mut [u8] = &mut buf;
+            w.put_u8(self.opcode as u8);
+            w.put_u8(self.flags);
+            w.put_u16_le(self.cid);
+            w.put_u32_le(self.nsid);
+            w.put_u64_le(0); // reserved dwords 2-3
+            w.put_u64_le(self.mptr);
+            w.put_u64_le(self.prp1);
+            w.put_u64_le(self.prp2);
+            for d in self.cdw {
+                w.put_u32_le(d);
+            }
+        }
+        buf
+    }
+
+    /// Decodes a 64-byte packet.
+    ///
+    /// Returns `None` if the buffer is not exactly [`CMD_BYTES`] long or the
+    /// opcode is unknown.
+    pub fn decode(bytes: &[u8]) -> Option<NvmeCommand> {
+        if bytes.len() != CMD_BYTES {
+            return None;
+        }
+        let mut r: &[u8] = bytes;
+        let opcode = IoOpcode::from_u8(r.get_u8())?;
+        let flags = r.get_u8();
+        let cid = r.get_u16_le();
+        let nsid = r.get_u32_le();
+        let _reserved = r.get_u64_le();
+        let mptr = r.get_u64_le();
+        let prp1 = r.get_u64_le();
+        let prp2 = r.get_u64_le();
+        let mut cdw = [0u32; 6];
+        for d in &mut cdw {
+            *d = r.get_u32_le();
+        }
+        Some(NvmeCommand {
+            opcode,
+            flags,
+            cid,
+            nsid,
+            mptr,
+            prp1,
+            prp2,
+            cdw,
+        })
+    }
+}
+
+impl fmt::Display for NvmeCommand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?} cid={} nsid={}", self.opcode, self.cid, self.nsid)
+    }
+}
+
+/// Typed view of the four Morpheus extension commands (§IV-A).
+///
+/// Each variant captures the payload the paper describes: MINIT carries a
+/// pointer to and length of the StorageApp code plus host arguments and the
+/// instance ID used to route subsequent commands to the same embedded core;
+/// MREAD/MWRITE are conventional transfers tagged with an instance ID;
+/// MDEINIT releases the instance and returns the StorageApp's return value
+/// through the completion entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MorpheusCommand {
+    /// Install a StorageApp and create an execution instance.
+    Init {
+        /// Instance ID chosen by the host runtime (unique per host thread).
+        instance_id: u32,
+        /// Host bus address of the StorageApp binary image.
+        code_ptr: u64,
+        /// Length of the binary image in bytes.
+        code_len: u32,
+        /// One packed argument word from the host application.
+        arg: u32,
+    },
+    /// Read `blocks` logical blocks from `slba` *through* the StorageApp.
+    Read {
+        /// Target instance.
+        instance_id: u32,
+        /// Starting logical block.
+        slba: u64,
+        /// Number of blocks (1-based).
+        blocks: u64,
+        /// Destination bus address (host DRAM or a peer BAR for P2P).
+        dma_addr: u64,
+    },
+    /// Write `blocks` logical blocks to `slba` through the StorageApp.
+    Write {
+        /// Target instance.
+        instance_id: u32,
+        /// Starting logical block.
+        slba: u64,
+        /// Number of blocks (1-based).
+        blocks: u64,
+        /// Source bus address.
+        dma_addr: u64,
+    },
+    /// Finish the instance; the completion carries the return value.
+    Deinit {
+        /// Target instance.
+        instance_id: u32,
+    },
+}
+
+impl MorpheusCommand {
+    /// Lowers the typed view into an on-wire [`NvmeCommand`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transfer's block count is 0 or exceeds
+    /// [`MAX_IO_BLOCKS`].
+    pub fn into_command(self, cid: u16, nsid: u32) -> NvmeCommand {
+        match self {
+            MorpheusCommand::Init {
+                instance_id,
+                code_ptr,
+                code_len,
+                arg,
+            } => {
+                let mut c = NvmeCommand::new(IoOpcode::MInit, cid, nsid);
+                c.prp1 = code_ptr;
+                c.cdw[0] = instance_id;
+                c.cdw[1] = code_len;
+                c.cdw[2] = arg;
+                c
+            }
+            MorpheusCommand::Read {
+                instance_id,
+                slba,
+                blocks,
+                dma_addr,
+            } => {
+                let mut c = NvmeCommand::rw(IoOpcode::MRead, cid, nsid, slba, blocks, dma_addr);
+                c.cdw[3] = instance_id;
+                c
+            }
+            MorpheusCommand::Write {
+                instance_id,
+                slba,
+                blocks,
+                dma_addr,
+            } => {
+                let mut c = NvmeCommand::rw(IoOpcode::MWrite, cid, nsid, slba, blocks, dma_addr);
+                c.cdw[3] = instance_id;
+                c
+            }
+            MorpheusCommand::Deinit { instance_id } => {
+                let mut c = NvmeCommand::new(IoOpcode::MDeinit, cid, nsid);
+                c.cdw[0] = instance_id;
+                c
+            }
+        }
+    }
+
+    /// Parses the typed view back out of an on-wire command.
+    ///
+    /// Returns `None` for non-Morpheus opcodes.
+    pub fn parse(c: &NvmeCommand) -> Option<MorpheusCommand> {
+        Some(match c.opcode {
+            IoOpcode::MInit => MorpheusCommand::Init {
+                instance_id: c.cdw[0],
+                code_ptr: c.prp1,
+                code_len: c.cdw[1],
+                arg: c.cdw[2],
+            },
+            IoOpcode::MRead => MorpheusCommand::Read {
+                instance_id: c.cdw[3],
+                slba: c.slba(),
+                blocks: c.blocks(),
+                dma_addr: c.prp1,
+            },
+            IoOpcode::MWrite => MorpheusCommand::Write {
+                instance_id: c.cdw[3],
+                slba: c.slba(),
+                blocks: c.blocks(),
+                dma_addr: c.prp1,
+            },
+            IoOpcode::MDeinit => MorpheusCommand::Deinit {
+                instance_id: c.cdw[0],
+            },
+            _ => return None,
+        })
+    }
+
+    /// The instance ID carried by any Morpheus command.
+    pub fn instance_id(&self) -> u32 {
+        match *self {
+            MorpheusCommand::Init { instance_id, .. }
+            | MorpheusCommand::Read { instance_id, .. }
+            | MorpheusCommand::Write { instance_id, .. }
+            | MorpheusCommand::Deinit { instance_id } => instance_id,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_is_64_bytes_and_round_trips() {
+        let mut c = NvmeCommand::read(9, 1, 0x1_2345_6789, 128, 0xdead_beef_0000);
+        c.flags = 0x40;
+        c.mptr = 77;
+        c.prp2 = 88;
+        let bytes = c.encode();
+        assert_eq!(bytes.len(), CMD_BYTES);
+        assert_eq!(NvmeCommand::decode(&bytes).unwrap(), c);
+    }
+
+    #[test]
+    fn decode_rejects_wrong_length_and_bad_opcode() {
+        assert!(NvmeCommand::decode(&[0u8; 63]).is_none());
+        let mut bytes = NvmeCommand::new(IoOpcode::Read, 0, 1).encode();
+        bytes[0] = 0x55; // unknown opcode
+        assert!(NvmeCommand::decode(&bytes).is_none());
+    }
+
+    #[test]
+    fn slba_and_blocks_survive_64_bit_lbas() {
+        let c = NvmeCommand::write(1, 1, u64::from(u32::MAX) + 5, MAX_IO_BLOCKS, 0);
+        assert_eq!(c.slba(), u64::from(u32::MAX) + 5);
+        assert_eq!(c.blocks(), MAX_IO_BLOCKS);
+    }
+
+    #[test]
+    #[should_panic(expected = "blocks must be")]
+    fn oversized_transfer_rejected() {
+        let _ = NvmeCommand::read(0, 1, 0, MAX_IO_BLOCKS + 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "blocks must be")]
+    fn zero_block_transfer_rejected() {
+        let _ = NvmeCommand::read(0, 1, 0, 0, 0);
+    }
+
+    #[test]
+    fn morpheus_views_round_trip() {
+        let cases = [
+            MorpheusCommand::Init {
+                instance_id: 3,
+                code_ptr: 0xabc0,
+                code_len: 4096,
+                arg: 17,
+            },
+            MorpheusCommand::Read {
+                instance_id: 3,
+                slba: 1 << 40,
+                blocks: 64,
+                dma_addr: 0xffff_0000,
+            },
+            MorpheusCommand::Write {
+                instance_id: 4,
+                slba: 12,
+                blocks: 1,
+                dma_addr: 0x10,
+            },
+            MorpheusCommand::Deinit { instance_id: 3 },
+        ];
+        for m in cases {
+            let wire = m.into_command(5, 1);
+            assert!(wire.opcode.is_morpheus());
+            let bytes = wire.encode();
+            let back = NvmeCommand::decode(&bytes).unwrap();
+            assert_eq!(MorpheusCommand::parse(&back), Some(m));
+            assert_eq!(MorpheusCommand::parse(&back).unwrap().instance_id(), m.instance_id());
+        }
+    }
+
+    #[test]
+    fn parse_rejects_standard_opcodes() {
+        let c = NvmeCommand::read(0, 1, 0, 1, 0);
+        assert!(MorpheusCommand::parse(&c).is_none());
+    }
+
+    #[test]
+    fn standard_opcodes_are_not_morpheus() {
+        assert!(!IoOpcode::Read.is_morpheus());
+        assert!(!IoOpcode::Flush.is_morpheus());
+        assert!(IoOpcode::MInit.is_morpheus());
+    }
+}

@@ -1,0 +1,55 @@
+//! NVMe protocol model with the Morpheus command extensions.
+//!
+//! Reproduces the protocol layer of §IV-A: NVMe encodes commands into
+//! 64-byte packets with a one-byte opcode; the Morpheus-SSD claims four
+//! opcodes in the vendor-specific space:
+//!
+//! * **MINIT** — install and start a StorageApp instance,
+//! * **MREAD** — read file data *through* a StorageApp instance,
+//! * **MWRITE** — write data through a StorageApp instance,
+//! * **MDEINIT** — tear an instance down and collect its return value.
+//!
+//! The crate provides byte-exact packet encode/decode ([`NvmeCommand`]),
+//! typed views of the Morpheus payloads ([`MorpheusCommand`]), standard and
+//! Morpheus [`status`](StatusCode) codes, and functional submission /
+//! completion queue rings with phase-bit semantics ([`SubmissionQueue`],
+//! [`CompletionQueue`]) exactly as a doorbell-model NVMe device uses them.
+//!
+//! # Example
+//!
+//! ```
+//! use morpheus_nvme::{MorpheusCommand, NvmeCommand};
+//!
+//! let cmd = MorpheusCommand::Init {
+//!     instance_id: 7,
+//!     code_ptr: 0x1000,
+//!     code_len: 512,
+//!     arg: 3,
+//! }
+//! .into_command(42, 1);
+//! let bytes = cmd.encode();
+//! assert_eq!(bytes.len(), 64);
+//! let back = NvmeCommand::decode(&bytes).unwrap();
+//! assert_eq!(MorpheusCommand::parse(&back).unwrap(), MorpheusCommand::Init {
+//!     instance_id: 7,
+//!     code_ptr: 0x1000,
+//!     code_len: 512,
+//!     arg: 3,
+//! });
+//! ```
+
+#![warn(missing_docs)]
+
+mod admin;
+mod command;
+mod queue;
+mod status;
+
+pub use admin::{
+    AdminController, AdminOpcode, IdentifyController, MorpheusCaps, IDENTIFY_BYTES,
+};
+pub use command::{
+    IoOpcode, MorpheusCommand, NvmeCommand, Opcode, CMD_BYTES, LBA_BYTES, MAX_IO_BLOCKS,
+};
+pub use queue::{CompletionEntry, CompletionQueue, QueueError, QueuePair, SubmissionQueue};
+pub use status::StatusCode;

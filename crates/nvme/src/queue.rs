@@ -1,0 +1,302 @@
+//! Submission and completion queue rings with doorbells and phase bits.
+//!
+//! NVMe uses a doorbell model (§IV-C): the host writes commands into a
+//! submission ring and rings a tail doorbell; the device consumes entries
+//! and posts 16-byte completions into a completion ring, toggling a phase
+//! bit each wrap so the host can detect new entries without a doorbell.
+
+use crate::{NvmeCommand, StatusCode};
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+/// Queue-level errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueError {
+    /// The ring is full; the producer must wait for the consumer.
+    Full,
+}
+
+impl fmt::Display for QueueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueueError::Full => write!(f, "queue is full"),
+        }
+    }
+}
+
+impl Error for QueueError {}
+
+/// A submission queue ring.
+///
+/// The host is the producer ([`submit`](SubmissionQueue::submit) writes the
+/// entry and advances the tail doorbell); the device is the consumer
+/// ([`pop`](SubmissionQueue::pop)).
+#[derive(Debug, Clone)]
+pub struct SubmissionQueue {
+    entries: VecDeque<NvmeCommand>,
+    depth: usize,
+    doorbell_writes: u64,
+}
+
+impl SubmissionQueue {
+    /// Creates a ring with the given depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "queue depth must be positive");
+        SubmissionQueue {
+            entries: VecDeque::with_capacity(depth),
+            depth,
+            doorbell_writes: 0,
+        }
+    }
+
+    /// Host side: enqueue a command and ring the tail doorbell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueError::Full`] when the ring has no free slot.
+    pub fn submit(&mut self, cmd: NvmeCommand) -> Result<(), QueueError> {
+        if self.entries.len() == self.depth {
+            return Err(QueueError::Full);
+        }
+        self.entries.push_back(cmd);
+        self.doorbell_writes += 1;
+        Ok(())
+    }
+
+    /// Device side: consume the oldest command, if any.
+    pub fn pop(&mut self) -> Option<NvmeCommand> {
+        self.entries.pop_front()
+    }
+
+    /// Commands currently queued.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no commands are queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total tail-doorbell writes (each one is an MMIO the host paid for).
+    pub fn doorbell_writes(&self) -> u64 {
+        self.doorbell_writes
+    }
+}
+
+/// A posted completion entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletionEntry {
+    /// Command identifier of the completed command.
+    pub cid: u16,
+    /// Completion status.
+    pub status: StatusCode,
+    /// Command-specific result dword (Morpheus return values travel here).
+    pub result: u32,
+    /// Phase tag; alternates every ring wrap.
+    pub phase: bool,
+}
+
+/// A completion queue ring with phase-bit semantics.
+#[derive(Debug, Clone)]
+pub struct CompletionQueue {
+    ring: Vec<Option<CompletionEntry>>,
+    head: usize,
+    tail: usize,
+    phase: bool,
+    outstanding: usize,
+}
+
+impl CompletionQueue {
+    /// Creates a ring with the given depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "queue depth must be positive");
+        CompletionQueue {
+            ring: vec![None; depth],
+            head: 0,
+            tail: 0,
+            phase: true,
+            outstanding: 0,
+        }
+    }
+
+    /// Device side: post a completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueError::Full`] when the host has not consumed enough
+    /// entries.
+    pub fn post(&mut self, cid: u16, status: StatusCode, result: u32) -> Result<(), QueueError> {
+        if self.outstanding == self.ring.len() {
+            return Err(QueueError::Full);
+        }
+        self.ring[self.tail] = Some(CompletionEntry {
+            cid,
+            status,
+            result,
+            phase: self.phase,
+        });
+        self.tail += 1;
+        if self.tail == self.ring.len() {
+            self.tail = 0;
+            self.phase = !self.phase;
+        }
+        self.outstanding += 1;
+        Ok(())
+    }
+
+    /// Host side: consume the next completion, using the phase bit to
+    /// detect a new entry exactly as an NVMe driver polls.
+    pub fn reap(&mut self) -> Option<CompletionEntry> {
+        let expected_phase = self.host_expected_phase();
+        let e = self.ring[self.head]?;
+        if e.phase != expected_phase {
+            return None;
+        }
+        self.ring[self.head] = None;
+        self.head += 1;
+        if self.head == self.ring.len() {
+            self.head = 0;
+        }
+        self.outstanding -= 1;
+        Some(e)
+    }
+
+    /// Completions posted but not yet reaped.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    fn host_expected_phase(&self) -> bool {
+        // The host's expected phase flips each time its head wraps; we can
+        // derive it from the device state because the model is lock-step.
+        if self.head <= self.tail && self.outstanding < self.ring.len() {
+            self.phase
+        } else {
+            !self.phase
+        }
+    }
+}
+
+/// A paired submission/completion queue as created per host thread.
+#[derive(Debug, Clone)]
+pub struct QueuePair {
+    /// Commands from host to device.
+    pub sq: SubmissionQueue,
+    /// Completions from device to host.
+    pub cq: CompletionQueue,
+}
+
+impl QueuePair {
+    /// Creates a pair with equal depths.
+    pub fn new(depth: usize) -> Self {
+        QueuePair {
+            sq: SubmissionQueue::new(depth),
+            cq: CompletionQueue::new(depth),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IoOpcode;
+
+    fn cmd(cid: u16) -> NvmeCommand {
+        NvmeCommand::new(IoOpcode::Flush, cid, 1)
+    }
+
+    #[test]
+    fn sq_fifo_order() {
+        let mut sq = SubmissionQueue::new(4);
+        sq.submit(cmd(1)).unwrap();
+        sq.submit(cmd(2)).unwrap();
+        assert_eq!(sq.pop().unwrap().cid, 1);
+        assert_eq!(sq.pop().unwrap().cid, 2);
+        assert!(sq.pop().is_none());
+        assert_eq!(sq.doorbell_writes(), 2);
+    }
+
+    #[test]
+    fn sq_full_rejects() {
+        let mut sq = SubmissionQueue::new(1);
+        sq.submit(cmd(1)).unwrap();
+        assert_eq!(sq.submit(cmd(2)).unwrap_err(), QueueError::Full);
+        sq.pop();
+        sq.submit(cmd(2)).unwrap();
+    }
+
+    #[test]
+    fn cq_round_trips_entries_in_order() {
+        let mut cq = CompletionQueue::new(3);
+        cq.post(1, StatusCode::Success, 10).unwrap();
+        cq.post(2, StatusCode::AppFault, 0).unwrap();
+        let a = cq.reap().unwrap();
+        assert_eq!((a.cid, a.result), (1, 10));
+        let b = cq.reap().unwrap();
+        assert_eq!(b.status, StatusCode::AppFault);
+        assert!(cq.reap().is_none());
+    }
+
+    #[test]
+    fn cq_phase_bit_flips_on_wrap() {
+        let mut cq = CompletionQueue::new(2);
+        cq.post(1, StatusCode::Success, 0).unwrap();
+        cq.post(2, StatusCode::Success, 0).unwrap();
+        let e1 = cq.reap().unwrap();
+        let e2 = cq.reap().unwrap();
+        assert_eq!(e1.phase, e2.phase);
+        // Third and fourth completions wrap the ring: phase flips.
+        cq.post(3, StatusCode::Success, 0).unwrap();
+        cq.post(4, StatusCode::Success, 0).unwrap();
+        let e3 = cq.reap().unwrap();
+        assert_ne!(e1.phase, e3.phase);
+        assert_eq!(e3.cid, 3);
+        assert_eq!(cq.reap().unwrap().cid, 4);
+    }
+
+    #[test]
+    fn cq_full_rejects() {
+        let mut cq = CompletionQueue::new(1);
+        cq.post(1, StatusCode::Success, 0).unwrap();
+        assert_eq!(
+            cq.post(2, StatusCode::Success, 0).unwrap_err(),
+            QueueError::Full
+        );
+        cq.reap().unwrap();
+        cq.post(2, StatusCode::Success, 0).unwrap();
+    }
+
+    #[test]
+    fn long_interleaved_traffic_preserves_order() {
+        let mut qp = QueuePair::new(8);
+        let mut next_cid: u16 = 0;
+        let mut expect_reap: u16 = 0;
+        for step in 0..1000u32 {
+            if step % 3 != 0
+                && qp.sq.submit(cmd(next_cid)).is_ok() {
+                    next_cid += 1;
+                }
+            if qp.cq.outstanding() < 8 {
+                if let Some(c) = qp.sq.pop() {
+                    qp.cq.post(c.cid, StatusCode::Success, 0).unwrap();
+                }
+            }
+            if step % 2 == 0 {
+                if let Some(e) = qp.cq.reap() {
+                    assert_eq!(e.cid, expect_reap);
+                    expect_reap += 1;
+                }
+            }
+        }
+    }
+}

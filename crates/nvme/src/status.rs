@@ -1,0 +1,109 @@
+//! NVMe completion status codes, including Morpheus-specific statuses.
+
+use std::fmt;
+
+/// Completion status of an NVMe command.
+///
+/// Standard codes use their NVMe 1.2 generic-status values; the Morpheus
+/// extension statuses live in the vendor-specific range (`0xC0`+).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum StatusCode {
+    /// Command completed successfully.
+    Success = 0x00,
+    /// Opcode not supported.
+    InvalidOpcode = 0x01,
+    /// A field in the command is invalid.
+    InvalidField = 0x02,
+    /// LBA beyond the namespace capacity.
+    LbaOutOfRange = 0x80,
+    /// Device-internal error (e.g. uncorrectable media error).
+    InternalError = 0x06,
+    /// Morpheus: command referenced an instance ID with no live instance.
+    NoSuchInstance = 0xC0,
+    /// Morpheus: StorageApp image does not fit the embedded core's I-SRAM.
+    CodeTooLarge = 0xC1,
+    /// Morpheus: StorageApp working set exceeded the embedded core's D-SRAM.
+    SramOverflow = 0xC2,
+    /// Morpheus: instance ID already in use by another MINIT.
+    InstanceBusy = 0xC3,
+    /// Morpheus: the StorageApp itself failed (parse error, bad input).
+    AppFault = 0xC4,
+}
+
+impl StatusCode {
+    /// True if the command succeeded.
+    pub fn is_success(self) -> bool {
+        self == StatusCode::Success
+    }
+
+    /// Decodes a status value.
+    pub fn from_u16(v: u16) -> Option<StatusCode> {
+        Some(match v {
+            0x00 => StatusCode::Success,
+            0x01 => StatusCode::InvalidOpcode,
+            0x02 => StatusCode::InvalidField,
+            0x80 => StatusCode::LbaOutOfRange,
+            0x06 => StatusCode::InternalError,
+            0xC0 => StatusCode::NoSuchInstance,
+            0xC1 => StatusCode::CodeTooLarge,
+            0xC2 => StatusCode::SramOverflow,
+            0xC3 => StatusCode::InstanceBusy,
+            0xC4 => StatusCode::AppFault,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for StatusCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StatusCode::Success => "success",
+            StatusCode::InvalidOpcode => "invalid opcode",
+            StatusCode::InvalidField => "invalid field",
+            StatusCode::LbaOutOfRange => "lba out of range",
+            StatusCode::InternalError => "internal device error",
+            StatusCode::NoSuchInstance => "no such storageapp instance",
+            StatusCode::CodeTooLarge => "storageapp code exceeds i-sram",
+            StatusCode::SramOverflow => "storageapp working set exceeds d-sram",
+            StatusCode::InstanceBusy => "instance id already in use",
+            StatusCode::AppFault => "storageapp fault",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_codes() {
+        for c in [
+            StatusCode::Success,
+            StatusCode::InvalidOpcode,
+            StatusCode::InvalidField,
+            StatusCode::LbaOutOfRange,
+            StatusCode::InternalError,
+            StatusCode::NoSuchInstance,
+            StatusCode::CodeTooLarge,
+            StatusCode::SramOverflow,
+            StatusCode::InstanceBusy,
+            StatusCode::AppFault,
+        ] {
+            assert_eq!(StatusCode::from_u16(c as u16), Some(c));
+            assert!(!c.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn unknown_code_rejected() {
+        assert_eq!(StatusCode::from_u16(0x7F), None);
+    }
+
+    #[test]
+    fn only_success_is_success() {
+        assert!(StatusCode::Success.is_success());
+        assert!(!StatusCode::AppFault.is_success());
+    }
+}

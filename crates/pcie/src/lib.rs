@@ -1,0 +1,44 @@
+//! PCIe interconnect model: links, switch, BARs, DMA, peer-to-peer routing.
+//!
+//! Models the part of the platform that NVMe-P2P (§IV-C) re-engineers: a
+//! PCIe switch with per-device links and a root-complex link toward the host
+//! memory system. Peripherals expose device memory by programming **base
+//! address registers** (BARs) into the switch's address map; the switch
+//! examines the destination address of each DMA and either forwards it to a
+//! peer device directly (peer-to-peer, never touching the root complex) or
+//! up through the root complex into host DRAM.
+//!
+//! The fabric is timing-aware (every transfer occupies the crossed links'
+//! [`Timeline`](morpheus_simcore::Timeline)s, so concurrent transfers
+//! contend) and accounts traffic per link — the paper's "22 % less PCIe
+//! traffic" claim is measured from these counters.
+//!
+//! # Example
+//!
+//! ```
+//! use morpheus_pcie::{DmaDir, Fabric, LinkConfig, PcieGen};
+//! use morpheus_simcore::SimTime;
+//!
+//! let mut fabric = Fabric::new(LinkConfig::new(PcieGen::Gen3, 8));
+//! let ssd = fabric.add_device("ssd", LinkConfig::new(PcieGen::Gen3, 4));
+//! let gpu = fabric.add_device("gpu", LinkConfig::new(PcieGen::Gen3, 16));
+//! let bar = fabric.map_bar(gpu, 1 << 30).unwrap();
+//!
+//! // SSD pushes 1 MiB straight into GPU memory: pure peer-to-peer.
+//! let out = fabric
+//!     .dma(ssd, DmaDir::Write, bar.base, 1 << 20, SimTime::ZERO)
+//!     .unwrap();
+//! assert!(out.peer_to_peer);
+//! assert_eq!(fabric.traffic().root_bytes, 0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod fabric;
+mod link;
+
+pub use fabric::{
+    BarWindow, DeviceId, DmaDir, DmaOutcome, Fabric, PcieError, Target, TrafficStats,
+    HOST_MEMORY_TOP,
+};
+pub use link::{LinkConfig, PcieGen};

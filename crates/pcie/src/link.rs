@@ -1,0 +1,100 @@
+//! PCIe link generations and per-link bandwidth.
+
+use morpheus_simcore::Bandwidth;
+
+/// PCIe signalling generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PcieGen {
+    /// 2.5 GT/s, 8b/10b encoding.
+    Gen1,
+    /// 5.0 GT/s, 8b/10b encoding.
+    Gen2,
+    /// 8.0 GT/s, 128b/130b encoding.
+    Gen3,
+    /// 16.0 GT/s, 128b/130b encoding.
+    Gen4,
+}
+
+impl PcieGen {
+    /// Usable bytes per second per lane after line encoding.
+    pub fn bytes_per_lane(self) -> f64 {
+        match self {
+            // GT/s * encoding efficiency / 8 bits
+            PcieGen::Gen1 => 2.5e9 * (8.0 / 10.0) / 8.0,
+            PcieGen::Gen2 => 5.0e9 * (8.0 / 10.0) / 8.0,
+            PcieGen::Gen3 => 8.0e9 * (128.0 / 130.0) / 8.0,
+            PcieGen::Gen4 => 16.0e9 * (128.0 / 130.0) / 8.0,
+        }
+    }
+}
+
+/// A link's generation and width, convertible to effective bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkConfig {
+    /// Signalling generation.
+    pub gen: PcieGen,
+    /// Lane count (x1, x4, x8, x16).
+    pub lanes: u32,
+    /// Fraction of raw bandwidth left after TLP/DLLP protocol overhead.
+    pub protocol_efficiency: f64,
+}
+
+impl LinkConfig {
+    /// A link with the default ~84 % protocol efficiency (256-byte TLPs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn new(gen: PcieGen, lanes: u32) -> Self {
+        assert!(lanes > 0, "a link needs at least one lane");
+        LinkConfig {
+            gen,
+            lanes,
+            protocol_efficiency: 0.84,
+        }
+    }
+
+    /// Effective one-direction bandwidth of the link.
+    pub fn bandwidth(&self) -> Bandwidth {
+        Bandwidth::from_bytes_per_s(
+            self.gen.bytes_per_lane() * self.lanes as f64 * self.protocol_efficiency,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gen3_x4_is_about_3_3_gbps() {
+        // The paper's Morpheus-SSD uses PCIe 3.0 x4: ~3.9 GB/s raw, ~3.3
+        // effective.
+        let bw = LinkConfig::new(PcieGen::Gen3, 4).bandwidth();
+        let gbs = bw.bytes_per_s() / 1e9;
+        assert!((3.0..3.6).contains(&gbs), "got {gbs} GB/s");
+    }
+
+    #[test]
+    fn bandwidth_scales_with_lanes() {
+        let x4 = LinkConfig::new(PcieGen::Gen3, 4).bandwidth().bytes_per_s();
+        let x16 = LinkConfig::new(PcieGen::Gen3, 16).bandwidth().bytes_per_s();
+        assert!((x16 / x4 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generations_get_faster() {
+        let mut prev = 0.0;
+        for g in [PcieGen::Gen1, PcieGen::Gen2, PcieGen::Gen3, PcieGen::Gen4] {
+            let b = g.bytes_per_lane();
+            assert!(b > prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn zero_lanes_rejected() {
+        let _ = LinkConfig::new(PcieGen::Gen3, 0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests: routing matches window membership; traffic accounting
+//! is conserved.
+
+use morpheus_pcie::{DmaDir, Fabric, LinkConfig, PcieGen, Target, HOST_MEMORY_TOP};
+use morpheus_simcore::SimTime;
+use proptest::prelude::*;
+
+proptest! {
+    /// For any set of mapped windows and any probe address, `route` returns
+    /// Device(d) iff the address is inside d's window, HostMemory iff it is
+    /// below the DRAM top, and Unmapped otherwise.
+    #[test]
+    fn routing_matches_membership(
+        sizes in proptest::collection::vec(1u64..(4 << 20), 1..8),
+        probe in any::<u64>(),
+    ) {
+        let mut f = Fabric::new(LinkConfig::new(PcieGen::Gen3, 8));
+        let mut devs = Vec::new();
+        let mut windows = Vec::new();
+        for (i, size) in sizes.iter().enumerate() {
+            let d = f.add_device(format!("dev{i}"), LinkConfig::new(PcieGen::Gen3, 4));
+            devs.push(d);
+            windows.push(f.map_bar(d, *size).unwrap());
+        }
+        let got = f.route(probe);
+        if probe < HOST_MEMORY_TOP {
+            prop_assert_eq!(got, Target::HostMemory);
+        } else if let Some(w) = windows.iter().find(|w| w.contains(probe)) {
+            prop_assert_eq!(got, Target::Device(w.device));
+        } else {
+            prop_assert_eq!(got, Target::Unmapped);
+        }
+    }
+
+    /// total = root + p2p for any DMA mix, and per-device byte counters
+    /// never exceed the total.
+    #[test]
+    fn traffic_accounting_conserved(
+        ops in proptest::collection::vec((any::<bool>(), any::<bool>(), 1u64..(1 << 20)), 1..50),
+    ) {
+        let mut f = Fabric::new(LinkConfig::new(PcieGen::Gen3, 8));
+        let ssd = f.add_device("ssd", LinkConfig::new(PcieGen::Gen3, 4));
+        let gpu = f.add_device("gpu", LinkConfig::new(PcieGen::Gen3, 16));
+        let bar = f.map_bar(gpu, 1 << 30).unwrap();
+        for (to_gpu, write, bytes) in ops {
+            let addr = if to_gpu { bar.base } else { 0x1000 };
+            let dir = if write { DmaDir::Write } else { DmaDir::Read };
+            f.dma(ssd, dir, addr, bytes, SimTime::ZERO).unwrap();
+        }
+        let t = f.traffic();
+        prop_assert_eq!(t.total_bytes, t.root_bytes + t.p2p_bytes);
+        prop_assert!(f.device_bytes(gpu) <= t.total_bytes);
+    }
+
+    /// DMA completion times are monotone along a shared link: issuing the
+    /// same transfers in sequence never finishes earlier than any earlier
+    /// transfer.
+    #[test]
+    fn shared_link_completions_are_monotone(
+        sizes in proptest::collection::vec(1u64..(4 << 20), 2..20),
+    ) {
+        let mut f = Fabric::new(LinkConfig::new(PcieGen::Gen3, 8));
+        let ssd = f.add_device("ssd", LinkConfig::new(PcieGen::Gen3, 4));
+        let mut last = SimTime::ZERO;
+        for bytes in sizes {
+            let out = f.dma(ssd, DmaDir::Write, 0, bytes, SimTime::ZERO).unwrap();
+            prop_assert!(out.end >= last);
+            last = out.end;
+        }
+    }
+}

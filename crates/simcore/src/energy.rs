@@ -1,0 +1,191 @@
+//! Whole-system power and energy accounting.
+//!
+//! The paper measures wall power with a Watts Up meter: an idle floor
+//! (105 W on their testbed) plus whatever each active component adds. We
+//! reproduce exactly that methodology: a [`PowerModel`] holds the idle floor
+//! and one [`Rail`] per component with the *delta* watts it draws while busy;
+//! busy time comes from the resource timelines. Energy is the integral
+//! `idle * makespan + Σ rail_delta * rail_busy`.
+
+use crate::{SimDuration, SimTime};
+use serde::Serialize;
+
+/// Identifies a rail within a [`PowerModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RailId(usize);
+
+/// One component's contribution to system power while active.
+#[derive(Debug, Clone, Serialize)]
+pub struct Rail {
+    /// Component name (e.g. `"cpu"`, `"ssd-cores"`).
+    pub name: String,
+    /// Watts drawn *above idle* while the component is busy.
+    pub active_delta_watts: f64,
+    /// Accumulated busy time.
+    busy: SimDuration,
+}
+
+/// System power model: idle floor plus per-component active deltas.
+///
+/// # Example
+///
+/// ```
+/// use morpheus_simcore::{PowerModel, SimDuration, SimTime};
+///
+/// let mut pm = PowerModel::new(105.0);
+/// let cpu = pm.add_rail("cpu", 10.4);
+/// pm.add_busy(cpu, SimDuration::from_secs(1));
+/// let rep = pm.report(SimTime::ZERO + SimDuration::from_secs(2));
+/// assert!((rep.energy_joules - (105.0 * 2.0 + 10.4)).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Serialize)]
+pub struct PowerModel {
+    /// Watts drawn by the whole platform when idle.
+    pub idle_watts: f64,
+    rails: Vec<Rail>,
+}
+
+/// Power/energy summary over a run.
+#[derive(Debug, Clone, Serialize)]
+pub struct EnergyReport {
+    /// Wall-clock length of the run.
+    pub makespan_s: f64,
+    /// Total energy, joules.
+    pub energy_joules: f64,
+    /// Mean power, watts (`energy / makespan`).
+    pub avg_power_watts: f64,
+    /// Per-rail energy above idle, joules, in rail order.
+    pub rail_joules: Vec<(String, f64)>,
+}
+
+impl PowerModel {
+    /// Creates a model with the given idle floor in watts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idle_watts` is negative or not finite.
+    pub fn new(idle_watts: f64) -> Self {
+        assert!(
+            idle_watts.is_finite() && idle_watts >= 0.0,
+            "idle power must be finite and non-negative"
+        );
+        PowerModel {
+            idle_watts,
+            rails: Vec::new(),
+        }
+    }
+
+    /// Registers a component rail and returns its id.
+    pub fn add_rail(&mut self, name: impl Into<String>, active_delta_watts: f64) -> RailId {
+        assert!(
+            active_delta_watts.is_finite() && active_delta_watts >= 0.0,
+            "rail delta must be finite and non-negative"
+        );
+        self.rails.push(Rail {
+            name: name.into(),
+            active_delta_watts,
+            busy: SimDuration::ZERO,
+        });
+        RailId(self.rails.len() - 1)
+    }
+
+    /// Adds busy time to a rail.
+    pub fn add_busy(&mut self, rail: RailId, busy: SimDuration) {
+        self.rails[rail.0].busy += busy;
+    }
+
+    /// Overrides a rail's active delta (used for DVFS-dependent CPU power).
+    pub fn set_delta(&mut self, rail: RailId, active_delta_watts: f64) {
+        assert!(
+            active_delta_watts.is_finite() && active_delta_watts >= 0.0,
+            "rail delta must be finite and non-negative"
+        );
+        self.rails[rail.0].active_delta_watts = active_delta_watts;
+    }
+
+    /// Accumulated busy time of a rail.
+    pub fn busy(&self, rail: RailId) -> SimDuration {
+        self.rails[rail.0].busy
+    }
+
+    /// Produces the energy report for a run that ended at `end`.
+    pub fn report(&self, end: SimTime) -> EnergyReport {
+        let makespan_s = end.as_secs_f64();
+        let mut energy = self.idle_watts * makespan_s;
+        let mut rail_joules = Vec::with_capacity(self.rails.len());
+        for r in &self.rails {
+            let j = r.active_delta_watts * r.busy.as_secs_f64();
+            energy += j;
+            rail_joules.push((r.name.clone(), j));
+        }
+        EnergyReport {
+            makespan_s,
+            energy_joules: energy,
+            avg_power_watts: if makespan_s > 0.0 {
+                energy / makespan_s
+            } else {
+                self.idle_watts
+            },
+            rail_joules,
+        }
+    }
+
+    /// Clears accumulated busy time on all rails.
+    pub fn reset(&mut self) {
+        for r in &mut self.rails {
+            r.busy = SimDuration::ZERO;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_only_run() {
+        let pm = PowerModel::new(100.0);
+        let rep = pm.report(SimTime::from_nanos(2_000_000_000));
+        assert!((rep.energy_joules - 200.0).abs() < 1e-9);
+        assert!((rep.avg_power_watts - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rails_add_delta_energy() {
+        let mut pm = PowerModel::new(100.0);
+        let cpu = pm.add_rail("cpu", 10.0);
+        let ssd = pm.add_rail("ssd", 2.0);
+        pm.add_busy(cpu, SimDuration::from_secs(1));
+        pm.add_busy(ssd, SimDuration::from_secs(4));
+        let rep = pm.report(SimTime::ZERO + SimDuration::from_secs(4));
+        assert!((rep.energy_joules - (400.0 + 10.0 + 8.0)).abs() < 1e-9);
+        assert_eq!(rep.rail_joules[0], ("cpu".to_string(), 10.0));
+    }
+
+    #[test]
+    fn set_delta_affects_future_report() {
+        let mut pm = PowerModel::new(0.0);
+        let cpu = pm.add_rail("cpu", 10.0);
+        pm.set_delta(cpu, 5.0);
+        pm.add_busy(cpu, SimDuration::from_secs(2));
+        let rep = pm.report(SimTime::ZERO + SimDuration::from_secs(2));
+        assert!((rep.energy_joules - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_makespan_reports_idle_power() {
+        let pm = PowerModel::new(42.0);
+        let rep = pm.report(SimTime::ZERO);
+        assert_eq!(rep.avg_power_watts, 42.0);
+        assert_eq!(rep.energy_joules, 0.0);
+    }
+
+    #[test]
+    fn reset_clears_busy() {
+        let mut pm = PowerModel::new(0.0);
+        let r = pm.add_rail("x", 1.0);
+        pm.add_busy(r, SimDuration::from_secs(3));
+        pm.reset();
+        assert_eq!(pm.busy(r), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,134 @@
+//! Text Gantt charts from recorded timelines.
+//!
+//! With [`Timeline::with_recording`] enabled, a run's intervals can be
+//! rendered as an ASCII occupancy chart — handy for eyeballing how flash
+//! reads, in-SSD parsing, and DMA overlap in the Morpheus pipeline.
+
+use crate::{SimTime, Timeline};
+use std::fmt::Write as _;
+
+/// Renders one row per timeline *unit* over `[0, end]`, `width` columns
+/// wide. Busy cells print `█`, half-covered cells `▒`, idle `·`.
+///
+/// Timelines recorded with [`Timeline::with_recording`] contribute their
+/// intervals; unrecorded timelines render as an `(unrecorded)` note.
+///
+/// # Panics
+///
+/// Panics if `width` is zero.
+///
+/// # Example
+///
+/// ```
+/// use morpheus_simcore::{render_gantt, SimDuration, SimTime, Timeline};
+///
+/// let mut t = Timeline::new("bus", 1).with_recording();
+/// t.acquire(SimTime::ZERO, SimDuration::from_nanos(50));
+/// let chart = render_gantt(&[("bus", &t)], SimTime::from_nanos(100), 10);
+/// assert!(chart.contains("█████·····"));
+/// ```
+pub fn render_gantt(lanes: &[(&str, &Timeline)], end: SimTime, width: usize) -> String {
+    assert!(width > 0, "chart width must be positive");
+    let span = end.as_nanos().max(1) as f64;
+    let label_w = lanes
+        .iter()
+        .map(|(n, t)| n.len() + if t.units() > 1 { 3 } else { 0 })
+        .max()
+        .unwrap_or(4)
+        .max(4);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:label_w$} 0{:…>width$} {}",
+        "lane",
+        "",
+        end,
+        label_w = label_w,
+        width = width.saturating_sub(1)
+    );
+    for (name, t) in lanes {
+        if t.intervals().is_empty() && !t.busy().is_zero() {
+            let _ = writeln!(out, "{name:label_w$} (unrecorded)");
+            continue;
+        }
+        for unit in 0..t.units() {
+            // Coverage per column in [0, 1].
+            let mut cover = vec![0.0f64; width];
+            for iv in t.intervals().iter().filter(|iv| iv.unit == unit) {
+                let s = iv.start.as_nanos() as f64 / span * width as f64;
+                let e = iv.end.as_nanos() as f64 / span * width as f64;
+                let lo = s.floor() as usize;
+                let hi = (e.ceil() as usize).min(width);
+                for (c, slot) in cover.iter_mut().enumerate().take(hi).skip(lo) {
+                    let cell_lo = c as f64;
+                    let cell_hi = c as f64 + 1.0;
+                    let overlap = (e.min(cell_hi) - s.max(cell_lo)).max(0.0);
+                    *slot += overlap;
+                }
+            }
+            let row: String = cover
+                .iter()
+                .map(|c| {
+                    if *c >= 0.75 {
+                        '█'
+                    } else if *c >= 0.25 {
+                        '▒'
+                    } else {
+                        '·'
+                    }
+                })
+                .collect();
+            let label = if t.units() > 1 {
+                format!("{name}/{unit}")
+            } else {
+                (*name).to_string()
+            };
+            let _ = writeln!(out, "{label:label_w$} {row}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimDuration;
+
+    #[test]
+    fn busy_and_idle_cells_render() {
+        let mut t = Timeline::new("t", 1).with_recording();
+        t.acquire(SimTime::ZERO, SimDuration::from_nanos(25));
+        t.acquire(SimTime::from_nanos(75), SimDuration::from_nanos(25));
+        let chart = render_gantt(&[("t", &t)], SimTime::from_nanos(100), 20);
+        let row = chart.lines().nth(1).unwrap();
+        assert!(row.contains("█████"), "{chart}");
+        assert!(row.contains("·····"), "{chart}");
+    }
+
+    #[test]
+    fn multi_unit_timelines_get_one_row_each() {
+        let mut t = Timeline::new("cores", 3).with_recording();
+        t.acquire(SimTime::ZERO, SimDuration::from_nanos(10));
+        let chart = render_gantt(&[("cores", &t)], SimTime::from_nanos(10), 8);
+        assert!(chart.contains("cores/0"));
+        assert!(chart.contains("cores/2"));
+        assert_eq!(chart.lines().count(), 1 + 3);
+    }
+
+    #[test]
+    fn unrecorded_busy_timelines_flagged() {
+        let mut t = Timeline::new("t", 1); // recording off
+        t.acquire(SimTime::ZERO, SimDuration::from_nanos(10));
+        let chart = render_gantt(&[("t", &t)], SimTime::from_nanos(10), 8);
+        assert!(chart.contains("(unrecorded)"));
+    }
+
+    #[test]
+    fn partial_coverage_uses_half_shade() {
+        let mut t = Timeline::new("t", 1).with_recording();
+        // 5ns of a 10ns-wide cell (width 10 over 100ns).
+        t.acquire(SimTime::from_nanos(2), SimDuration::from_nanos(5));
+        let chart = render_gantt(&[("t", &t)], SimTime::from_nanos(100), 10);
+        assert!(chart.lines().nth(1).unwrap().contains('▒'), "{chart}");
+    }
+}

@@ -1,0 +1,52 @@
+//! Deterministic simulation kernel for the Morpheus reproduction.
+//!
+//! This crate provides the timing substrate shared by every hardware model in
+//! the workspace:
+//!
+//! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution simulated time.
+//! * [`Timeline`] — a FIFO-queued, possibly multi-unit hardware resource
+//!   (a CPU core pool, a flash channel, a PCIe link, a DMA engine, ...).
+//! * [`Bandwidth`] — converts byte counts into service durations.
+//! * [`pipeline`] — runs a sequence of work items through a chain of
+//!   timelines, modelling the chunk-level pipelining that dominates the
+//!   Morpheus data path (flash read ∥ parse ∥ DMA).
+//! * [`PowerModel`] / [`EnergyReport`] — integrates component busy time into
+//!   whole-system power and energy, mirroring the paper's wall-meter
+//!   methodology (idle floor plus per-component deltas).
+//! * [`Metrics`] — a small ordered metric bag used by reports.
+//! * [`SplitMix64`] — a tiny deterministic PRNG so lower-level crates do not
+//!   need the `rand` dependency.
+//!
+//! Everything here is deterministic: the same inputs produce the same
+//! timings, which the integration suite relies on.
+//!
+//! # Example
+//!
+//! ```
+//! use morpheus_simcore::{Bandwidth, SimTime, Timeline};
+//!
+//! // A single-unit 400 MB/s flash channel bus.
+//! let mut bus = Timeline::new("flash-bus", 1);
+//! let bw = Bandwidth::from_mb_per_s(400.0);
+//! let a = bus.acquire(SimTime::ZERO, bw.duration_for(16 * 1024));
+//! let b = bus.acquire(SimTime::ZERO, bw.duration_for(16 * 1024));
+//! assert_eq!(b.start, a.end); // FIFO queueing
+//! ```
+
+#![warn(missing_docs)]
+
+mod energy;
+mod gantt;
+mod metrics;
+mod pipeline;
+mod rng;
+mod time;
+mod timeline;
+
+pub use energy::{EnergyReport, PowerModel, Rail, RailId};
+pub use gantt::render_gantt;
+pub use metrics::Metrics;
+pub use pipeline::{pipeline, PipelineResult, StageDemand};
+pub use rng::SplitMix64;
+pub use time::{SimDuration, SimTime};
+pub use timeline::{Bandwidth, Interval, Timeline};

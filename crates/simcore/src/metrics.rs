@@ -1,0 +1,144 @@
+//! A small ordered metric bag used by reports throughout the workspace.
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Named floating-point metrics with deterministic (sorted) iteration order.
+///
+/// # Example
+///
+/// ```
+/// use morpheus_simcore::Metrics;
+///
+/// let mut m = Metrics::new();
+/// m.add("bytes", 4096.0);
+/// m.add("bytes", 4096.0);
+/// assert_eq!(m.get("bytes"), 8192.0);
+/// assert_eq!(m.get("missing"), 0.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct Metrics {
+    values: BTreeMap<String, f64>,
+}
+
+impl Metrics {
+    /// Creates an empty metric bag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `v` to the named metric (creating it at zero first).
+    pub fn add(&mut self, name: &str, v: f64) {
+        *self.values.entry(name.to_string()).or_insert(0.0) += v;
+    }
+
+    /// Sets the named metric, replacing any previous value.
+    pub fn set(&mut self, name: &str, v: f64) {
+        self.values.insert(name.to_string(), v);
+    }
+
+    /// Increments the named metric by one.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1.0);
+    }
+
+    /// Reads a metric; missing metrics read as zero.
+    pub fn get(&self, name: &str) -> f64 {
+        self.values.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// True if the metric has been written.
+    pub fn contains(&self, name: &str) -> bool {
+        self.values.contains_key(name)
+    }
+
+    /// Iterates metrics in sorted name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Merges another bag into this one, summing shared names.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+
+    /// Number of distinct metrics.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if no metric has been written.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.values {
+            writeln!(f, "{k}: {v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a Metrics {
+    type Item = (&'a String, &'a f64);
+    type IntoIter = std::collections::btree_map::Iter<'a, String, f64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.values.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_accumulates() {
+        let mut m = Metrics::new();
+        m.add("x", 1.5);
+        m.add("x", 2.5);
+        assert_eq!(m.get("x"), 4.0);
+    }
+
+    #[test]
+    fn set_replaces() {
+        let mut m = Metrics::new();
+        m.add("x", 1.0);
+        m.set("x", 9.0);
+        assert_eq!(m.get("x"), 9.0);
+    }
+
+    #[test]
+    fn merge_sums_shared_names() {
+        let mut a = Metrics::new();
+        a.add("x", 1.0);
+        let mut b = Metrics::new();
+        b.add("x", 2.0);
+        b.add("y", 3.0);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 3.0);
+        assert_eq!(a.get("y"), 3.0);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut m = Metrics::new();
+        m.inc("zeta");
+        m.inc("alpha");
+        let names: Vec<_> = m.iter().map(|(k, _)| k.to_string()).collect();
+        assert_eq!(names, ["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let mut m = Metrics::new();
+        m.set("a", 1.0);
+        assert_eq!(m.to_string(), "a: 1\n");
+    }
+}

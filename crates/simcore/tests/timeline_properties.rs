@@ -1,0 +1,95 @@
+//! Property tests for the simulation kernel: resource timelines never
+//! double-book, pipelines respect data dependencies, and makespans are
+//! bounded by work-conservation arguments.
+
+use morpheus_simcore::{pipeline, SimDuration, SimTime, StageDemand, Timeline};
+use proptest::prelude::*;
+
+proptest! {
+    /// For any request sequence on a recording timeline, granted intervals
+    /// on the same unit never overlap, starts respect ready times, and
+    /// total busy equals the sum of services.
+    #[test]
+    fn timeline_never_double_books(
+        reqs in proptest::collection::vec((0u64..10_000, 1u64..500), 1..100),
+        units in 1usize..5,
+    ) {
+        let mut t = Timeline::new("t", units).with_recording();
+        let mut total = 0u64;
+        for (ready, service) in &reqs {
+            let iv = t.acquire(SimTime::from_nanos(*ready), SimDuration::from_nanos(*service));
+            prop_assert!(iv.start >= SimTime::from_nanos(*ready));
+            prop_assert_eq!(iv.end.duration_since(iv.start).as_nanos(), *service);
+            total += service;
+        }
+        prop_assert_eq!(t.busy().as_nanos(), total);
+        // No overlap within any unit.
+        for u in 0..units {
+            let mut ivs: Vec<_> = t.intervals().iter().filter(|i| i.unit == u).collect();
+            ivs.sort_by_key(|i| i.start);
+            for w in ivs.windows(2) {
+                prop_assert!(w[0].end <= w[1].start, "unit {u} double-booked");
+            }
+        }
+    }
+
+    /// FIFO fairness: with a single unit and all requests ready at zero,
+    /// completion order equals submission order.
+    #[test]
+    fn single_unit_is_fifo(services in proptest::collection::vec(1u64..100, 2..50)) {
+        let mut t = Timeline::new("t", 1);
+        let mut last_end = SimTime::ZERO;
+        for s in &services {
+            let iv = t.acquire(SimTime::ZERO, SimDuration::from_nanos(*s));
+            prop_assert_eq!(iv.start, last_end);
+            last_end = iv.end;
+        }
+    }
+
+    /// Pipeline makespan bounds: at least the critical path of any single
+    /// item, at most the sum of every stage of every item (full serial).
+    #[test]
+    fn pipeline_makespan_bounds(
+        // Nonzero demands: zero-service items skip stages without queueing,
+        // which legitimately breaks completion-order monotonicity.
+        items in proptest::collection::vec(
+            proptest::collection::vec(1u64..200, 3),
+            1..30,
+        ),
+    ) {
+        let mut a = Timeline::new("a", 1);
+        let mut b = Timeline::new("b", 1);
+        let mut c = Timeline::new("c", 1);
+        let mut stages = [&mut a, &mut b, &mut c];
+        let r = pipeline(&mut stages, SimTime::ZERO, items.len(), |i, s| {
+            StageDemand::service(SimDuration::from_nanos(items[i][s]))
+        });
+        let serial: u64 = items.iter().flatten().sum();
+        let critical: u64 = items.iter().map(|it| it.iter().sum::<u64>()).max().unwrap();
+        let per_stage_max: u64 = (0..3).map(|s| items.iter().map(|it| it[s]).sum::<u64>()).max().unwrap();
+        let makespan = r.makespan().as_nanos();
+        prop_assert!(makespan <= serial, "{makespan} > serial {serial}");
+        prop_assert!(makespan >= critical, "{makespan} < critical {critical}");
+        prop_assert!(makespan >= per_stage_max, "{makespan} < bottleneck {per_stage_max}");
+        // Completions are monotone in item order for single-unit stages.
+        for w in r.item_done.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+
+    /// Item completion times never precede the sum of their own demands.
+    #[test]
+    fn pipeline_items_respect_their_own_work(
+        items in proptest::collection::vec((1u64..100, 1u64..100), 1..40),
+    ) {
+        let mut a = Timeline::new("a", 2);
+        let mut b = Timeline::new("b", 2);
+        let mut stages = [&mut a, &mut b];
+        let r = pipeline(&mut stages, SimTime::ZERO, items.len(), |i, s| {
+            StageDemand::service(SimDuration::from_nanos(if s == 0 { items[i].0 } else { items[i].1 }))
+        });
+        for (i, done) in r.item_done.iter().enumerate() {
+            prop_assert!(done.as_nanos() >= items[i].0 + items[i].1);
+        }
+    }
+}

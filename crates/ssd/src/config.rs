@@ -1,0 +1,76 @@
+//! SSD controller configuration.
+
+use morpheus_ftl::FtlConfig;
+
+/// Parameters of the SSD controller.
+///
+/// Defaults follow the paper's prototype: a Microsemi-class controller with
+/// multiple general-purpose embedded cores (no FPU), 2 GB of DDR3 DRAM for
+/// StorageApp data and FTL mappings, and a PCIe 3.0 x4 front end.
+#[derive(Debug, Clone, Copy)]
+pub struct SsdConfig {
+    /// Number of general-purpose embedded cores available to firmware /
+    /// StorageApps.
+    pub embedded_cores: u32,
+    /// Embedded core clock, Hz.
+    pub core_clock_hz: f64,
+    /// Instruction SRAM per core (caps StorageApp code size).
+    pub isram_bytes: u32,
+    /// Data SRAM per core (caps a StorageApp's working set; larger sets
+    /// must spill through `ms_memcpy`, §V-A1).
+    pub dsram_bytes: u32,
+    /// Controller DRAM capacity.
+    pub dram_bytes: u64,
+    /// Firmware instructions to dispatch one NVMe command.
+    pub command_dispatch_instructions: f64,
+    /// FTL configuration.
+    pub ftl: FtlConfig,
+}
+
+impl SsdConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical values.
+    pub fn validate(&self) {
+        assert!(self.embedded_cores > 0, "need at least one embedded core");
+        assert!(self.core_clock_hz > 0.0, "core clock must be positive");
+        assert!(self.dsram_bytes > 0, "d-sram must be non-empty");
+        self.ftl.validate();
+    }
+}
+
+impl Default for SsdConfig {
+    fn default() -> Self {
+        SsdConfig {
+            embedded_cores: 4,
+            core_clock_hz: 800e6,
+            isram_bytes: 128 * 1024,
+            dsram_bytes: 256 * 1024,
+            dram_bytes: 2 << 30,
+            command_dispatch_instructions: 3_000.0,
+            ftl: FtlConfig::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        SsdConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "embedded core")]
+    fn zero_cores_rejected() {
+        SsdConfig {
+            embedded_cores: 0,
+            ..SsdConfig::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,143 @@
+//! The controller's pool of general-purpose embedded cores.
+
+use morpheus_simcore::{Interval, SimDuration, SimTime, Timeline};
+
+/// A pool of identical in-order embedded cores (Tensilica LX-class).
+///
+/// Work is expressed in instructions; the pool converts to time at the
+/// configured clock (IPC 1.0 — these are simple in-order cores). Each core
+/// is its own timeline so work can be *pinned*: the Morpheus firmware
+/// routes all packets of one StorageApp instance to one core (§IV-B),
+/// which is what lets independent tenants overlap. Busy time feeds the
+/// SSD power rail.
+#[derive(Debug)]
+pub struct EmbeddedCorePool {
+    cores: Vec<Timeline>,
+    clock_hz: f64,
+}
+
+impl EmbeddedCorePool {
+    /// Creates a pool of `cores` cores at `clock_hz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero or the clock is not positive.
+    pub fn new(cores: u32, clock_hz: f64) -> Self {
+        assert!(cores > 0, "need at least one core");
+        assert!(
+            clock_hz.is_finite() && clock_hz > 0.0,
+            "clock must be positive"
+        );
+        EmbeddedCorePool {
+            cores: (0..cores)
+                .map(|c| Timeline::new(format!("ssd-core{c}"), 1))
+                .collect(),
+            clock_hz,
+        }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The core clock in Hz.
+    pub fn clock_hz(&self) -> f64 {
+        self.clock_hz
+    }
+
+    /// Time to retire `instructions` on one core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instructions` is negative or not finite.
+    pub fn duration(&self, instructions: f64) -> SimDuration {
+        assert!(
+            instructions.is_finite() && instructions >= 0.0,
+            "instruction count must be finite and non-negative"
+        );
+        SimDuration::from_secs_f64(instructions / self.clock_hz)
+    }
+
+    /// Executes `instructions` on the earliest-free core, starting no
+    /// earlier than `ready` (used for firmware work with no affinity,
+    /// e.g. conventional command dispatch).
+    pub fn exec(&mut self, ready: SimTime, instructions: f64) -> Interval {
+        let core = self
+            .cores
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| t.horizon())
+            .map(|(i, _)| i)
+            .expect("pool has at least one core");
+        self.exec_on(core, ready, instructions)
+    }
+
+    /// Executes `instructions` on a specific core — the affinity path the
+    /// Morpheus firmware uses to keep one instance on one core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn exec_on(&mut self, core: usize, ready: SimTime, instructions: f64) -> Interval {
+        let d = self.duration(instructions);
+        self.cores[core].acquire(ready, d)
+    }
+
+    /// Total busy time across cores (feeds the power model).
+    pub fn busy(&self) -> SimDuration {
+        self.cores.iter().map(Timeline::busy).sum()
+    }
+
+    /// Latest time any core frees up.
+    pub fn horizon(&self) -> SimTime {
+        self.cores
+            .iter()
+            .map(Timeline::horizon)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Clears all timing state back to time zero.
+    pub fn reset(&mut self) {
+        for c in &mut self.cores {
+            c.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_uses_clock() {
+        let pool = EmbeddedCorePool::new(4, 500e6);
+        assert_eq!(pool.duration(500e6).as_secs_f64(), 1.0);
+    }
+
+    #[test]
+    fn four_cores_run_four_jobs_in_parallel() {
+        let mut pool = EmbeddedCorePool::new(4, 500e6);
+        let ivs: Vec<_> = (0..4).map(|_| pool.exec(SimTime::ZERO, 5e6)).collect();
+        for iv in &ivs {
+            assert_eq!(iv.start, SimTime::ZERO);
+        }
+        let fifth = pool.exec(SimTime::ZERO, 5e6);
+        assert_eq!(fifth.start, ivs[0].end);
+    }
+
+    #[test]
+    fn busy_accumulates() {
+        let mut pool = EmbeddedCorePool::new(2, 1e9);
+        pool.exec(SimTime::ZERO, 1e9);
+        pool.exec(SimTime::ZERO, 1e9);
+        assert_eq!(pool.busy().as_secs_f64(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        let _ = EmbeddedCorePool::new(0, 1e9);
+    }
+}

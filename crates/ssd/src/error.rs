@@ -1,0 +1,64 @@
+//! SSD controller errors.
+
+use morpheus_ftl::FtlError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the SSD controller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SsdError {
+    /// LBA range exceeds the namespace capacity.
+    LbaOutOfRange {
+        /// First offending LBA.
+        slba: u64,
+        /// Blocks requested.
+        blocks: u64,
+    },
+    /// Read of logical blocks that were never written.
+    Unwritten(u64),
+    /// The FTL reported a failure.
+    Ftl(FtlError),
+}
+
+impl fmt::Display for SsdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SsdError::LbaOutOfRange { slba, blocks } => {
+                write!(f, "lba range {slba}+{blocks} out of range")
+            }
+            SsdError::Unwritten(lba) => write!(f, "read of unwritten lba {lba}"),
+            SsdError::Ftl(e) => write!(f, "ftl error: {e}"),
+        }
+    }
+}
+
+impl Error for SsdError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SsdError::Ftl(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FtlError> for SsdError {
+    fn from(e: FtlError) -> Self {
+        SsdError::Ftl(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_nonempty() {
+        for e in [
+            SsdError::LbaOutOfRange { slba: 1, blocks: 2 },
+            SsdError::Unwritten(7),
+            SsdError::Ftl(FtlError::NoFreeBlocks),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

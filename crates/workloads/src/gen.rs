@@ -1,0 +1,179 @@
+//! Seeded input generators producing the text formats of Table I.
+//!
+//! All generators emit whitespace-separated decimal tokens — the format
+//! family the paper targets — and grow the output until it reaches the
+//! requested size, so input scale is a single knob.
+
+use morpheus_format::TextWriter;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A graph edge list (`src dst` per line) over `~sqrt`-sized vertex set,
+/// with power-law-ish degree skew like BigDataBench's graph inputs.
+pub fn edge_list_text(target_bytes: u64, seed: u64) -> Vec<u8> {
+    let mut r = rng(seed);
+    // Scale the vertex universe with the input size (about one vertex per
+    // 40 input bytes keeps average degree ~5).
+    let vertices = (target_bytes / 40).clamp(16, u64::MAX) as u32;
+    let mut w = TextWriter::with_capacity(target_bytes as usize + 32);
+    while (w.len() as u64) < target_bytes {
+        // Skewed endpoints: squaring a uniform sample biases toward low
+        // ids, giving hub vertices.
+        let u = ((r.random::<f64>() * r.random::<f64>()) * vertices as f64) as u64;
+        let v = r.random_range(0..vertices) as u64;
+        w.write_u64(u);
+        w.sep();
+        w.write_u64(v);
+        w.newline();
+    }
+    w.into_bytes()
+}
+
+/// A flat list of unsigned integers, one per line (sort/word-count inputs).
+pub fn int_list_text(target_bytes: u64, seed: u64, max_value: u64) -> Vec<u8> {
+    let mut r = rng(seed);
+    let mut w = TextWriter::with_capacity(target_bytes as usize + 16);
+    while (w.len() as u64) < target_bytes {
+        w.write_u64(r.random_range(0..max_value));
+        w.newline();
+    }
+    w.into_bytes()
+}
+
+/// A dense n×n integer matrix (row-major, one value per token). The
+/// dimension is derived from the byte budget; values keep the matrix
+/// diagonally dominant so elimination kernels stay stable.
+pub fn matrix_text(target_bytes: u64, seed: u64) -> Vec<u8> {
+    let mut r = rng(seed);
+    // ~4 bytes per token.
+    let n = (((target_bytes / 4) as f64).sqrt() as usize).max(4);
+    let mut w = TextWriter::with_capacity(target_bytes as usize + 16);
+    for i in 0..n {
+        for j in 0..n {
+            let v: i64 = if i == j {
+                1000 + r.random_range(0..100)
+            } else {
+                r.random_range(-9..10)
+            };
+            w.write_i64(v);
+            if j + 1 < n {
+                w.sep();
+            }
+        }
+        w.newline();
+    }
+    w.into_bytes()
+}
+
+/// Point records `id x y z w` with integer coordinates (k-means / NN
+/// inputs, integer-dominated per the paper's selection criteria).
+pub fn points_text(target_bytes: u64, seed: u64, dims: usize) -> Vec<u8> {
+    let mut r = rng(seed);
+    let mut w = TextWriter::with_capacity(target_bytes as usize + 32);
+    let mut id = 0u64;
+    while (w.len() as u64) < target_bytes {
+        w.write_u64(id);
+        for _ in 0..dims {
+            w.sep();
+            w.write_i64(r.random_range(0..1000));
+        }
+        w.newline();
+        id += 1;
+    }
+    w.into_bytes()
+}
+
+/// A sparse matrix in COO form: `row col value` with float values — the
+/// one format whose tokens are one-third floats (SpMV, the Fig. 8
+/// outlier).
+pub fn sparse_coo_text(target_bytes: u64, seed: u64) -> Vec<u8> {
+    let mut r = rng(seed);
+    let n = (target_bytes / 60).clamp(8, u64::MAX) as u32; // matrix dim
+    let mut w = TextWriter::with_capacity(target_bytes as usize + 32);
+    while (w.len() as u64) < target_bytes {
+        w.write_u64(r.random_range(0..n) as u64);
+        w.sep();
+        w.write_u64(r.random_range(0..n) as u64);
+        w.sep();
+        w.write_f64(r.random::<f64>() * 10.0 - 5.0, 3);
+        w.newline();
+    }
+    w.into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morpheus_format::{parse_buffer, FieldKind, Schema};
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(edge_list_text(1000, 7), edge_list_text(1000, 7));
+        assert_ne!(edge_list_text(1000, 7), edge_list_text(1000, 8));
+    }
+
+    #[test]
+    fn generators_hit_size_targets() {
+        for gen in [
+            edge_list_text(10_000, 1),
+            int_list_text(10_000, 1, 1_000_000),
+            points_text(10_000, 1, 4),
+            sparse_coo_text(10_000, 1),
+        ] {
+            assert!(gen.len() >= 10_000);
+            assert!(gen.len() < 11_000, "overshoot: {}", gen.len());
+        }
+    }
+
+    #[test]
+    fn edge_list_parses_against_schema() {
+        let text = edge_list_text(5000, 3);
+        let schema = Schema::new(vec![FieldKind::U32, FieldKind::U32]);
+        let (p, _) = parse_buffer(&text, &schema).unwrap();
+        assert!(p.records > 100);
+    }
+
+    #[test]
+    fn matrix_is_square_and_diagonally_dominant() {
+        let text = matrix_text(4000, 5);
+        let schema = Schema::new(vec![FieldKind::I32]);
+        let (p, _) = parse_buffer(&text, &schema).unwrap();
+        let n = (p.records as f64).sqrt() as u64;
+        assert_eq!(n * n, p.records);
+        let vals = p.columns[0].as_ints().unwrap();
+        for i in 0..n as usize {
+            assert!(vals[i * n as usize + i] >= 1000);
+        }
+    }
+
+    #[test]
+    fn coo_parses_with_float_column() {
+        let text = sparse_coo_text(5000, 9);
+        let schema = Schema::new(vec![FieldKind::U32, FieldKind::U32, FieldKind::F64]);
+        let (p, w) = parse_buffer(&text, &schema).unwrap();
+        assert!(p.records > 50);
+        assert_eq!(w.float_tokens, p.records);
+        assert_eq!(w.int_tokens, 2 * p.records);
+    }
+
+    #[test]
+    fn points_have_requested_dims() {
+        let text = points_text(3000, 2, 4);
+        let schema = Schema::new(vec![
+            FieldKind::U32,
+            FieldKind::I32,
+            FieldKind::I32,
+            FieldKind::I32,
+            FieldKind::I32,
+        ]);
+        let (p, _) = parse_buffer(&text, &schema).unwrap();
+        let ids = p.columns[0].as_ints().unwrap();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(*id, i as i64);
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Graph kernels: PageRank and BFS over an edge list.
+
+use crate::kernels::KernelResult;
+use crate::Digest;
+use morpheus_format::ParsedColumns;
+
+/// Compressed sparse row adjacency built from two integer columns.
+#[derive(Debug, Clone)]
+pub struct Csr {
+    /// Offsets into `targets`, length `n + 1`.
+    pub offsets: Vec<u32>,
+    /// Edge targets.
+    pub targets: Vec<u32>,
+}
+
+impl Csr {
+    /// Builds adjacency from an edge list (src, dst columns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the columns are not two integer columns.
+    pub fn from_edges(objects: &ParsedColumns) -> Csr {
+        let src = objects.columns[0]
+            .as_ints()
+            .expect("edge source column is integer");
+        let dst = objects.columns[1]
+            .as_ints()
+            .expect("edge target column is integer");
+        let n = src
+            .iter()
+            .chain(dst.iter())
+            .map(|v| *v as u32)
+            .max()
+            .map(|m| m as usize + 1)
+            .unwrap_or(0);
+        let mut degree = vec![0u32; n];
+        for s in src {
+            degree[*s as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut targets = vec![0u32; src.len()];
+        for (s, d) in src.iter().zip(dst) {
+            let c = &mut cursor[*s as usize];
+            targets[*c as usize] = *d as u32;
+            *c += 1;
+        }
+        Csr {
+            offsets,
+            targets,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn vertices(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Out-neighbours of `v`.
+    pub fn neighbours(&self, v: usize) -> &[u32] {
+        let lo = self.offsets[v] as usize;
+        let hi = self.offsets[v + 1] as usize;
+        &self.targets[lo..hi]
+    }
+}
+
+/// PageRank: `iters` power iterations with damping 0.85.
+pub fn pagerank(objects: &ParsedColumns, iters: u32) -> KernelResult {
+    let g = Csr::from_edges(objects);
+    let n = g.vertices();
+    if n == 0 {
+        return KernelResult {
+            digest: Digest::new().value(),
+            summary: "pagerank: empty graph".into(),
+        };
+    }
+    let mut rank = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..iters {
+        next.fill((1.0 - 0.85) / n as f64);
+        let mut dangling = 0.0;
+        for (v, r) in rank.iter().enumerate() {
+            let out = g.neighbours(v);
+            if out.is_empty() {
+                dangling += r;
+                continue;
+            }
+            let share = 0.85 * r / out.len() as f64;
+            for t in out {
+                next[*t as usize] += share;
+            }
+        }
+        let spread = 0.85 * dangling / n as f64;
+        for r in &mut next {
+            *r += spread;
+        }
+        std::mem::swap(&mut rank, &mut next);
+    }
+    let mut d = Digest::new();
+    let (mut best, mut best_v) = (0.0f64, 0usize);
+    for (v, r) in rank.iter().enumerate() {
+        d.mix_f64(*r);
+        if *r > best {
+            best = *r;
+            best_v = v;
+        }
+    }
+    KernelResult {
+        digest: d.value(),
+        summary: format!("pagerank: {n} vertices, top vertex {best_v} rank {best:.6}"),
+    }
+}
+
+/// BFS from vertex 0; digests the level of every vertex.
+pub fn bfs(objects: &ParsedColumns) -> KernelResult {
+    let g = Csr::from_edges(objects);
+    let n = g.vertices();
+    let mut level = vec![u32::MAX; n];
+    let mut frontier = std::collections::VecDeque::new();
+    if n > 0 {
+        level[0] = 0;
+        frontier.push_back(0usize);
+    }
+    let mut reached = 0u64;
+    let mut max_level = 0u32;
+    while let Some(v) = frontier.pop_front() {
+        reached += 1;
+        max_level = max_level.max(level[v]);
+        for t in g.neighbours(v) {
+            let t = *t as usize;
+            if level[t] == u32::MAX {
+                level[t] = level[v] + 1;
+                frontier.push_back(t);
+            }
+        }
+    }
+    let mut d = Digest::new();
+    for l in &level {
+        d.mix(*l as u64);
+    }
+    KernelResult {
+        digest: d.value(),
+        summary: format!("bfs: reached {reached}/{n} vertices, depth {max_level}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morpheus_format::{parse_buffer, FieldKind, Schema};
+
+    fn edges(text: &[u8]) -> ParsedColumns {
+        let schema = Schema::new(vec![FieldKind::U32, FieldKind::U32]);
+        parse_buffer(text, &schema).unwrap().0
+    }
+
+    #[test]
+    fn csr_preserves_adjacency() {
+        let p = edges(b"0 1\n0 2\n1 2\n2 0\n");
+        let g = Csr::from_edges(&p);
+        assert_eq!(g.vertices(), 3);
+        assert_eq!(g.neighbours(0), &[1, 2]);
+        assert_eq!(g.neighbours(1), &[2]);
+        assert_eq!(g.neighbours(2), &[0]);
+    }
+
+    #[test]
+    fn bfs_levels_on_a_path() {
+        let p = edges(b"0 1\n1 2\n2 3\n");
+        let r = bfs(&p);
+        assert!(r.summary.contains("reached 4/4"));
+        assert!(r.summary.contains("depth 3"));
+    }
+
+    #[test]
+    fn bfs_ignores_unreachable_components() {
+        let p = edges(b"0 1\n2 3\n");
+        let r = bfs(&p);
+        assert!(r.summary.contains("reached 2/4"), "{}", r.summary);
+    }
+
+    #[test]
+    fn pagerank_ranks_sink_hub_highest() {
+        // Everyone links to 3.
+        let p = edges(b"0 3\n1 3\n2 3\n3 0\n");
+        let r = pagerank(&p, 20);
+        assert!(r.summary.contains("top vertex 3"), "{}", r.summary);
+    }
+
+    #[test]
+    fn pagerank_deterministic() {
+        let p = edges(b"0 1\n1 2\n2 0\n0 2\n");
+        assert_eq!(pagerank(&p, 10).digest, pagerank(&p, 10).digest);
+        assert_ne!(pagerank(&p, 10).digest, pagerank(&p, 11).digest);
+    }
+
+    #[test]
+    fn empty_graph_handled() {
+        let p = edges(b"");
+        assert!(pagerank(&p, 5).summary.contains("empty"));
+        let r = bfs(&p);
+        assert!(r.summary.contains("reached 0/0"));
+    }
+}

@@ -1,0 +1,125 @@
+//! k-means clustering over integer-coordinate points.
+
+use crate::kernels::KernelResult;
+use crate::Digest;
+use morpheus_format::ParsedColumns;
+
+/// Lloyd's algorithm: `k` clusters, `iters` iterations, seeded from the
+/// first `k` points. The first column is the point id; the rest are
+/// coordinates.
+pub fn kmeans(objects: &ParsedColumns, k: usize, iters: u32) -> KernelResult {
+    let dims = objects.columns.len() - 1;
+    let n = objects.records as usize;
+    let coords: Vec<&[i64]> = objects.columns[1..]
+        .iter()
+        .map(|c| c.as_ints().expect("point coordinates are integers"))
+        .collect();
+    let k = k.min(n.max(1));
+    if n == 0 {
+        return KernelResult {
+            digest: Digest::new().value(),
+            summary: "kmeans: no points".into(),
+        };
+    }
+    let mut centroids = vec![0.0f64; k * dims];
+    for c in 0..k {
+        for (d, col) in coords.iter().enumerate() {
+            centroids[c * dims + d] = col[c] as f64;
+        }
+    }
+    let mut assign = vec![0usize; n];
+    for _ in 0..iters {
+        // Assignment step.
+        for (i, a) in assign.iter_mut().enumerate() {
+            let mut best = f64::INFINITY;
+            for c in 0..k {
+                let mut dist = 0.0;
+                for (d, col) in coords.iter().enumerate() {
+                    let delta = col[i] as f64 - centroids[c * dims + d];
+                    dist += delta * delta;
+                }
+                if dist < best {
+                    best = dist;
+                    *a = c;
+                }
+            }
+        }
+        // Update step.
+        let mut sums = vec![0.0f64; k * dims];
+        let mut counts = vec![0u64; k];
+        for (i, a) in assign.iter().enumerate() {
+            counts[*a] += 1;
+            for (d, col) in coords.iter().enumerate() {
+                sums[*a * dims + d] += col[i] as f64;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                continue;
+            }
+            for d in 0..dims {
+                centroids[c * dims + d] = sums[c * dims + d] / counts[c] as f64;
+            }
+        }
+    }
+    let mut digest = Digest::new();
+    let mut inertia = 0.0f64;
+    for (i, a) in assign.iter().enumerate() {
+        for (d, col) in coords.iter().enumerate() {
+            let delta = col[i] as f64 - centroids[*a * dims + d];
+            inertia += delta * delta;
+        }
+    }
+    for c in &centroids {
+        digest.mix_f64(*c);
+    }
+    digest.mix_f64(inertia);
+    KernelResult {
+        digest: digest.value(),
+        summary: format!("kmeans: {n} points, k={k}, inertia {inertia:.1}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morpheus_format::{parse_buffer, FieldKind, Schema};
+
+    fn points(text: &[u8]) -> ParsedColumns {
+        let schema = Schema::new(vec![FieldKind::U32, FieldKind::I32, FieldKind::I32]);
+        parse_buffer(text, &schema).unwrap().0
+    }
+
+    #[test]
+    fn two_well_separated_clusters_have_low_inertia() {
+        let p = points(b"0 0 0\n1 1 1\n2 100 100\n3 101 101\n");
+        let r = kmeans(&p, 2, 10);
+        let inertia: f64 = r
+            .summary
+            .split("inertia ")
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(inertia < 5.0, "{}", r.summary);
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = points(b"0 1 2\n1 5 4\n2 9 0\n3 2 2\n");
+        assert_eq!(kmeans(&p, 2, 5).digest, kmeans(&p, 2, 5).digest);
+    }
+
+    #[test]
+    fn k_capped_to_point_count() {
+        let p = points(b"0 1 1\n");
+        let r = kmeans(&p, 8, 3);
+        assert!(r.summary.contains("k=1"));
+    }
+
+    #[test]
+    fn empty_input_handled() {
+        let p = points(b"");
+        assert!(kmeans(&p, 4, 3).summary.contains("no points"));
+    }
+}

@@ -1,0 +1,23 @@
+//! Real compute kernels consuming the deserialized objects.
+//!
+//! These are functional reference implementations of each benchmark's
+//! computation (the timing of the kernels comes from the `AppSpec` cost
+//! model; these implementations produce the *results* and the digests the
+//! cross-mode equivalence tests compare).
+
+pub mod graph;
+pub mod kmeans;
+pub mod matrix;
+pub mod nn;
+pub mod scan;
+pub mod sort;
+pub mod spmv;
+
+/// Output of a kernel run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelResult {
+    /// Order-sensitive digest of the computation's result.
+    pub digest: u64,
+    /// A one-line human-readable summary.
+    pub summary: String,
+}

@@ -1,0 +1,78 @@
+//! k-nearest-neighbours over 2-D integer points (Rodinia NN).
+
+use crate::kernels::KernelResult;
+use crate::Digest;
+use morpheus_format::ParsedColumns;
+
+/// Finds the `k` points nearest to `(qx, qy)` by linear scan (exactly what
+/// Rodinia NN does) and digests their ids and distances.
+pub fn nearest(objects: &ParsedColumns, qx: f64, qy: f64, k: usize) -> KernelResult {
+    let ids = objects.columns[0].as_ints().expect("id column");
+    let xs = objects.columns[1].as_ints().expect("x column");
+    let ys = objects.columns[2].as_ints().expect("y column");
+    let mut best: Vec<(f64, i64)> = Vec::with_capacity(k + 1);
+    for i in 0..objects.records as usize {
+        let dx = xs[i] as f64 - qx;
+        let dy = ys[i] as f64 - qy;
+        let dist = (dx * dx + dy * dy).sqrt();
+        let pos = best
+            .binary_search_by(|probe| probe.partial_cmp(&(dist, ids[i])).expect("no NaNs"))
+            .unwrap_or_else(|e| e);
+        if pos < k {
+            best.insert(pos, (dist, ids[i]));
+            best.truncate(k);
+        }
+    }
+    let mut d = Digest::new();
+    for (dist, id) in &best {
+        d.mix_i64(*id);
+        d.mix_f64(*dist);
+    }
+    let closest = best
+        .first()
+        .map(|(dist, id)| format!("id {id} at {dist:.3}"))
+        .unwrap_or_else(|| "none".into());
+    KernelResult {
+        digest: d.value(),
+        summary: format!("nn: {} of {} points, closest {closest}", best.len(), objects.records),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morpheus_format::{parse_buffer, FieldKind, Schema};
+
+    fn points(text: &[u8]) -> ParsedColumns {
+        let schema = Schema::new(vec![FieldKind::U32, FieldKind::I32, FieldKind::I32]);
+        parse_buffer(text, &schema).unwrap().0
+    }
+
+    #[test]
+    fn finds_the_closest_point() {
+        let p = points(b"0 0 0\n1 10 10\n2 5 5\n");
+        let r = nearest(&p, 4.0, 4.0, 1);
+        assert!(r.summary.contains("closest id 2"), "{}", r.summary);
+    }
+
+    #[test]
+    fn returns_k_in_distance_order() {
+        let p = points(b"0 0 0\n1 1 0\n2 2 0\n3 3 0\n");
+        let r = nearest(&p, 0.0, 0.0, 3);
+        assert!(r.summary.contains("3 of 4"), "{}", r.summary);
+        assert!(r.summary.contains("closest id 0"));
+    }
+
+    #[test]
+    fn fewer_points_than_k() {
+        let p = points(b"0 1 1\n");
+        let r = nearest(&p, 0.0, 0.0, 5);
+        assert!(r.summary.contains("1 of 1"));
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = points(b"0 3 4\n1 6 8\n");
+        assert_eq!(nearest(&p, 0.0, 0.0, 2).digest, nearest(&p, 0.0, 0.0, 2).digest);
+    }
+}

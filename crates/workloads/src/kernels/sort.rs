@@ -1,0 +1,69 @@
+//! Sorting kernels (BigDataBench Sort on the CPU, Rodinia Hybrid Sort on
+//! the GPU share this reference implementation).
+
+use crate::kernels::KernelResult;
+use crate::Digest;
+use morpheus_format::ParsedColumns;
+
+/// Sorts the single integer column and digests order statistics plus a
+/// strided sample.
+pub fn sort(objects: &ParsedColumns, label: &str) -> KernelResult {
+    let mut vals: Vec<i64> = objects.columns[0]
+        .as_ints()
+        .expect("sort input is an integer column")
+        .to_vec();
+    vals.sort_unstable();
+    let mut d = Digest::new();
+    d.mix(vals.len() as u64);
+    let stride = (vals.len() / 1000).max(1);
+    for v in vals.iter().step_by(stride) {
+        d.mix_i64(*v);
+    }
+    if let (Some(min), Some(max)) = (vals.first(), vals.last()) {
+        d.mix_i64(*min);
+        d.mix_i64(*max);
+        KernelResult {
+            digest: d.value(),
+            summary: format!("{label}: {} keys, min {min}, max {max}", vals.len()),
+        }
+    } else {
+        KernelResult {
+            digest: d.value(),
+            summary: format!("{label}: empty input"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morpheus_format::{parse_buffer, FieldKind, Schema};
+
+    fn ints(text: &[u8]) -> ParsedColumns {
+        let schema = Schema::new(vec![FieldKind::U32]);
+        parse_buffer(text, &schema).unwrap().0
+    }
+
+    #[test]
+    fn reports_order_statistics() {
+        let p = ints(b"5\n1\n9\n3\n");
+        let r = sort(&p, "sort");
+        assert!(r.summary.contains("min 1"));
+        assert!(r.summary.contains("max 9"));
+    }
+
+    #[test]
+    fn digest_depends_on_content_not_input_order() {
+        let a = sort(&ints(b"3\n1\n2\n"), "sort");
+        let b = sort(&ints(b"1\n2\n3\n"), "sort");
+        assert_eq!(a.digest, b.digest);
+        let c = sort(&ints(b"1\n2\n4\n"), "sort");
+        assert_ne!(a.digest, c.digest);
+    }
+
+    #[test]
+    fn empty_input_handled() {
+        let p = ints(b"");
+        assert!(sort(&p, "sort").summary.contains("empty"));
+    }
+}

@@ -1,0 +1,115 @@
+//! Failure injection in the storage substrate: bit errors, ECC retries,
+//! and wear-induced bad blocks under the FTL.
+//!
+//! The Morpheus model rides on stock firmware ("without sacrificing
+//! performance or guarantees", §IV-B), so the substrate has to survive
+//! media misbehaviour. This example exercises those paths through the
+//! public API.
+//!
+//! ```sh
+//! cargo run --release --example failure_injection
+//! ```
+
+use morpheus_flash::{BlockId, EccModel, FlashArray, FlashGeometry, FlashTiming};
+use morpheus_ftl::{Ftl, FtlConfig, FtlError, Lpn};
+
+fn main() {
+    // A flaky flash array: 20% of reads need ECC retries and 2% fail
+    // uncorrectably (wear is exercised separately below).
+    let ecc = EccModel {
+        correctable_prob: 0.2,
+        correction_retries: 2,
+        uncorrectable_prob: 0.02,
+        wear_limit: 10_000,
+    };
+    let flash = FlashArray::with_ecc(FlashGeometry::small(), FlashTiming::default(), ecc, 2024);
+    let mut ftl = Ftl::new(flash, FtlConfig::default());
+    let cap = ftl.capacity_pages();
+    println!("flaky drive: {cap} logical pages, 20% correctable / 2% uncorrectable reads\n");
+
+    // Hammer it: fill, overwrite, and read back everything, several times.
+    let mut reads = 0u64;
+    let mut recovered = 0u64;
+    let mut lost = 0u64;
+    for round in 0u8..8 {
+        for l in 0..cap {
+            ftl.write(Lpn(l), &[round, l as u8]).unwrap();
+        }
+        for l in 0..cap {
+            reads += 1;
+            match ftl.read(Lpn(l)) {
+                Ok(out) => {
+                    assert_eq!(&out.data[..], &[round, l as u8], "silent corruption!");
+                    if out.retries > 0 {
+                        recovered += 1;
+                    }
+                }
+                Err(FtlError::MediaFailure(..)) => lost += 1,
+                Err(e) => panic!("unexpected failure: {e}"),
+            }
+        }
+    }
+    let stats = ftl.stats();
+    println!("after {} reads:", reads);
+    println!("  {} recovered through retries, {} lost after all retries", recovered, lost);
+    println!(
+        "  ftl: {} host writes, {} gc writes (WA {:.2}), {} gc runs, {} erases",
+        stats.host_writes,
+        stats.gc_writes,
+        stats.write_amplification(),
+        stats.gc_runs,
+        stats.erases
+    );
+
+    // Wear-out: erase one block past its life and watch it retire.
+    let mut ftl2 = Ftl::new(
+        FlashArray::with_ecc(
+            FlashGeometry::small(),
+            FlashTiming::default(),
+            EccModel {
+                wear_limit: 10,
+                ..EccModel::perfect()
+            },
+            7,
+        ),
+        FtlConfig::default(),
+    );
+    // Overwrite hot pages until wear starts retiring blocks, then keep
+    // going until the drive dies of old age.
+    let mut writes = 0u64;
+    let mut first_retirement = None;
+    loop {
+        match ftl2.write(Lpn(writes % 8), &[writes as u8]) {
+            Ok(_) => writes += 1,
+            Err(FtlError::NoFreeBlocks) => break, // end of life
+            Err(e) => panic!("unexpected failure: {e}"),
+        }
+        if first_retirement.is_none() && ftl2.flash().stats().retired_blocks > 0 {
+            first_retirement = Some(writes);
+        }
+        if writes > 1_000_000 {
+            break;
+        }
+    }
+    println!(
+        "\nwear-out run: first block retired after {} writes; drive died after {} writes",
+        first_retirement.unwrap_or(0),
+        writes
+    );
+    println!(
+        "  {} blocks retired, {} erases served over a wear limit of 10",
+        ftl2.flash().stats().retired_blocks,
+        ftl2.stats().erases
+    );
+    // Data that survived is still readable right up to the end.
+    let probe = Lpn((writes.saturating_sub(1)) % 8);
+    let val = ftl2.read(probe).unwrap();
+    println!("  last written page still intact: {:?}", &val.data[..1]);
+    // Show a raw bad-block rejection at the flash layer.
+    let bad = (0..ftl2.flash().geometry().total_blocks())
+        .map(BlockId)
+        .find(|b| ftl2.flash().is_bad(*b));
+    if let Some(b) = bad {
+        println!("  block {} is retired and rejects new work at the flash layer", b.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! The paper's motivating scenario: a data-analytics pipeline (PageRank
+//! over a text edge list) whose deserialization dominates end-to-end time.
+//!
+//! ```sh
+//! cargo run --release --example pagerank_pipeline
+//! ```
+
+use morpheus::{Mode, System, SystemParams};
+use morpheus_workloads::{run_benchmark, stage_input, suite};
+
+fn main() {
+    let bench = suite()
+        .into_iter()
+        .find(|b| b.name == "pagerank")
+        .expect("pagerank is in the suite");
+
+    let mut sys = System::new(SystemParams::paper_testbed());
+    stage_input(&mut sys, &bench, 8 << 20, 7).unwrap();
+    println!(
+        "pagerank over an 8 MiB edge list (paper runs {:.1} GB)\n",
+        bench.nominal_bytes as f64 / 1e9
+    );
+
+    let conv = run_benchmark(&mut sys, &bench, Mode::Conventional).unwrap();
+    let morp = run_benchmark(&mut sys, &bench, Mode::Morpheus).unwrap();
+    assert_eq!(conv.kernel, morp.kernel, "kernels must agree across modes");
+
+    println!("kernel result: {}\n", conv.kernel.summary);
+
+    for (name, r) in [("conventional", &conv.report), ("morpheus-ssd", &morp.report)] {
+        let p = r.phases;
+        println!(
+            "{name:<14} total {:.3}s = deserialize {:.3}s ({:.0}%) + other {:.3}s + kernel {:.3}s",
+            p.total_s(),
+            p.deserialization_s,
+            100.0 * p.deserialization_fraction(),
+            p.other_cpu_s,
+            p.kernel_s,
+        );
+    }
+    println!(
+        "\nend-to-end speedup: {:.2}x (deserialization alone: {:.2}x)",
+        morp.report.total_speedup_over(&conv.report),
+        morp.report.deser_speedup_over(&conv.report),
+    );
+    println!(
+        "memory-bus traffic: {:.1} MB -> {:.1} MB",
+        conv.report.membus_bytes as f64 / 1e6,
+        morp.report.membus_bytes as f64 / 1e6
+    );
+}

@@ -1,0 +1,59 @@
+//! Quickstart: deserialize a text file on the host vs inside the SSD.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use morpheus::{AppSpec, Mode, System, SystemParams};
+use morpheus_format::{FieldKind, Schema, TextWriter};
+
+fn main() {
+    // A platform modelled after the paper's testbed: quad-core Xeon,
+    // DDR3, PCIe 3.0 fabric, Morpheus-SSD with four embedded cores, K20.
+    let mut sys = System::new(SystemParams::paper_testbed());
+
+    // Write a CSV-ish integer file onto the (simulated, FTL-backed) drive.
+    let mut w = TextWriter::new();
+    for i in 0..200_000u64 {
+        w.write_u64(i * 37 % 100_000);
+        w.sep();
+        w.write_u64(i * 91 % 100_000);
+        w.newline();
+    }
+    let text = w.into_bytes();
+    sys.create_input_file("pairs.txt", &text).unwrap();
+    println!("staged pairs.txt: {:.1} MB of ASCII", text.len() as f64 / 1e6);
+
+    // Describe the application: two u32 columns, a small CPU kernel.
+    let schema = Schema::new(vec![FieldKind::U32, FieldKind::U32]);
+    let spec = AppSpec::cpu_app("quickstart", "pairs.txt", schema, 4, 500.0);
+
+    // Run the same deserialization both ways.
+    let conv = sys.run(&spec, Mode::Conventional).unwrap();
+    let morp = sys.run(&spec, Mode::Morpheus).unwrap();
+
+    assert_eq!(conv.report.checksum, morp.report.checksum);
+    println!("\nboth modes produced identical objects ({} records)\n", conv.report.records);
+
+    let rows = [("conventional", &conv.report), ("morpheus-ssd", &morp.report)];
+    println!(
+        "{:<14} {:>10} {:>12} {:>10} {:>12} {:>10}",
+        "mode", "deser", "eff. MB/s", "switches", "power", "energy"
+    );
+    for (name, r) in rows {
+        println!(
+            "{:<14} {:>9.3}s {:>12.1} {:>10} {:>11.1}W {:>9.1}J",
+            name,
+            r.phases.deserialization_s,
+            r.effective_bandwidth_mbs,
+            r.context_switches,
+            r.deser_power_watts,
+            r.deser_energy_j,
+        );
+    }
+    println!(
+        "\nmorpheus-ssd deserializes {:.2}x faster using {:.0}% of the energy",
+        morp.report.deser_speedup_over(&conv.report),
+        100.0 * morp.report.deser_energy_j / conv.report.deser_energy_j
+    );
+}

@@ -1,0 +1,19 @@
+//! Umbrella crate for the Morpheus (ISCA 2016) reproduction.
+//!
+//! This package exists to host the workspace-level `examples/` and `tests/`
+//! directories; the actual functionality lives in the `crates/*` members.
+//! It re-exports every member so examples and integration tests can reach
+//! the whole stack through one dependency.
+
+pub use morpheus;
+pub use morpheus_flash as flash;
+pub use morpheus_format as format;
+pub use morpheus_ftl as ftl;
+pub use morpheus_gpu as gpu;
+pub use morpheus_host as host;
+pub use morpheus_kvstore as kvstore;
+pub use morpheus_nvme as nvme;
+pub use morpheus_pcie as pcie;
+pub use morpheus_simcore as simcore;
+pub use morpheus_ssd as ssd;
+pub use morpheus_workloads as workloads;

@@ -1,0 +1,118 @@
+//! Physics-sanity checks on the platform model: knobs must move the
+//! measurements in the direction the real hardware would.
+
+use morpheus::{AppSpec, Mode, StorageKind, System, SystemParams};
+use morpheus_format::{FieldKind, Schema, TextWriter};
+
+fn edge_schema() -> Schema {
+    Schema::new(vec![FieldKind::U32, FieldKind::U32])
+}
+
+fn input(n: u64) -> Vec<u8> {
+    let mut w = TextWriter::new();
+    for i in 0..n {
+        w.write_u64(i * 11 % 90_000);
+        w.sep();
+        w.write_u64(i * 17 % 90_000);
+        w.newline();
+    }
+    w.into_bytes()
+}
+
+fn sys_with(params: SystemParams, data: &[u8]) -> (System, AppSpec) {
+    let mut sys = System::new(params);
+    sys.create_input_file("in.txt", data).unwrap();
+    (sys, AppSpec::cpu_app("sanity", "in.txt", edge_schema(), 4, 200.0))
+}
+
+#[test]
+fn higher_cpu_frequency_speeds_conventional_deserialization() {
+    let data = input(100_000);
+    let (mut sys, spec) = sys_with(SystemParams::paper_testbed(), &data);
+    let fast = sys.run(&spec, Mode::Conventional).unwrap().report;
+    sys.cpu.set_frequency(1.2e9);
+    let slow = sys.run(&spec, Mode::Conventional).unwrap().report;
+    assert!(slow.phases.deserialization_s > fast.phases.deserialization_s * 1.8);
+    // Faster clock draws more power while it runs.
+    assert!(fast.deser_power_watts > slow.deser_power_watts);
+    // The in-SSD path must not care about the host clock (beyond wakeups).
+    sys.cpu.set_frequency(2.5e9);
+    let m_fast = sys.run(&spec, Mode::Morpheus).unwrap().report;
+    sys.cpu.set_frequency(1.2e9);
+    let m_slow = sys.run(&spec, Mode::Morpheus).unwrap().report;
+    let drift = m_slow.phases.deserialization_s / m_fast.phases.deserialization_s;
+    assert!(drift < 1.1, "morpheus deser drifted {drift}x with host clock");
+}
+
+#[test]
+fn smaller_mread_chunks_mean_more_interrupts() {
+    let data = input(400_000);
+    let mut small = SystemParams::paper_testbed();
+    small.mread_chunk_bytes = 1 << 20;
+    let (mut sys_small, spec) = sys_with(small, &data);
+    let (mut sys_big, _) = sys_with(SystemParams::paper_testbed(), &data);
+    let a = sys_small.run(&spec, Mode::Morpheus).unwrap().report;
+    let b = sys_big.run(&spec, Mode::Morpheus).unwrap().report;
+    assert!(a.context_switches > b.context_switches);
+    assert_eq!(a.checksum, b.checksum);
+}
+
+#[test]
+fn storage_devices_order_sensibly() {
+    let data = input(200_000);
+    let mut bw = Vec::new();
+    for storage in [StorageKind::RamDrive, StorageKind::NvmeSsd, StorageKind::Hdd] {
+        let mut p = SystemParams::paper_testbed();
+        p.storage = storage;
+        let (mut sys, spec) = sys_with(p, &data);
+        bw.push(
+            sys.run(&spec, Mode::Conventional)
+                .unwrap()
+                .report
+                .effective_bandwidth_mbs,
+        );
+    }
+    let (ram, nvme, hdd) = (bw[0], bw[1], bw[2]);
+    assert!(ram >= nvme * 0.98, "ram {ram} vs nvme {nvme}");
+    assert!(nvme >= hdd, "nvme {nvme} vs hdd {hdd}");
+    // And the whole point: the spread is small because the CPU is the
+    // bottleneck.
+    assert!(ram / hdd < 1.5, "device spread should be modest: {ram} vs {hdd}");
+}
+
+#[test]
+fn slower_flash_slows_the_morpheus_path_only_when_it_binds() {
+    let data = input(200_000);
+    // Default: flash far outruns a single parsing core; slowing it 2x
+    // should barely move the needle.
+    let (mut sys, spec) = sys_with(SystemParams::paper_testbed(), &data);
+    let base = sys.run(&spec, Mode::Morpheus).unwrap().report;
+    let mut crawl = SystemParams::paper_testbed();
+    crawl.flash_timing.read_latency = morpheus_simcore::SimDuration::from_micros(140);
+    let (mut sys2, _) = sys_with(crawl, &data);
+    let slowed = sys2.run(&spec, Mode::Morpheus).unwrap().report;
+    let ratio = slowed.phases.deserialization_s / base.phases.deserialization_s;
+    assert!(ratio < 1.25, "2x flash latency blew up deser by {ratio}x");
+    // Extreme flash latency must eventually dominate.
+    let mut glacial = SystemParams::paper_testbed();
+    glacial.flash_timing.read_latency = morpheus_simcore::SimDuration::from_millis(5);
+    let (mut sys3, _) = sys_with(glacial, &data);
+    let bound = sys3.run(&spec, Mode::Morpheus).unwrap().report;
+    assert!(bound.phases.deserialization_s > base.phases.deserialization_s * 3.0);
+}
+
+#[test]
+fn energy_scales_with_time_at_fixed_power() {
+    let small = input(50_000);
+    let large = input(200_000);
+    let (mut sys_a, spec) = sys_with(SystemParams::paper_testbed(), &small);
+    let (mut sys_b, _) = sys_with(SystemParams::paper_testbed(), &large);
+    let a = sys_a.run(&spec, Mode::Conventional).unwrap().report;
+    let b = sys_b.run(&spec, Mode::Conventional).unwrap().report;
+    // Same platform, same mode: mean power is nearly identical, so energy
+    // tracks duration.
+    assert!((a.deser_power_watts - b.deser_power_watts).abs() < 1.0);
+    let t_ratio = b.phases.deserialization_s / a.phases.deserialization_s;
+    let e_ratio = b.deser_energy_j / a.deser_energy_j;
+    assert!((t_ratio - e_ratio).abs() / t_ratio < 0.05);
+}

@@ -1,0 +1,86 @@
+//! Integration tests for the serialization direction and the runtime's
+//! command-plan lowering.
+
+use morpheus::{ms_stream_create, CommandPlan, Mode, System, SystemParams};
+use morpheus_format::{parse_buffer, FieldKind, Schema, TextWriter};
+use morpheus_nvme::MorpheusCommand;
+
+fn objects(n: u64) -> morpheus_format::ParsedColumns {
+    let schema = Schema::new(vec![FieldKind::I32, FieldKind::U32]);
+    let mut w = TextWriter::new();
+    for i in 0..n {
+        w.write_i64((i as i64 * 17 % 5000) - 2500);
+        w.sep();
+        w.write_u64(i * 3 % 10_000);
+        w.newline();
+    }
+    let (mut p, _) = parse_buffer(w.as_bytes(), &schema).unwrap();
+    p.canonicalize();
+    p
+}
+
+#[test]
+fn serialize_then_deserialize_round_trips_through_the_drive() {
+    let objs = objects(30_000);
+    let mut sys = System::new(SystemParams::paper_testbed());
+
+    // Serialize on the drive (MWRITE through a SerializeApp).
+    let rep = sys.run_serialize(&objs, "roundtrip.txt", Mode::Morpheus).unwrap();
+    assert_eq!(rep.object_bytes, objs.binary_bytes());
+    assert!(rep.text_bytes > 0);
+
+    // Deserialize the produced file back — also on the drive.
+    let spec = morpheus::AppSpec::cpu_app(
+        "roundtrip",
+        "roundtrip.txt",
+        objs.schema.clone(),
+        2,
+        50.0,
+    );
+    let back = sys.run(&spec, Mode::Morpheus).unwrap();
+    assert_eq!(back.objects, objs, "drive->drive round trip must be lossless");
+}
+
+#[test]
+fn serialization_report_is_consistent() {
+    let objs = objects(10_000);
+    let mut sys = System::new(SystemParams::paper_testbed());
+    let conv = sys.run_serialize(&objs, "c.txt", Mode::Conventional).unwrap();
+    let morp = sys.run_serialize(&objs, "m.txt", Mode::Morpheus).unwrap();
+    for r in [&conv, &morp] {
+        assert!(r.serialize_s > 0.0);
+        assert!(r.text_bytes > r.object_bytes / 2);
+        assert!(r.pcie_bytes > 0);
+    }
+    // Conventional ships text; Morpheus ships binary (smaller here).
+    assert!(morp.pcie_bytes < conv.pcie_bytes);
+    // The recorded file length matches what the filesystem serves.
+    assert_eq!(
+        sys.read_file_bytes("m.txt").unwrap().len() as u64,
+        morp.text_bytes
+    );
+}
+
+#[test]
+fn command_plan_matches_what_the_driver_issues() {
+    let mut sys = System::new(SystemParams::paper_testbed());
+    let data = vec![b'7'; 3_000_000];
+    // "7 7 7 ..." would not parse as pairs; this test only inspects layout.
+    sys.create_input_file("layout.bin", &data).unwrap();
+    let stream =
+        ms_stream_create(&sys.fs, "layout.bin", sys.params.mread_chunk_bytes).unwrap();
+    let plan = CommandPlan::lower(&stream, 42, 0x4000, 16 * 1024, 0x2000);
+    // One MINIT + ceil(3MB / 8MiB) = 1 MREAD + one MDEINIT.
+    assert_eq!(plan.reads(), 1);
+    assert_eq!(plan.commands.len(), 3);
+    let covered: u64 = plan
+        .commands
+        .iter()
+        .filter_map(|c| match c {
+            MorpheusCommand::Read { blocks, .. } => Some(*blocks * 512),
+            _ => None,
+        })
+        .sum();
+    assert!(covered >= stream.len());
+    assert!(covered - stream.len() < 512, "over-read is under one block");
+}

@@ -1,0 +1,94 @@
+//! Property-based tests over the full system: for arbitrary record tables
+//! and arbitrary runtime chunkings, every execution mode deserializes the
+//! same objects the reference parser does.
+
+use morpheus::{AppSpec, Mode, System, SystemParams};
+use morpheus_format::{parse_buffer, FieldKind, Schema, TextWriter};
+use proptest::prelude::*;
+
+fn edge_schema() -> Schema {
+    Schema::new(vec![FieldKind::I32, FieldKind::U32, FieldKind::F64])
+}
+
+fn render(rows: &[(i32, u32, f64)]) -> Vec<u8> {
+    let mut w = TextWriter::new();
+    for (a, b, c) in rows {
+        w.write_i64(*a as i64);
+        w.sep();
+        w.write_u64(*b as u64);
+        w.sep();
+        w.write_f64(*c, 4);
+        w.newline();
+    }
+    w.into_bytes()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conventional and Morpheus produce exactly the canonicalized
+    /// reference parse for random tables.
+    #[test]
+    fn modes_match_reference_parser(
+        rows in proptest::collection::vec((any::<i32>(), any::<u32>(), -1e9f64..1e9), 1..300),
+        seed_chunk in 9u64..64,
+    ) {
+        let text = render(&rows);
+        let (mut reference, _) = parse_buffer(&text, &edge_schema()).unwrap();
+        reference.canonicalize();
+
+        let mut params = SystemParams::paper_testbed();
+        // Exercise odd MREAD chunkings too.
+        params.mread_chunk_bytes = seed_chunk * 512;
+        let mut sys = System::new(params);
+        sys.create_input_file("t.txt", &text).unwrap();
+        let spec = AppSpec::cpu_app("prop", "t.txt", edge_schema(), 2, 50.0);
+
+        let conv = sys.run(&spec, Mode::Conventional).unwrap();
+        let morp = sys.run(&spec, Mode::Morpheus).unwrap();
+        prop_assert_eq!(&conv.objects, &reference);
+        prop_assert_eq!(&morp.objects, &reference);
+        prop_assert_eq!(conv.report.checksum, morp.report.checksum);
+    }
+
+    /// Conventional read granularity must not change results either.
+    #[test]
+    fn conventional_chunking_is_transparent(
+        rows in proptest::collection::vec((any::<i32>(), any::<u32>(), -1e3f64..1e3), 1..200),
+        chunk in 600u64..8192,
+    ) {
+        let text = render(&rows);
+        let mut params = SystemParams::paper_testbed();
+        params.conventional_chunk_bytes = chunk;
+        let mut sys = System::new(params);
+        sys.create_input_file("t.txt", &text).unwrap();
+        let spec = AppSpec::cpu_app("prop", "t.txt", edge_schema(), 2, 50.0);
+        let conv = sys.run(&spec, Mode::Conventional).unwrap();
+        let (mut reference, _) = parse_buffer(&text, &edge_schema()).unwrap();
+        reference.canonicalize();
+        prop_assert_eq!(&conv.objects, &reference);
+    }
+
+    /// Fabric traffic accounting stays conserved across arbitrary runs.
+    #[test]
+    fn traffic_accounting_conserved(
+        rows in proptest::collection::vec((any::<i32>(), any::<u32>(), -1e3f64..1e3), 1..150),
+        morpheus_first in any::<bool>(),
+    ) {
+        let text = render(&rows);
+        let mut sys = System::new(SystemParams::paper_testbed());
+        sys.create_input_file("t.txt", &text).unwrap();
+        let spec = AppSpec::cpu_app("prop", "t.txt", edge_schema(), 2, 50.0);
+        let modes = if morpheus_first {
+            [Mode::Morpheus, Mode::Conventional]
+        } else {
+            [Mode::Conventional, Mode::Morpheus]
+        };
+        for mode in modes {
+            let out = sys.run(&spec, mode).unwrap();
+            let t = sys.fabric.traffic();
+            prop_assert_eq!(t.total_bytes, t.root_bytes + t.p2p_bytes);
+            prop_assert!(out.report.pcie_bytes >= out.report.object_bytes.min(out.report.text_bytes));
+        }
+    }
+}
