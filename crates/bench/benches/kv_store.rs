@@ -46,7 +46,10 @@ fn bench_kv(c: &mut Criterion) {
 
     g.bench_function("get_hit", |b| {
         let (mut ssd, kv) = populated();
-        let keys: Vec<u64> = synth_pairs(500, 100_000, 1).iter().map(|(k, _)| *k).collect();
+        let keys: Vec<u64> = synth_pairs(500, 100_000, 1)
+            .iter()
+            .map(|(k, _)| *k)
+            .collect();
         let mut i = 0;
         b.iter(|| {
             i = (i + 1) % keys.len();

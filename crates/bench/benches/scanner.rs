@@ -1,0 +1,71 @@
+//! Criterion: raw tokenizer throughput in bytes/s.
+//!
+//! Exercises `TextScanner` directly — the slice-batched fast path for
+//! integer magnitudes and the batched mantissa/exponent scan for floats —
+//! without any schema or column-building overhead on top.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use morpheus_format::TextScanner;
+use morpheus_workloads::{int_list_text, matrix_text, points_text};
+use std::hint::black_box;
+
+fn bench_scanner(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scanner");
+
+    let small_ints = int_list_text(1 << 20, 11, 9_999);
+    g.throughput(Throughput::Bytes(small_ints.len() as u64));
+    g.bench_function("u64_small_magnitudes", |b| {
+        b.iter(|| {
+            let mut s = TextScanner::new(black_box(&small_ints));
+            let mut acc = 0u64;
+            while !s.at_end() {
+                acc = acc.wrapping_add(s.parse_u64().unwrap());
+            }
+            acc
+        })
+    });
+
+    let wide_ints = int_list_text(1 << 20, 12, u64::MAX >> 1);
+    g.throughput(Throughput::Bytes(wide_ints.len() as u64));
+    g.bench_function("i64_wide_magnitudes", |b| {
+        b.iter(|| {
+            let mut s = TextScanner::new(black_box(&wide_ints));
+            let mut acc = 0i64;
+            while !s.at_end() {
+                acc = acc.wrapping_add(s.parse_i64().unwrap());
+            }
+            acc
+        })
+    });
+
+    let floats = points_text(1 << 20, 13, 4);
+    g.throughput(Throughput::Bytes(floats.len() as u64));
+    g.bench_function("f64_fixed_point", |b| {
+        b.iter(|| {
+            let mut s = TextScanner::new(black_box(&floats));
+            let mut acc = 0.0f64;
+            while !s.at_end() {
+                acc += s.parse_f64().unwrap();
+            }
+            acc
+        })
+    });
+
+    let matrix = matrix_text(1 << 20, 14);
+    g.throughput(Throughput::Bytes(matrix.len() as u64));
+    g.bench_function("f64_matrix_rows", |b| {
+        b.iter(|| {
+            let mut s = TextScanner::new(black_box(&matrix));
+            let mut acc = 0.0f64;
+            while !s.at_end() {
+                acc += s.parse_f64().unwrap();
+            }
+            acc
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_scanner);
+criterion_main!(benches);

@@ -17,7 +17,7 @@
 //! * `scale`   — input-size stability of the headline speedup ratio.
 
 use morpheus::{Mode, System, SystemParams};
-use morpheus_bench::{print_table, Harness};
+use morpheus_bench::{print_table, run_parallel, Harness};
 use morpheus_workloads::{run_benchmark, stage_input, suite, Benchmark};
 
 fn run_with(params: SystemParams, bench: &Benchmark, bytes: u64, seed: u64) -> (f64, f64) {
@@ -32,6 +32,10 @@ fn run_with(params: SystemParams, bench: &Benchmark, bytes: u64, seed: u64) -> (
     )
 }
 
+const SWEEPS: [&str; 7] = [
+    "cores", "clock", "chunk", "float", "multi", "tenants", "scale",
+];
+
 fn wanted(name: &str) -> bool {
     let args: Vec<String> = std::env::args().collect();
     match args.iter().position(|a| a == "--sweep") {
@@ -41,58 +45,74 @@ fn wanted(name: &str) -> bool {
 }
 
 fn main() {
-    let h = Harness::from_args();
+    let h = Harness::from_args_with(&["--sweep"]);
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--sweep") {
+        if let Some(s) = args.get(i + 1) {
+            if !SWEEPS.contains(&s.as_str()) {
+                eprintln!("error: unknown sweep {s:?} (one of: {})", SWEEPS.join(", "));
+                std::process::exit(2);
+            }
+        }
+    }
     let benches = suite();
-    let pagerank = benches.iter().find(|b| b.name == "pagerank").expect("suite");
+    let pagerank = benches
+        .iter()
+        .find(|b| b.name == "pagerank")
+        .expect("suite");
     let spmv = benches.iter().find(|b| b.name == "spmv").expect("suite");
     let bytes = h.input_bytes(pagerank);
 
     if wanted("cores") {
         println!("\nablation: embedded core count (pagerank)");
-        let mut rows = Vec::new();
-        for cores in [1u32, 2, 4, 8] {
+        let cores = [1u32, 2, 4, 8];
+        let rows = run_parallel(h.jobs, &cores, |cores| {
             let mut p = SystemParams::paper_testbed();
-            p.ssd.embedded_cores = cores;
+            p.ssd.embedded_cores = *cores;
             let (d, t) = run_with(p, pagerank, bytes, h.seed);
-            rows.push(vec![format!("{cores}"), format!("{d:.2}x"), format!("{t:.2}x")]);
-        }
+            vec![format!("{cores}"), format!("{d:.2}x"), format!("{t:.2}x")]
+        });
         print_table(&["cores", "deser_speedup", "total_speedup"], &rows);
         println!("(one instance is pinned to one core; extra cores serve other tenants)");
     }
 
     if wanted("clock") {
         println!("\nablation: embedded core clock (pagerank)");
-        let mut rows = Vec::new();
-        for mhz in [200.0, 400.0, 800.0, 1600.0] {
+        let clocks = [200.0, 400.0, 800.0, 1600.0];
+        let rows = run_parallel(h.jobs, &clocks, |mhz| {
             let mut p = SystemParams::paper_testbed();
             p.ssd.core_clock_hz = mhz * 1e6;
             let (d, t) = run_with(p, pagerank, bytes, h.seed);
-            rows.push(vec![format!("{mhz:.0}MHz"), format!("{d:.2}x"), format!("{t:.2}x")]);
-        }
+            vec![
+                format!("{mhz:.0}MHz"),
+                format!("{d:.2}x"),
+                format!("{t:.2}x"),
+            ]
+        });
         print_table(&["clock", "deser_speedup", "total_speedup"], &rows);
     }
 
     if wanted("chunk") {
         println!("\nablation: MREAD chunk size (pagerank)");
-        let mut rows = Vec::new();
-        for mb in [1u64, 2, 4, 8, 16, 32] {
+        let chunks = [1u64, 2, 4, 8, 16, 32];
+        let rows = run_parallel(h.jobs, &chunks, |mb| {
             let mut p = SystemParams::paper_testbed();
             p.mread_chunk_bytes = mb << 20;
             let (d, t) = run_with(p, pagerank, bytes, h.seed);
-            rows.push(vec![format!("{mb}MiB"), format!("{d:.2}x"), format!("{t:.2}x")]);
-        }
+            vec![format!("{mb}MiB"), format!("{d:.2}x"), format!("{t:.2}x")]
+        });
         print_table(&["chunk", "deser_speedup", "total_speedup"], &rows);
     }
 
     if wanted("float") {
         println!("\nablation: soft-float penalty (spmv, the Fig. 8 outlier)");
-        let mut rows = Vec::new();
-        for pen in [1.0, 2.0, 4.0, 8.0, 16.0] {
+        let penalties = [1.0, 2.0, 4.0, 8.0, 16.0];
+        let rows = run_parallel(h.jobs, &penalties, |pen| {
             let mut p = SystemParams::paper_testbed();
-            p.device_cost.float_penalty = pen;
+            p.device_cost.float_penalty = *pen;
             let (d, _) = run_with(p, spmv, h.input_bytes(spmv), h.seed);
-            rows.push(vec![format!("{pen:.0}x"), format!("{d:.2}x")]);
-        }
+            vec![format!("{pen:.0}x"), format!("{d:.2}x")]
+        });
         print_table(&["fp_penalty", "spmv_deser_speedup"], &rows);
         println!("(an FPU-equipped controller would move spmv up to the integer apps)");
     }
@@ -100,18 +120,17 @@ fn main() {
     if wanted("multi") {
         println!("\nablation: multiprogrammed co-runner (pagerank)");
         use morpheus::CoRunner;
-        let mut rows = Vec::new();
         let cases = [
             ("idle host", None),
             ("moderate co-runner", Some(CoRunner::moderate())),
             ("heavy co-runner", Some(CoRunner::heavy())),
         ];
-        for (label, co) in cases {
+        let rows = run_parallel(h.jobs, &cases, |(label, co)| {
             let mut p = SystemParams::paper_testbed();
-            p.corunner = co;
+            p.corunner = *co;
             let (d, t) = run_with(p, pagerank, bytes, h.seed);
-            rows.push(vec![label.to_string(), format!("{d:.2}x"), format!("{t:.2}x")]);
-        }
+            vec![label.to_string(), format!("{d:.2}x"), format!("{t:.2}x")]
+        });
         print_table(&["host load", "deser_speedup", "total_speedup"], &rows);
         println!("(contention widens the deserialization gap; total speedup compresses because");
         println!(" the compute kernel — identical in both modes — slows with the stolen cores)");
@@ -122,11 +141,11 @@ fn main() {
         use morpheus::AppSpec;
         use morpheus_format::{FieldKind, Schema, TextWriter};
         let schema = Schema::new(vec![FieldKind::U32, FieldKind::U32]);
-        let mut rows = Vec::new();
-        for n in [1usize, 2, 4, 8] {
+        let counts = [1usize, 2, 4, 8];
+        let rows = run_parallel(h.jobs, &counts, |n| {
             let mut sys = System::new(SystemParams::paper_testbed());
             let mut specs = Vec::new();
-            for i in 0..n {
+            for i in 0..*n {
                 let file = format!("tenant{i}.txt");
                 let mut w = TextWriter::new();
                 for j in 0..200_000u64 {
@@ -136,19 +155,30 @@ fn main() {
                     w.newline();
                 }
                 sys.create_input_file(&file, w.as_bytes()).expect("stage");
-                specs.push(AppSpec::cpu_app(&format!("t{i}"), &file, schema.clone(), 1, 50.0));
+                specs.push(AppSpec::cpu_app(
+                    &format!("t{i}"),
+                    &file,
+                    schema.clone(),
+                    1,
+                    50.0,
+                ));
             }
-            let conv: Vec<_> = specs.iter().map(|s| (s.clone(), Mode::Conventional)).collect();
+            let conv: Vec<_> = specs
+                .iter()
+                .map(|s| (s.clone(), Mode::Conventional))
+                .collect();
             let morp: Vec<_> = specs.iter().map(|s| (s.clone(), Mode::Morpheus)).collect();
-            let c = sys.run_deserialize_many(&conv).expect("conventional tenants");
+            let c = sys
+                .run_deserialize_many(&conv)
+                .expect("conventional tenants");
             let m = sys.run_deserialize_many(&morp).expect("morpheus tenants");
-            rows.push(vec![
+            vec![
                 format!("{n}"),
                 format!("{:.1}", c.aggregate_mbs),
                 format!("{:.1}", m.aggregate_mbs),
                 format!("{:.2}x", m.aggregate_mbs / c.aggregate_mbs),
-            ]);
-        }
+            ]
+        });
         print_table(&["tenants", "conventional", "morpheus", "advantage"], &rows);
         println!("(4 host cores vs 4 embedded cores; beyond 4 tenants both saturate,");
         println!(" but the Morpheus host is still free to run real work — §III)");
@@ -156,11 +186,11 @@ fn main() {
 
     if wanted("scale") {
         println!("\nablation: input-scale stability of the speedup (pagerank)");
-        let mut rows = Vec::new();
-        for mb in [2u64, 4, 8, 16, 32] {
+        let sizes = [2u64, 4, 8, 16, 32];
+        let rows = run_parallel(h.jobs, &sizes, |mb| {
             let (d, t) = run_with(SystemParams::paper_testbed(), pagerank, mb << 20, h.seed);
-            rows.push(vec![format!("{mb}MB"), format!("{d:.2}x"), format!("{t:.2}x")]);
-        }
+            vec![format!("{mb}MB"), format!("{d:.2}x"), format!("{t:.2}x")]
+        });
         print_table(&["input", "deser_speedup", "total_speedup"], &rows);
         println!("(ratios are size-stable, justifying scaled-down staging)");
     }

@@ -22,15 +22,18 @@ fn main() {
     objects.canonicalize();
     let bin_be = encode_binary(&objects, Endianness::Big);
 
-    println!("Extension study over a float-valued COO dataset ({} records)\n", objects.records);
+    println!(
+        "Extension study over a float-valued COO dataset ({} records)\n",
+        objects.records
+    );
 
     // --- deserialization: text vs foreign-endian binary ---
     let mut rows = Vec::new();
     let mut run_case = |label: &str, file: &str, data: &[u8], format: InputFormat| {
         let mut sys = System::new(SystemParams::paper_testbed());
         sys.create_input_file(file, data).unwrap();
-        let spec = AppSpec::cpu_app(label, file, schema.clone(), 1, 1300.0)
-            .with_input_format(format);
+        let spec =
+            AppSpec::cpu_app(label, file, schema.clone(), 1, 1300.0).with_input_format(format);
         let conv = sys.run(&spec, Mode::Conventional).unwrap();
         let morp = sys.run(&spec, Mode::Morpheus).unwrap();
         assert_eq!(conv.report.checksum, morp.report.checksum);
@@ -50,7 +53,10 @@ fn main() {
         &bin_be,
         InputFormat::Binary(Endianness::Big),
     );
-    print_table(&["input", "size", "baseline", "morpheus", "deser speedup"], &rows);
+    print_table(
+        &["input", "size", "baseline", "morpheus", "deser speedup"],
+        &rows,
+    );
     println!("(text floats hit the missing FPU; binary byte-swaps do not)\n");
 
     // --- serialization: objects -> text file on the drive ---

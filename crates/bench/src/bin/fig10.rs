@@ -10,12 +10,16 @@ use morpheus_workloads::suite;
 
 fn main() {
     let h = Harness::from_args();
-    println!("Figure 10: context switches during deserialization (scale 1/{})\n", h.scale);
+    println!(
+        "Figure 10: context switches during deserialization (scale 1/{})\n",
+        h.scale
+    );
+    let benches = suite();
+    let pairs = h.run_suite_parallel(&benches, |bench| run_pair(&h, bench));
     let mut rows = Vec::new();
     let mut freq_reduction = Vec::new();
     let mut count_reduction = Vec::new();
-    for bench in suite() {
-        let (conv, morp) = run_pair(&h, &bench);
+    for (bench, (conv, morp)) in benches.iter().zip(&pairs) {
         freq_reduction.push(1.0 - morp.report.cs_per_second / conv.report.cs_per_second);
         count_reduction
             .push(1.0 - morp.report.context_switches as f64 / conv.report.context_switches as f64);
@@ -28,7 +32,13 @@ fn main() {
         ]);
     }
     print_table(
-        &["app", "base_rate", "morph_rate", "base_total", "morph_total"],
+        &[
+            "app",
+            "base_rate",
+            "morph_rate",
+            "base_total",
+            "morph_total",
+        ],
         &rows,
     );
     println!();

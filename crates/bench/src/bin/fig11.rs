@@ -10,35 +10,48 @@ use morpheus_workloads::{run_benchmark, suite};
 
 fn main() {
     let h = Harness::from_args();
-    println!("Figure 11: end-to-end speedup over the conventional baseline (scale 1/{})\n", h.scale);
+    println!(
+        "Figure 11: end-to-end speedup over the conventional baseline (scale 1/{})\n",
+        h.scale
+    );
+    let benches = suite();
+    // Per benchmark: (baseline total_s, morpheus speedup, optional p2p speedup).
+    let results: Vec<(f64, f64, Option<f64>)> = h.run_suite_parallel(&benches, |bench| {
+        let mut sys = h.app_system(bench);
+        let conv = run_benchmark(&mut sys, bench, Mode::Conventional).expect("conventional");
+        let morp = run_benchmark(&mut sys, bench, Mode::Morpheus).expect("morpheus");
+        assert_eq!(conv.kernel, morp.kernel, "{}", bench.name);
+        let ms = morp.report.total_speedup_over(&conv.report);
+        let p2p = (bench.parallel_label == "CUDA").then(|| {
+            let p2p = run_benchmark(&mut sys, bench, Mode::MorpheusP2P).expect("p2p");
+            assert_eq!(conv.kernel, p2p.kernel, "{}", bench.name);
+            p2p.report.total_speedup_over(&conv.report)
+        });
+        (conv.report.phases.total_s(), ms, p2p)
+    });
     let mut rows = Vec::new();
     let mut morph_speedups = Vec::new();
     let mut p2p_speedups = Vec::new();
-    for bench in suite() {
-        let mut sys = h.app_system(&bench);
-        let conv = run_benchmark(&mut sys, &bench, Mode::Conventional).expect("conventional");
-        let morp = run_benchmark(&mut sys, &bench, Mode::Morpheus).expect("morpheus");
-        assert_eq!(conv.kernel, morp.kernel, "{}", bench.name);
-        let ms = morp.report.total_speedup_over(&conv.report);
-        morph_speedups.push(ms);
-        let gpu_app = bench.parallel_label == "CUDA";
-        let p2p_cell = if gpu_app {
-            let p2p = run_benchmark(&mut sys, &bench, Mode::MorpheusP2P).expect("p2p");
-            assert_eq!(conv.kernel, p2p.kernel, "{}", bench.name);
-            let ps = p2p.report.total_speedup_over(&conv.report);
-            p2p_speedups.push(ps);
-            format!("{ps:.2}x")
-        } else {
-            "-".to_string()
+    for (bench, (base_total, ms, p2p)) in benches.iter().zip(&results) {
+        morph_speedups.push(*ms);
+        let p2p_cell = match p2p {
+            Some(ps) => {
+                p2p_speedups.push(*ps);
+                format!("{ps:.2}x")
+            }
+            None => "-".to_string(),
         };
         rows.push(vec![
             bench.name.to_string(),
-            format!("{:.3}s", conv.report.phases.total_s()),
+            format!("{base_total:.3}s"),
             format!("{ms:.2}x"),
             p2p_cell,
         ]);
     }
-    print_table(&["app", "baseline_total", "morpheus", "morpheus+p2p"], &rows);
+    print_table(
+        &["app", "baseline_total", "morpheus", "morpheus+p2p"],
+        &rows,
+    );
     println!();
     println!(
         "average morpheus speedup: {:.2}x (paper: ~1.32x)",

@@ -11,22 +11,27 @@ use morpheus_workloads::{run_benchmark, suite};
 
 fn main() {
     let h = Harness::from_args();
-    println!("Figure 12: end-to-end speedup on fast vs slow hosts (scale 1/{})\n", h.scale);
-    let mut rows = Vec::new();
-    let mut fast = Vec::new();
-    let mut slow = Vec::new();
-    for bench in suite() {
+    println!(
+        "Figure 12: end-to-end speedup on fast vs slow hosts (scale 1/{})\n",
+        h.scale
+    );
+    let benches = suite();
+    let results: Vec<(f64, f64)> = h.run_suite_parallel(&benches, |bench| {
         let speedup_at = |freq: f64| {
-            let mut sys = h.app_system_with(&bench, StorageKind::NvmeSsd, Some(freq));
-            let conv = run_benchmark(&mut sys, &bench, Mode::Conventional).expect("conventional");
-            let morp = run_benchmark(&mut sys, &bench, Mode::Morpheus).expect("morpheus");
+            let mut sys = h.app_system_with(bench, StorageKind::NvmeSsd, Some(freq));
+            let conv = run_benchmark(&mut sys, bench, Mode::Conventional).expect("conventional");
+            let morp = run_benchmark(&mut sys, bench, Mode::Morpheus).expect("morpheus");
             assert_eq!(conv.kernel, morp.kernel, "{}", bench.name);
             morp.report.total_speedup_over(&conv.report)
         };
-        let f = speedup_at(2.5e9);
-        let s = speedup_at(1.2e9);
-        fast.push(f);
-        slow.push(s);
+        (speedup_at(2.5e9), speedup_at(1.2e9))
+    });
+    let mut rows = Vec::new();
+    let mut fast = Vec::new();
+    let mut slow = Vec::new();
+    for (bench, (f, s)) in benches.iter().zip(&results) {
+        fast.push(*f);
+        slow.push(*s);
         rows.push(vec![
             bench.name.to_string(),
             format!("{f:.2}x"),

@@ -10,11 +10,15 @@ use morpheus_workloads::suite;
 
 fn main() {
     let h = Harness::from_args();
-    println!("Figure 2: conventional execution-time breakdown (scale 1/{})\n", h.scale);
+    println!(
+        "Figure 2: conventional execution-time breakdown (scale 1/{})\n",
+        h.scale
+    );
+    let benches = suite();
+    let outs = h.run_suite_parallel(&benches, |bench| run_mode(&h, bench, Mode::Conventional));
     let mut rows = Vec::new();
     let mut fracs = Vec::new();
-    for bench in suite() {
-        let out = run_mode(&h, &bench, Mode::Conventional);
+    for (bench, out) in benches.iter().zip(&outs) {
         let p = out.report.phases;
         let total = p.total_s();
         fracs.push(p.deserialization_fraction());
@@ -28,9 +32,19 @@ fn main() {
         ]);
     }
     print_table(
-        &["app", "total_s", "deserialize", "other_cpu", "copy", "kernel"],
+        &[
+            "app",
+            "total_s",
+            "deserialize",
+            "other_cpu",
+            "copy",
+            "kernel",
+        ],
         &rows,
     );
     println!();
-    println!("average deserialization fraction: {:.1}%  (paper: ~64%)", 100.0 * mean(&fracs));
+    println!(
+        "average deserialization fraction: {:.1}%  (paper: ~64%)",
+        100.0 * mean(&fracs)
+    );
 }

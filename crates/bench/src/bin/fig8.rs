@@ -9,11 +9,15 @@ use morpheus_workloads::suite;
 
 fn main() {
     let h = Harness::from_args();
-    println!("Figure 8: deserialization speedup, Morpheus-SSD vs baseline (scale 1/{})\n", h.scale);
+    println!(
+        "Figure 8: deserialization speedup, Morpheus-SSD vs baseline (scale 1/{})\n",
+        h.scale
+    );
+    let benches = suite();
+    let pairs = h.run_suite_parallel(&benches, |bench| run_pair(&h, bench));
     let mut rows = Vec::new();
     let mut speedups = Vec::new();
-    for bench in suite() {
-        let (conv, morp) = run_pair(&h, &bench);
+    for (bench, (conv, morp)) in benches.iter().zip(&pairs) {
         let s = morp.report.deser_speedup_over(&conv.report);
         speedups.push(s);
         rows.push(vec![

@@ -10,12 +10,16 @@ use morpheus_workloads::suite;
 
 fn main() {
     let h = Harness::from_args();
-    println!("Figure 9: normalized power and energy during deserialization (scale 1/{})\n", h.scale);
+    println!(
+        "Figure 9: normalized power and energy during deserialization (scale 1/{})\n",
+        h.scale
+    );
+    let benches = suite();
+    let pairs = h.run_suite_parallel(&benches, |bench| run_pair(&h, bench));
     let mut rows = Vec::new();
     let mut power_ratios = Vec::new();
     let mut energy_ratios = Vec::new();
-    for bench in suite() {
-        let (conv, morp) = run_pair(&h, &bench);
+    for (bench, (conv, morp)) in benches.iter().zip(&pairs) {
         let pr = morp.report.deser_power_watts / conv.report.deser_power_watts;
         let er = morp.report.deser_energy_j / conv.report.deser_energy_j;
         power_ratios.push(pr);
@@ -31,7 +35,15 @@ fn main() {
         ]);
     }
     print_table(
-        &["app", "base_power", "morph_power", "power_ratio", "base_energy", "morph_energy", "energy_ratio"],
+        &[
+            "app",
+            "base_power",
+            "morph_power",
+            "power_ratio",
+            "base_energy",
+            "morph_energy",
+            "energy_ratio",
+        ],
         &rows,
     );
     println!();

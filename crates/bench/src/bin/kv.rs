@@ -6,10 +6,13 @@
 //! range widens (everything must be shipped anyway).
 
 use morpheus::{System, SystemParams};
-use morpheus_bench::print_table;
+use morpheus_bench::{print_table, Harness};
 use morpheus_kvstore::{scan_conventional, scan_morpheus, synth_pairs, KvConfig, KvStore};
 
 fn main() {
+    // The scan sweep has fixed sizing, but validate flags so `run_all`
+    // can forward its argument list here unchanged.
+    let _ = Harness::from_args();
     let mut sys = System::new(SystemParams::paper_testbed());
     let cfg = KvConfig {
         buckets: 4096,
@@ -48,13 +51,18 @@ fn main() {
     }
     print_table(
         &[
-            "selectivity", "matches", "host_scan", "ssd_scan", "speedup", "pcie_host",
-            "pcie_ssd", "cpu_host", "cpu_ssd",
+            "selectivity",
+            "matches",
+            "host_scan",
+            "ssd_scan",
+            "speedup",
+            "pcie_host",
+            "pcie_ssd",
+            "cpu_host",
+            "cpu_ssd",
         ],
         &rows,
     );
-    println!(
-        "\n(the scan is flash-bound either way, so elapsed time ties; the offload's win is"
-    );
+    println!("\n(the scan is flash-bound either way, so elapsed time ties; the offload's win is");
     println!("interconnect traffic and a freed host CPU — exactly the paper's §III argument)");
 }

@@ -10,18 +10,25 @@
 //! 3. the remaining code runs at IPC ≈ 1.2 — poor use of an out-of-order
 //!    core.
 
+use morpheus_bench::Harness;
 use morpheus_format::{parse_buffer, CostModel, FieldKind, Schema};
 use morpheus_host::{CodeClass, Cpu, CpuSpec};
 use morpheus_workloads::int_list_text;
 
 fn main() {
+    // Fixed-size microbenchmarks, but validate flags so `run_all` can
+    // forward its argument list here unchanged.
+    let _ = Harness::from_args();
     let text = int_list_text(8_000_000, 7, 1_000_000_000);
     let schema = Schema::new(vec![FieldKind::U32]);
     let (parsed, work) = parse_buffer(&text, &schema).expect("generated input parses");
     let host = CostModel::host_cpu();
     let cpu = Cpu::new(CpuSpec::xeon_quad());
 
-    println!("§II microbenchmarks over an {}-byte ASCII integer file\n", text.len());
+    println!(
+        "§II microbenchmarks over an {}-byte ASCII integer file\n",
+        text.len()
+    );
 
     // (1) Convert fraction.
     let convert = work.int_tokens as f64 * host.int_instr_per_token

@@ -1,10 +1,18 @@
 //! Runs every figure/table regenerator in sequence (the full evaluation).
 //!
-//! Usage: `cargo run --release -p morpheus-bench --bin run_all -- --scale 256`
+//! Usage: `cargo run --release -p morpheus-bench --bin run_all -- --scale 256 --jobs 4`
+//!
+//! Flags are validated here and forwarded verbatim to every child binary,
+//! so `--jobs N` fans each figure's suite loop out over N threads while
+//! keeping all printed output byte-identical to a sequential run.
 
+use morpheus_bench::Harness;
 use std::process::Command;
 
 fn main() {
+    // Validate the flags up front (exit 2 on a typo) before launching
+    // thirteen child processes that would each fail half-way through.
+    let _ = Harness::from_args();
     let passthrough: Vec<String> = std::env::args().skip(1).collect();
     let bins = [
         "table1", "fig2", "fig3", "fig8", "fig9", "fig10", "fig11", "fig12", "traffic", "micro",

@@ -9,12 +9,16 @@ use morpheus_workloads::suite;
 
 fn main() {
     let h = Harness::from_args();
-    println!("Interconnect traffic, conventional vs Morpheus-SSD (scale 1/{})\n", h.scale);
+    println!(
+        "Interconnect traffic, conventional vs Morpheus-SSD (scale 1/{})\n",
+        h.scale
+    );
+    let benches = suite();
+    let pairs = h.run_suite_parallel(&benches, |bench| run_pair(&h, bench));
     let mut rows = Vec::new();
     let mut pcie_red = Vec::new();
     let mut mem_red = Vec::new();
-    for bench in suite() {
-        let (conv, morp) = run_pair(&h, &bench);
+    for (bench, (conv, morp)) in benches.iter().zip(&pairs) {
         let pr = 1.0 - morp.report.pcie_bytes as f64 / conv.report.pcie_bytes as f64;
         let mr = 1.0 - morp.report.membus_bytes as f64 / conv.report.membus_bytes as f64;
         pcie_red.push(pr);
@@ -30,10 +34,24 @@ fn main() {
         ]);
     }
     print_table(
-        &["app", "pcie_base", "pcie_morph", "pcie_saved", "mem_base", "mem_morph", "mem_saved"],
+        &[
+            "app",
+            "pcie_base",
+            "pcie_morph",
+            "pcie_saved",
+            "mem_base",
+            "mem_morph",
+            "mem_saved",
+        ],
         &rows,
     );
     println!();
-    println!("average pcie reduction:   {:.1}% (paper: ~22%)", 100.0 * mean(&pcie_red));
-    println!("average membus reduction: {:.1}% (paper: ~58%)", 100.0 * mean(&mem_red));
+    println!(
+        "average pcie reduction:   {:.1}% (paper: ~22%)",
+        100.0 * mean(&pcie_red)
+    );
+    println!(
+        "average membus reduction: {:.1}% (paper: ~58%)",
+        100.0 * mean(&mem_red)
+    );
 }

@@ -8,6 +8,8 @@
 
 #![warn(missing_docs)]
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use morpheus::{Mode, RunReport, StorageKind, System, SystemParams};
 use morpheus_workloads::{run_benchmark, stage_input, BenchOutcome, Benchmark};
 
@@ -18,29 +20,127 @@ pub struct Harness {
     pub scale: u64,
     /// Generator seed.
     pub seed: u64,
+    /// Worker threads for suite fan-out (`--jobs`, `MORPHEUS_JOBS`).
+    pub jobs: usize,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Harness {
+            scale: 256,
+            seed: 42,
+            jobs: default_jobs(),
+        }
+    }
+}
+
+/// Default worker count: `MORPHEUS_JOBS` if set, else 1 (sequential).
+fn default_jobs() -> usize {
+    std::env::var("MORPHEUS_JOBS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|j| *j >= 1)
+        .unwrap_or(1)
+}
+
+/// Parse error for the harness flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
 }
 
 impl Harness {
-    /// Parses `--scale N` and `--seed N` from the process arguments.
+    /// Parses `--scale N`, `--seed N` and `--jobs N` from the process
+    /// arguments. Unknown flags and malformed values are fatal (exit 2):
+    /// a typo like `--sacle` silently running the default configuration
+    /// would poison recorded results.
     pub fn from_args() -> Self {
-        let mut h = Harness {
-            scale: 256,
-            seed: 42,
-        };
-        let args: Vec<String> = std::env::args().collect();
-        for i in 0..args.len() {
-            if args[i] == "--scale" {
-                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
-                    h.scale = v;
-                }
+        Self::from_args_with(&[])
+    }
+
+    /// Like [`Harness::from_args`] but tolerating `extra` flags that the
+    /// binary parses itself (each consumes one value argument).
+    pub fn from_args_with(extra: &[&str]) -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match Self::parse(&args, extra) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("usage: [--scale N] [--seed N] [--jobs N]{}", {
+                    let mut s = String::new();
+                    for f in extra {
+                        s.push_str(&format!(" [{f} V]"));
+                    }
+                    s
+                });
+                std::process::exit(2);
             }
-            if args[i] == "--seed" {
-                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
-                    h.seed = v;
+        }
+    }
+
+    /// The argument grammar, separated from process state for testing.
+    pub fn parse(args: &[String], extra: &[&str]) -> Result<Self, ArgError> {
+        fn value_of<'a>(
+            flag: &str,
+            it: &mut std::slice::Iter<'a, String>,
+        ) -> Result<&'a String, ArgError> {
+            it.next()
+                .ok_or_else(|| ArgError(format!("{flag} requires a value")))
+        }
+        let mut h = Harness::default();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    let v = value_of("--scale", &mut it)?;
+                    h.scale = v.parse().map_err(|_| {
+                        ArgError(format!("--scale expects a positive integer, got {v:?}"))
+                    })?;
+                    if h.scale == 0 {
+                        return Err(ArgError("--scale must be >= 1".into()));
+                    }
+                }
+                "--seed" => {
+                    let v = value_of("--seed", &mut it)?;
+                    h.seed = v.parse().map_err(|_| {
+                        ArgError(format!("--seed expects an unsigned integer, got {v:?}"))
+                    })?;
+                }
+                "--jobs" => {
+                    let v = value_of("--jobs", &mut it)?;
+                    h.jobs = v.parse().map_err(|_| {
+                        ArgError(format!("--jobs expects a positive integer, got {v:?}"))
+                    })?;
+                    if h.jobs == 0 {
+                        return Err(ArgError("--jobs must be >= 1".into()));
+                    }
+                }
+                other if extra.contains(&other) => {
+                    value_of(other, &mut it)?;
+                }
+                other => {
+                    return Err(ArgError(format!("unknown flag {other:?}")));
                 }
             }
         }
-        h
+        Ok(h)
+    }
+
+    /// Runs `f` once per benchmark on `self.jobs` worker threads and
+    /// returns the results in suite order, exactly as a sequential
+    /// `benches.iter().map(f)` would. Each invocation builds its own
+    /// fresh [`System`], so runs are independent and the fan-out cannot
+    /// perturb any simulated quantity — only wall-clock time.
+    pub fn run_suite_parallel<T, F>(&self, benches: &[Benchmark], f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&Benchmark) -> T + Sync,
+    {
+        run_parallel(self.jobs, benches, f)
     }
 
     /// Bytes staged for a benchmark at this scale.
@@ -71,6 +171,49 @@ impl Harness {
             .expect("staging benchmark input");
         sys
     }
+}
+
+/// Maps `f` over `items` on up to `jobs` threads, preserving input
+/// order in the output. Work is claimed dynamically (an atomic cursor),
+/// so a slow item never strands the remaining ones behind it; results
+/// are tagged with their index and merged after the join, keeping the
+/// output — and therefore everything printed from it — byte-identical
+/// to the sequential run. A panic in any worker propagates.
+pub fn run_parallel<I, T, F>(jobs: usize, items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    let jobs = jobs.clamp(1, items.len().max(1));
+    if jobs == 1 {
+        return items.iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, T)> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        local.push((i, f(item)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for w in workers {
+            match w.join() {
+                Ok(local) => tagged.extend(local),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    tagged.sort_by_key(|(i, _)| *i);
+    tagged.into_iter().map(|(_, t)| t).collect()
 }
 
 /// Runs one benchmark under one mode on its own fresh system.
@@ -150,6 +293,10 @@ pub fn deser_s(r: &RunReport) -> f64 {
 mod tests {
     use super::*;
 
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
     #[test]
     fn geomean_and_mean() {
         assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
@@ -160,9 +307,84 @@ mod tests {
     fn input_bytes_clamped() {
         let h = Harness {
             scale: 1_000_000,
-            seed: 1,
+            ..Harness::default()
         };
         let bench = &morpheus_workloads::suite()[0];
         assert_eq!(h.input_bytes(bench), 2_000_000);
+    }
+
+    #[test]
+    fn parse_accepts_known_flags() {
+        let h = Harness::parse(&argv(&["--scale", "64", "--seed", "7", "--jobs", "3"]), &[])
+            .expect("valid flags");
+        assert_eq!((h.scale, h.seed, h.jobs), (64, 7, 3));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_flag() {
+        let err = Harness::parse(&argv(&["--sacle", "64"]), &[]).unwrap_err();
+        assert!(err.0.contains("unknown flag"), "{err}");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_values() {
+        for bad in [
+            vec!["--scale", "abc"],
+            vec!["--scale", "0"],
+            vec!["--seed", "-3"],
+            vec!["--jobs", "0"],
+            vec!["--jobs"],
+        ] {
+            assert!(
+                Harness::parse(&argv(&bad), &[]).is_err(),
+                "should reject {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_tolerates_registered_extras() {
+        let h = Harness::parse(&argv(&["--sweep", "cores", "--scale", "128"]), &["--sweep"])
+            .expect("registered extra flag");
+        assert_eq!(h.scale, 128);
+        assert!(Harness::parse(&argv(&["--sweep", "cores"]), &[]).is_err());
+    }
+
+    #[test]
+    fn run_parallel_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let seq: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for jobs in [1, 2, 4, 7, 100, 1000] {
+            let par = run_parallel(jobs, &items, |x| x * x);
+            assert_eq!(par, seq, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn run_parallel_handles_empty_input() {
+        let out: Vec<u64> = run_parallel(4, &[], |x: &u64| *x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_suite_reports_match_sequential_field_for_field() {
+        // The determinism contract of the tentpole: fanning the suite out
+        // over threads must not change a single reported quantity.
+        let h = Harness {
+            scale: 8192,
+            seed: 42,
+            jobs: 1,
+        };
+        let benches: Vec<Benchmark> = morpheus_workloads::suite().into_iter().take(4).collect();
+        let seq = h.run_suite_parallel(&benches, |b| run_mode(&h, b, Mode::Conventional));
+        let hp = Harness { jobs: 4, ..h };
+        let par = hp.run_suite_parallel(&benches, |b| run_mode(&hp, b, Mode::Conventional));
+        assert_eq!(seq.len(), par.len());
+        for (s, p) in seq.iter().zip(&par) {
+            // RunReport has no PartialEq; its Debug form prints every
+            // field, so equal strings mean field-for-field equality.
+            assert_eq!(format!("{:?}", s.report), format!("{:?}", p.report));
+            assert_eq!(s.kernel, p.kernel);
+        }
     }
 }

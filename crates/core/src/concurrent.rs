@@ -17,10 +17,9 @@ use morpheus_format::{ParseWork, ParsedColumns, StreamingParser};
 use morpheus_host::CodeClass;
 use morpheus_pcie::DmaDir;
 use morpheus_simcore::SimTime;
-use serde::Serialize;
 
 /// One tenant's outcome.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TenantReport {
     /// Application name.
     pub app: String,
@@ -37,7 +36,7 @@ pub struct TenantReport {
 }
 
 /// Aggregate outcome of a concurrent run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ConcurrentReport {
     /// Per-tenant results, in input order.
     pub tenants: Vec<TenantReport>,
@@ -113,8 +112,7 @@ impl System {
                 .clone();
             let state = match mode {
                 Mode::Conventional => {
-                    let chunks =
-                        Self::file_chunks(&meta, self.params.conventional_chunk_bytes);
+                    let chunks = Self::file_chunks(&meta, self.params.conventional_chunk_bytes);
                     let buf_addr = self
                         .dram
                         .alloc(self.params.conventional_chunk_bytes)
@@ -215,8 +213,7 @@ impl System {
             } => {
                 let c = chunks[*next];
                 *next += 1;
-                let (data, t_ssd) =
-                    self.mssd.dev.read_range(c.slba, c.blocks, SimTime::ZERO)?;
+                let (data, t_ssd) = self.mssd.dev.read_range(c.slba, c.blocks, SimTime::ZERO)?;
                 let dma = self.fabric.dma(
                     self.ssd_dev,
                     DmaDir::Write,
@@ -262,7 +259,9 @@ impl System {
             } => {
                 let c = chunks[*next];
                 *next += 1;
-                let out = self.mssd.mread(*iid, c.slba, c.blocks, c.valid_bytes, *ready)?;
+                let out = self
+                    .mssd
+                    .mread(*iid, c.slba, c.blocks, c.valid_bytes, *ready)?;
                 if !out.output.is_empty() {
                     let addr = self
                         .dram
@@ -392,10 +391,8 @@ mod tests {
             .iter()
             .map(|s| sys.run(s, Mode::Morpheus).unwrap().report.checksum)
             .collect();
-        let tenants: Vec<(AppSpec, Mode)> = specs
-            .iter()
-            .map(|s| (s.clone(), Mode::Morpheus))
-            .collect();
+        let tenants: Vec<(AppSpec, Mode)> =
+            specs.iter().map(|s| (s.clone(), Mode::Morpheus)).collect();
         let rep = sys.run_deserialize_many(&tenants).unwrap();
         for (t, want) in rep.tenants.iter().zip(&solo) {
             assert_eq!(t.checksum, *want, "{}", t.app);
@@ -414,10 +411,8 @@ mod tests {
             .deserialization_s;
         // Four tenants on four embedded cores: makespan must be far below
         // 4x solo (they parse in parallel inside the drive).
-        let tenants: Vec<(AppSpec, Mode)> = specs
-            .iter()
-            .map(|s| (s.clone(), Mode::Morpheus))
-            .collect();
+        let tenants: Vec<(AppSpec, Mode)> =
+            specs.iter().map(|s| (s.clone(), Mode::Morpheus)).collect();
         let rep = sys.run_deserialize_many(&tenants).unwrap();
         assert!(
             rep.makespan_s < 4.0 * solo * 0.6,
@@ -437,10 +432,8 @@ mod tests {
             .iter()
             .map(|s| (s.clone(), Mode::Conventional))
             .collect();
-        let morp: Vec<(AppSpec, Mode)> = specs
-            .iter()
-            .map(|s| (s.clone(), Mode::Morpheus))
-            .collect();
+        let morp: Vec<(AppSpec, Mode)> =
+            specs.iter().map(|s| (s.clone(), Mode::Morpheus)).collect();
         let conv_rep = sys.run_deserialize_many(&conv).unwrap();
         let morp_rep = sys.run_deserialize_many(&morp).unwrap();
         assert!(morp_rep.aggregate_mbs > conv_rep.aggregate_mbs);

@@ -16,12 +16,9 @@
 
 use crate::report::{Mode, Phases, RunReport};
 use crate::system::ChunkIo;
-use crate::{
-    BinaryDeserializeApp, DeserializeApp, MorpheusError, StorageApp, StorageKind, System,
-};
+use crate::{BinaryDeserializeApp, DeserializeApp, MorpheusError, StorageApp, StorageKind, System};
 use morpheus_format::{
-    BinaryStreamParser, Endianness, ParseError, ParseWork, ParsedColumns, Schema,
-    StreamingParser,
+    BinaryStreamParser, Endianness, ParseError, ParseWork, ParsedColumns, Schema, StreamingParser,
 };
 use morpheus_gpu::KernelCost;
 use morpheus_host::CodeClass;
@@ -320,7 +317,9 @@ impl System {
                     + self.params.host_cost.float_path_instructions(&dw),
                 CodeClass::Deserialize,
             );
-            let iv = self.cpu_cores.acquire(io_done.max(cpu_ready), os_t + parse_t);
+            let iv = self
+                .cpu_cores
+                .acquire(io_done.max(cpu_ready), os_t + parse_t);
             cpu_ready = iv.end;
             cpu_busy += iv.duration();
             // The parse loop streams the text back out of DRAM.
@@ -370,9 +369,8 @@ impl System {
             StorageKind::Hdd => {
                 let data = self.mssd.dev.read_range_untimed(c.slba, c.blocks)?;
                 let seek = SimDuration::from_secs_f64(self.params.hdd_seek_ms / 1e3);
-                let stream = SimDuration::from_secs_f64(
-                    c.valid_bytes as f64 / (self.params.hdd_mbs * 1e6),
-                );
+                let stream =
+                    SimDuration::from_secs_f64(c.valid_bytes as f64 / (self.params.hdd_mbs * 1e6));
                 let iv = self.hdd.acquire(SimTime::ZERO, seek + stream);
                 let mb = self.membus.transfer(iv.start, c.valid_bytes);
                 Ok((data, iv.end.max(mb.end)))
@@ -390,9 +388,11 @@ impl System {
         let iid = self.alloc_instance();
         let app: Box<dyn StorageApp> = match spec.input_format {
             InputFormat::Text => Box::new(DeserializeApp::new(&spec.name, spec.schema.clone())),
-            InputFormat::Binary(e) => {
-                Box::new(BinaryDeserializeApp::new(&spec.name, spec.schema.clone(), e))
-            }
+            InputFormat::Binary(e) => Box::new(BinaryDeserializeApp::new(
+                &spec.name,
+                spec.schema.clone(),
+                e,
+            )),
         };
         let code_bytes = app.code_bytes();
 
@@ -400,7 +400,8 @@ impl System {
         let init_cost = self.os.command_completion();
         let init_iv = self.cpu_cores.acquire(
             SimTime::ZERO,
-            self.cpu.duration(init_cost.instructions, CodeClass::OsKernel),
+            self.cpu
+                .duration(init_cost.instructions, CodeClass::OsKernel),
         );
         let mut cpu_busy = init_iv.duration();
         let cid = self.alloc_cid();
@@ -418,7 +419,9 @@ impl System {
         let mut obj_bin: Vec<u8> = Vec::new();
         let mut last_end = ready;
         for c in &chunks {
-            let out = self.mssd.mread(iid, c.slba, c.blocks, c.valid_bytes, ready)?;
+            let out = self
+                .mssd
+                .mread(iid, c.slba, c.blocks, c.valid_bytes, ready)?;
             let end = self.deliver_output(&out.output, bar, iid, c.slba, c.blocks)?;
             if let Some(e) = end {
                 cpu_busy += e.1;
@@ -456,7 +459,11 @@ impl System {
             text_bytes: meta.len,
             obj_addr: 0x2000,
         };
-        let mode = if p2p { Mode::MorpheusP2P } else { Mode::Morpheus };
+        let mode = if p2p {
+            Mode::MorpheusP2P
+        } else {
+            Mode::Morpheus
+        };
         self.finish_run(spec, mode, objects, window)
     }
 
@@ -496,7 +503,9 @@ impl System {
         // The SSD pushes finished objects; time base is the caller's
         // staging completion, which the fabric sees via its own timelines.
         let ready = self.mssd.dev.cores().horizon();
-        let dma = self.fabric.dma(self.ssd_dev, DmaDir::Write, addr, n, ready)?;
+        let dma = self
+            .fabric
+            .dma(self.ssd_dev, DmaDir::Write, addr, n, ready)?;
         if bar.is_none() {
             self.membus.transfer(dma.start, n);
         }
@@ -548,9 +557,7 @@ impl System {
                 kernel_end = kend;
             }
             ParallelModel::GpuCuda => {
-                let gk = spec
-                    .gpu_kernel
-                    .expect("checked in run()");
+                let gk = spec.gpu_kernel.expect("checked in run()");
                 let copy_end = if mode == Mode::MorpheusP2P {
                     other_iv.end
                 } else {
@@ -587,8 +594,8 @@ impl System {
         let total_s = kernel_end.as_secs_f64();
         let p = self.params.power;
         let cpu_delta = p.cpu_delta(self.cpu.frequency());
-        let ssd_pool_busy_s = self.mssd.parse_core_busy().as_secs_f64()
-            / self.params.ssd.embedded_cores as f64;
+        let ssd_pool_busy_s =
+            self.mssd.parse_core_busy().as_secs_f64() / self.params.ssd.embedded_cores as f64;
         let dram_j_deser = p.dram_watts_per_gbs * (membus_deser as f64 / 1e9);
         let deser_energy = p.idle_watts * deser_s
             + cpu_delta * window.cpu_busy.as_secs_f64()
@@ -602,14 +609,14 @@ impl System {
             + p.dram_watts_per_gbs * (self.membus.traffic_bytes() as f64 / 1e9);
 
         let mut metrics = Metrics::new();
-        metrics.set("ssd_parse_core_busy_s", self.mssd.parse_core_busy().as_secs_f64());
+        metrics.set(
+            "ssd_parse_core_busy_s",
+            self.mssd.parse_core_busy().as_secs_f64(),
+        );
         metrics.set("cpu_busy_deser_s", window.cpu_busy.as_secs_f64());
         metrics.set("gpu_busy_s", gpu_busy_s);
         metrics.set("pcie_p2p_bytes", self.fabric.traffic().p2p_bytes as f64);
-        metrics.set(
-            "kernel_start_s",
-            kernel_start.as_secs_f64(),
-        );
+        metrics.set("kernel_start_s", kernel_start.as_secs_f64());
 
         let report = RunReport {
             app: spec.name.clone(),
@@ -620,7 +627,9 @@ impl System {
                 deserialization_s: deser_s,
                 other_cpu_s: other_iv.duration().as_secs_f64(),
                 copy_s,
-                kernel_s: kernel_end.saturating_duration_since(kernel_start).as_secs_f64(),
+                kernel_s: kernel_end
+                    .saturating_duration_since(kernel_start)
+                    .as_secs_f64(),
             },
             text_bytes: window.text_bytes,
             object_bytes: obj_bytes,
@@ -694,7 +703,8 @@ mod tests {
     #[test]
     fn conventional_and_morpheus_produce_identical_objects() {
         let mut sys = test_system();
-        sys.create_input_file("edges.txt", &edge_text(5000)).unwrap();
+        sys.create_input_file("edges.txt", &edge_text(5000))
+            .unwrap();
         let spec = AppSpec::cpu_app("bfs", "edges.txt", edge_schema(), 4, 100.0);
         let conv = sys.run(&spec, Mode::Conventional).unwrap();
         let morp = sys.run(&spec, Mode::Morpheus).unwrap();
@@ -706,7 +716,8 @@ mod tests {
     #[test]
     fn morpheus_speeds_up_deserialization() {
         let mut sys = test_system();
-        sys.create_input_file("edges.txt", &edge_text(20_000)).unwrap();
+        sys.create_input_file("edges.txt", &edge_text(20_000))
+            .unwrap();
         let spec = AppSpec::cpu_app("bfs", "edges.txt", edge_schema(), 4, 100.0);
         let conv = sys.run(&spec, Mode::Conventional).unwrap();
         let morp = sys.run(&spec, Mode::Morpheus).unwrap();
@@ -721,7 +732,8 @@ mod tests {
     fn morpheus_slashes_context_switches() {
         let mut sys = test_system();
         // Large enough that the conventional path needs many 64 KiB reads.
-        sys.create_input_file("edges.txt", &edge_text(200_000)).unwrap();
+        sys.create_input_file("edges.txt", &edge_text(200_000))
+            .unwrap();
         let spec = AppSpec::cpu_app("bfs", "edges.txt", edge_schema(), 4, 100.0);
         let conv = sys.run(&spec, Mode::Conventional).unwrap();
         let morp = sys.run(&spec, Mode::Morpheus).unwrap();
@@ -736,7 +748,8 @@ mod tests {
     #[test]
     fn p2p_runs_for_gpu_apps_and_skips_host_memory() {
         let mut sys = test_system();
-        sys.create_input_file("edges.txt", &edge_text(20_000)).unwrap();
+        sys.create_input_file("edges.txt", &edge_text(20_000))
+            .unwrap();
         let spec = AppSpec::gpu_app("bfs", "edges.txt", edge_schema(), 40.0, 16.0, 20.0);
         let conv = sys.run(&spec, Mode::Conventional).unwrap();
         let p2p = sys.run(&spec, Mode::MorpheusP2P).unwrap();
@@ -770,7 +783,8 @@ mod tests {
     #[test]
     fn reports_are_self_consistent() {
         let mut sys = test_system();
-        sys.create_input_file("edges.txt", &edge_text(10_000)).unwrap();
+        sys.create_input_file("edges.txt", &edge_text(10_000))
+            .unwrap();
         let spec = AppSpec::gpu_app("nn", "edges.txt", edge_schema(), 60.0, 16.0, 30.0);
         for mode in [Mode::Conventional, Mode::Morpheus, Mode::MorpheusP2P] {
             let out = sys.run(&spec, mode).unwrap();

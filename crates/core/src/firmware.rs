@@ -195,7 +195,10 @@ impl MorpheusSsd {
         let identity = Self::build_identity(dev.config());
         let mut admin = AdminController::new(identity, 8);
         let status = admin.create_io_queue(IO_QUEUE_ID, 64);
-        assert!(status.is_success(), "io queue creation cannot fail at bring-up");
+        assert!(
+            status.is_success(),
+            "io queue creation cannot fail at bring-up"
+        );
         MorpheusSsd {
             dev,
             admin,
@@ -250,8 +253,6 @@ impl MorpheusSsd {
             }),
         }
     }
-
-
 
     /// Rewinds all timing state (drive timelines plus the firmware's
     /// StorageApp busy accounting) without touching stored data.
@@ -358,8 +359,11 @@ impl MorpheusSsd {
                 .instances
                 .get_mut(&instance_id)
                 .expect("existence checked above");
+            // Borrows straight from the flash array's stored allocation
+            // when the range is page-backed (the hot case).
+            let chunk = page.slice(lo as usize, hi as usize);
             inst.app
-                .on_chunk(&mut inst.ctx, &page[lo as usize..hi as usize])
+                .on_chunk(&mut inst.ctx, &chunk)
                 .map_err(MorpheusError::App)?;
             let work = inst.ctx.take_work();
             let extra = inst.ctx.take_extra_instructions();
@@ -497,7 +501,12 @@ impl MorpheusSsd {
             let instr = self.device_cost.total_instructions(&work)
                 + extra
                 + self.dev.config().command_dispatch_instructions;
-            (retval, instr, ready.max(inst.last_done), inst.out_base_slba.is_some())
+            (
+                retval,
+                instr,
+                ready.max(inst.last_done),
+                inst.out_base_slba.is_some(),
+            )
         };
         let iv = self.dev.cores_mut().exec_on(core, start, instr);
         self.parse_core_busy += iv.duration();
@@ -505,18 +514,12 @@ impl MorpheusSsd {
         let mut host_output = Vec::new();
         if writes_to_flash {
             // Final records join the flash stream, not the host.
-            let inst = self
-                .instances
-                .get_mut(&instance_id)
-                .expect("still present");
+            let inst = self.instances.get_mut(&instance_id).expect("still present");
             let tail = inst.ctx.take_output();
             inst.out_pending.extend_from_slice(&tail);
             done = done.max(self.flush_instance_output(instance_id, iv.end, true)?);
         } else {
-            let inst = self
-                .instances
-                .get_mut(&instance_id)
-                .expect("still present");
+            let inst = self.instances.get_mut(&instance_id).expect("still present");
             host_output = inst.ctx.take_output();
         }
         let inst = self.instances.remove(&instance_id).expect("still present");
@@ -590,7 +593,11 @@ mod tests {
         let text = b"1 2\n3 4\n5 6\n7 8\n";
         m.dev.load_at(0, text).unwrap();
         let t0 = m
-            .minit(1, Box::new(DeserializeApp::new("edges", edge_schema())), SimTime::ZERO)
+            .minit(
+                1,
+                Box::new(DeserializeApp::new("edges", edge_schema())),
+                SimTime::ZERO,
+            )
             .unwrap();
         let out = m.mread(1, 0, 1, text.len() as u64, t0).unwrap();
         assert!(out.done > t0);
@@ -610,10 +617,18 @@ mod tests {
     #[test]
     fn duplicate_instance_rejected() {
         let mut m = mssd();
-        m.minit(7, Box::new(DeserializeApp::new("a", edge_schema())), SimTime::ZERO)
-            .unwrap();
+        m.minit(
+            7,
+            Box::new(DeserializeApp::new("a", edge_schema())),
+            SimTime::ZERO,
+        )
+        .unwrap();
         let err = m
-            .minit(7, Box::new(DeserializeApp::new("b", edge_schema())), SimTime::ZERO)
+            .minit(
+                7,
+                Box::new(DeserializeApp::new("b", edge_schema())),
+                SimTime::ZERO,
+            )
             .unwrap_err();
         assert_eq!(err.status(), StatusCode::InstanceBusy);
     }
@@ -653,8 +668,12 @@ mod tests {
     fn app_fault_surfaces_with_status() {
         let mut m = mssd();
         m.dev.load_at(0, b"not numbers at all\n").unwrap();
-        m.minit(1, Box::new(DeserializeApp::new("edges", edge_schema())), SimTime::ZERO)
-            .unwrap();
+        m.minit(
+            1,
+            Box::new(DeserializeApp::new("edges", edge_schema())),
+            SimTime::ZERO,
+        )
+        .unwrap();
         let err = m.mread(1, 0, 1, 18, SimTime::ZERO).unwrap_err();
         assert_eq!(err.status(), StatusCode::AppFault);
     }
@@ -671,8 +690,12 @@ mod tests {
         text[514] = b'7';
         text[515] = b'\n';
         m.dev.load_at(0, &text).unwrap();
-        m.minit(1, Box::new(DeserializeApp::new("edges", edge_schema())), SimTime::ZERO)
-            .unwrap();
+        m.minit(
+            1,
+            Box::new(DeserializeApp::new("edges", edge_schema())),
+            SimTime::ZERO,
+        )
+        .unwrap();
         let a = m.mread(1, 0, 1, 512, SimTime::ZERO).unwrap();
         let b = m.mread(1, 1, 1, 1024 - 512, a.done).unwrap();
         let dein = m.mdeinit(1, b.done).unwrap();
@@ -688,8 +711,12 @@ mod tests {
     #[test]
     fn mwrite_serializes_through_app() {
         let mut m = mssd();
-        m.minit(1, Box::new(DeserializeApp::new("edges", edge_schema())), SimTime::ZERO)
-            .unwrap();
+        m.minit(
+            1,
+            Box::new(DeserializeApp::new("edges", edge_schema())),
+            SimTime::ZERO,
+        )
+        .unwrap();
         let out = m.mwrite(1, 64, b"9 8\n7 6\n", SimTime::ZERO).unwrap();
         assert!(!out.core_busy.is_zero());
         assert_eq!(out.bytes_written, 16);
@@ -717,8 +744,12 @@ mod tests {
     fn parse_core_busy_accumulates() {
         let mut m = mssd();
         m.dev.load_at(0, b"1 2\n").unwrap();
-        m.minit(1, Box::new(DeserializeApp::new("edges", edge_schema())), SimTime::ZERO)
-            .unwrap();
+        m.minit(
+            1,
+            Box::new(DeserializeApp::new("edges", edge_schema())),
+            SimTime::ZERO,
+        )
+        .unwrap();
         m.mread(1, 0, 1, 4, SimTime::ZERO).unwrap();
         assert!(!m.parse_core_busy().is_zero());
     }
@@ -763,10 +794,18 @@ mod concurrency_tests {
         m.dev.load_at(1 << 16, &text).unwrap();
 
         let t1 = m
-            .minit(1, Box::new(DeserializeApp::new("a", edge_schema())), SimTime::ZERO)
+            .minit(
+                1,
+                Box::new(DeserializeApp::new("a", edge_schema())),
+                SimTime::ZERO,
+            )
             .unwrap();
         let t2 = m
-            .minit(2, Box::new(DeserializeApp::new("b", edge_schema())), SimTime::ZERO)
+            .minit(
+                2,
+                Box::new(DeserializeApp::new("b", edge_schema())),
+                SimTime::ZERO,
+            )
             .unwrap();
         let a = m.mread(1, 0, blocks, text.len() as u64, t1).unwrap();
         let b = m.mread(2, 1 << 16, blocks, text.len() as u64, t2).unwrap();
@@ -802,10 +841,18 @@ mod concurrency_tests {
         );
         m.dev.load_at(0, b"1 2\n3 4\n").unwrap();
         m.dev.load_at(64, b"this is not numeric\n").unwrap();
-        m.minit(1, Box::new(DeserializeApp::new("good", edge_schema())), SimTime::ZERO)
-            .unwrap();
-        m.minit(2, Box::new(DeserializeApp::new("bad", edge_schema())), SimTime::ZERO)
-            .unwrap();
+        m.minit(
+            1,
+            Box::new(DeserializeApp::new("good", edge_schema())),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        m.minit(
+            2,
+            Box::new(DeserializeApp::new("bad", edge_schema())),
+            SimTime::ZERO,
+        )
+        .unwrap();
         let good = m.mread(1, 0, 1, 8, SimTime::ZERO).unwrap();
         let err = m.mread(2, 64, 1, 20, SimTime::ZERO).unwrap_err();
         assert_eq!(err.status(), StatusCode::AppFault);

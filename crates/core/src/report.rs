@@ -2,11 +2,10 @@
 
 use crate::StorageKind;
 use morpheus_simcore::Metrics;
-use serde::Serialize;
 use std::fmt;
 
 /// Execution mode of a run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Mode {
     /// Conventional host-CPU deserialization (the paper's baseline).
     Conventional,
@@ -29,7 +28,7 @@ impl fmt::Display for Mode {
 }
 
 /// Wall-clock phase breakdown in seconds (Fig. 2's categories).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Phases {
     /// Object deserialization including the input I/O it overlaps
     /// (phases A+B of Fig. 1 / the StorageApp window).
@@ -60,7 +59,7 @@ impl Phases {
 }
 
 /// Everything measured during one run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RunReport {
     /// Application name.
     pub app: String,
@@ -119,14 +118,14 @@ impl RunReport {
     }
 }
 
-impl Serialize for StorageKind {
-    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-        let name = match self {
+impl StorageKind {
+    /// Stable lowercase name (used in report rows and sweep labels).
+    pub fn label(&self) -> &'static str {
+        match self {
             StorageKind::NvmeSsd => "nvme-ssd",
             StorageKind::RamDrive => "ram-drive",
             StorageKind::Hdd => "hdd",
-        };
-        s.serialize_str(name)
+        }
     }
 }
 

@@ -65,11 +65,7 @@ impl MsStream {
 /// # Errors
 ///
 /// Returns [`FsError::NotFound`] for unknown files.
-pub fn ms_stream_create(
-    fs: &SimFs,
-    name: &str,
-    chunk_bytes: u64,
-) -> Result<MsStream, FsError> {
+pub fn ms_stream_create(fs: &SimFs, name: &str, chunk_bytes: u64) -> Result<MsStream, FsError> {
     let meta = fs.open(name)?.clone();
     let chunks = System::file_chunks(&meta, chunk_bytes);
     Ok(MsStream {

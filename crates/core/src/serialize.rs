@@ -17,7 +17,6 @@ use morpheus_host::CodeClass;
 use morpheus_nvme::{MorpheusCommand, NvmeCommand, StatusCode, LBA_BYTES};
 use morpheus_pcie::DmaDir;
 use morpheus_simcore::{SimDuration, SimTime};
-use serde::Serialize;
 
 /// Host-side `printf`-path serialization costs (locale, format-string
 /// interpretation, buffered stdio) — the mirror image of the `scanf` path.
@@ -28,7 +27,7 @@ const HOST_SERIALIZE_INSTR_PER_TOKEN: f64 = 70.0;
 const RECORDS_PER_BATCH: u64 = 16_384;
 
 /// Measurements of a serialization run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SerializeReport {
     /// Execution mode (Conventional or Morpheus).
     pub mode: Mode,
@@ -89,9 +88,7 @@ impl System {
             Mode::MorpheusP2P => unreachable!("rejected above"),
         };
         let (end, cpu_busy, text_bytes) = outcome;
-        self.fs
-            .truncate(output, text_bytes)
-            .expect("file exists");
+        self.fs.truncate(output, text_bytes).expect("file exists");
         let acct = self.os.accounting();
         Ok(SerializeReport {
             mode,
@@ -160,10 +157,10 @@ impl System {
                 chunk.len() as u64,
                 os_iv.end,
             )?;
-            let durable = self
-                .mssd
-                .dev
-                .write_range(base_slba + text_off / LBA_BYTES, &chunk, dma.end)?;
+            let durable =
+                self.mssd
+                    .dev
+                    .write_range(base_slba + text_off / LBA_BYTES, &chunk, dma.end)?;
             let cid = self.alloc_cid();
             let cmd = NvmeCommand::write(
                 cid,
@@ -207,9 +204,13 @@ impl System {
             objects.encode_rows(rec, hi, &mut bin);
             rec = hi;
             self.membus.account(bin.len() as u64);
-            let dma = self
-                .fabric
-                .dma(self.ssd_dev, DmaDir::Read, src_addr, bin.len() as u64, issue)?;
+            let dma = self.fabric.dma(
+                self.ssd_dev,
+                DmaDir::Read,
+                src_addr,
+                bin.len() as u64,
+                issue,
+            )?;
             let cid = self.alloc_cid();
             let wire = MorpheusCommand::Write {
                 instance_id: iid,
@@ -283,8 +284,12 @@ mod tests {
     fn both_modes_produce_identical_files() {
         let objs = objects(20_000);
         let mut sys = System::new(SystemParams::paper_testbed());
-        let conv = sys.run_serialize(&objs, "out_conv.txt", Mode::Conventional).unwrap();
-        let morp = sys.run_serialize(&objs, "out_morph.txt", Mode::Morpheus).unwrap();
+        let conv = sys
+            .run_serialize(&objs, "out_conv.txt", Mode::Conventional)
+            .unwrap();
+        let morp = sys
+            .run_serialize(&objs, "out_morph.txt", Mode::Morpheus)
+            .unwrap();
         let a = sys.read_file_bytes("out_conv.txt").unwrap();
         let b = sys.read_file_bytes("out_morph.txt").unwrap();
         assert_eq!(a, b, "files must be byte-identical");
@@ -300,7 +305,9 @@ mod tests {
     fn morpheus_ships_fewer_bytes_over_pcie() {
         let objs = objects(50_000);
         let mut sys = System::new(SystemParams::paper_testbed());
-        let conv = sys.run_serialize(&objs, "c.txt", Mode::Conventional).unwrap();
+        let conv = sys
+            .run_serialize(&objs, "c.txt", Mode::Conventional)
+            .unwrap();
         let morp = sys.run_serialize(&objs, "m.txt", Mode::Morpheus).unwrap();
         // Binary objects are more compact than the text they become here
         // (u32 + f64 as text ≈ 18 bytes vs 12 binary).
@@ -312,14 +319,18 @@ mod tests {
     fn p2p_mode_rejected() {
         let objs = objects(10);
         let mut sys = System::new(SystemParams::paper_testbed());
-        assert!(sys.run_serialize(&objs, "x.txt", Mode::MorpheusP2P).is_err());
+        assert!(sys
+            .run_serialize(&objs, "x.txt", Mode::MorpheusP2P)
+            .is_err());
     }
 
     #[test]
     fn empty_objects_serialize_to_empty_file() {
         let objs = objects(0);
         let mut sys = System::new(SystemParams::paper_testbed());
-        let rep = sys.run_serialize(&objs, "empty.txt", Mode::Morpheus).unwrap();
+        let rep = sys
+            .run_serialize(&objs, "empty.txt", Mode::Morpheus)
+            .unwrap();
         assert_eq!(rep.text_bytes, 0);
         assert_eq!(sys.read_file_bytes("empty.txt").unwrap().len(), 0);
     }

@@ -40,7 +40,10 @@ impl fmt::Display for AppError {
         match self {
             AppError::Parse(e) => write!(f, "parse failure: {e}"),
             AppError::SramOverflow { needed, dsram } => {
-                write!(f, "working set of {needed} bytes exceeds {dsram}-byte d-sram")
+                write!(
+                    f,
+                    "working set of {needed} bytes exceeds {dsram}-byte d-sram"
+                )
             }
             AppError::App(msg) => write!(f, "storageapp failure: {msg}"),
         }

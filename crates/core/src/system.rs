@@ -139,12 +139,7 @@ impl System {
     pub fn read_file_bytes(&mut self, name: &str) -> Result<Vec<u8>, SsdError> {
         let meta = match self.fs.open(name) {
             Ok(m) => m.clone(),
-            Err(_) => {
-                return Err(SsdError::LbaOutOfRange {
-                    slba: 0,
-                    blocks: 0,
-                })
-            }
+            Err(_) => return Err(SsdError::LbaOutOfRange { slba: 0, blocks: 0 }),
         };
         let mut out = Vec::with_capacity(meta.len as usize);
         let mut remaining = meta.len;
@@ -301,8 +296,10 @@ mod tests {
     fn reset_timing_keeps_files() {
         let mut sys = small_system();
         sys.create_input_file("keep.bin", b"persistent").unwrap();
-        sys.cpu_cores
-            .acquire(morpheus_simcore::SimTime::ZERO, morpheus_simcore::SimDuration::from_secs(1));
+        sys.cpu_cores.acquire(
+            morpheus_simcore::SimTime::ZERO,
+            morpheus_simcore::SimDuration::from_secs(1),
+        );
         sys.reset_timing();
         assert!(sys.cpu_cores.busy().is_zero());
         assert_eq!(sys.read_file_bytes("keep.bin").unwrap(), b"persistent");

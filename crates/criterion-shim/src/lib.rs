@@ -1,0 +1,319 @@
+//! A small, dependency-free re-implementation of the subset of the
+//! [Criterion](https://crates.io/crates/criterion) API this workspace's
+//! benches use.
+//!
+//! The build environment has no access to crates.io, so the real Criterion
+//! cannot be fetched. This shim keeps the bench sources unchanged: it
+//! provides `criterion_group!`/`criterion_main!`, benchmark groups,
+//! `Throughput`, and `Bencher::{iter, iter_batched}`. Each benchmark is
+//! calibrated to a target measurement time, sampled several times, and the
+//! median per-iteration time (plus throughput, when declared) is printed.
+//!
+//! Filtering works like Criterion's: positional command-line arguments are
+//! substring filters over `group/name` ids; `--bench`, `--exact`, and other
+//! harness flags are accepted and ignored where behaviourally safe.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Per-iteration workload declaration used to report throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (accepted for API
+/// parity; the shim always measures one batch element at a time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch in real Criterion.
+    SmallInput,
+    /// Large inputs: few per batch in real Criterion.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Measurement settings shared by every benchmark in a run.
+#[derive(Debug, Clone)]
+struct Settings {
+    /// Target wall-clock time per sample.
+    sample_time: Duration,
+    /// Number of samples; the median is reported.
+    samples: usize,
+    /// Substring filters from the command line (empty = run everything).
+    filters: Vec<String>,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_time: Duration::from_millis(120),
+            samples: 5,
+            filters: Vec::new(),
+        }
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Clone, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Applies command-line arguments (substring filters; harness flags
+    /// such as `--bench` are ignored).
+    pub fn configure_from_args(mut self) -> Self {
+        let mut filters = Vec::new();
+        for arg in std::env::args().skip(1) {
+            if arg.starts_with('-') {
+                continue; // harness flags: --bench, --exact, --nocapture, ...
+            }
+            filters.push(arg);
+        }
+        self.settings.filters = filters;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&self.settings, &id, None, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing a throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration workload for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Caps the number of samples taken for subsequent benchmarks (real
+    /// Criterion uses this to bound slow benchmarks; here samples are
+    /// already few, so only reductions take effect).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        let samples = self.criterion.settings.samples.min(n.max(1));
+        self.criterion.settings.samples = samples;
+        self
+    }
+
+    /// Benchmarks `f` under `group/name`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_benchmark(&self.criterion.settings, &id, self.throughput, f);
+        self
+    }
+
+    /// Finishes the group (no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure to drive timed iterations.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` back-to-back calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `iters` calls of `routine`, each on a fresh input from
+    /// `setup`; setup time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_once<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_benchmark<F>(settings: &Settings, id: &str, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if !settings.filters.is_empty() && !settings.filters.iter().any(|p| id.contains(p.as_str())) {
+        return;
+    }
+
+    // Calibrate: grow the iteration count until one sample costs at least
+    // the target sample time (or the per-iter cost is already huge).
+    let mut iters: u64 = 1;
+    let mut calib = run_once(&mut f, iters);
+    while calib < settings.sample_time && iters < (1 << 40) {
+        let per_iter = calib.as_nanos().max(1) as u64 / iters.max(1);
+        let want = (settings.sample_time.as_nanos() as u64 / per_iter.max(1)).max(iters * 2);
+        iters = want.min(iters.saturating_mul(16)).max(iters + 1);
+        calib = run_once(&mut f, iters);
+    }
+
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(settings.samples);
+    per_iter_ns.push(calib.as_nanos() as f64 / iters as f64);
+    for _ in 1..settings.samples {
+        let d = run_once(&mut f, iters);
+        per_iter_ns.push(d.as_nanos() as f64 / iters as f64);
+    }
+    per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timings"));
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let best = per_iter_ns[0];
+    let worst = per_iter_ns[per_iter_ns.len() - 1];
+
+    let thrpt = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let mibs = n as f64 / (median * 1e-9) / (1024.0 * 1024.0);
+            format!("  thrpt: {mibs:10.1} MiB/s")
+        }
+        Some(Throughput::Elements(n)) => {
+            let eps = n as f64 / (median * 1e-9);
+            format!("  thrpt: {eps:10.0} elem/s")
+        }
+        None => String::new(),
+    };
+    println!(
+        "{id:<48} time: [{} {} {}]{thrpt}",
+        fmt_ns(best),
+        fmt_ns(median),
+        fmt_ns(worst)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declares a named group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export for benches that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_reaches_sample_time() {
+        let settings = Settings {
+            sample_time: Duration::from_millis(5),
+            samples: 2,
+            filters: Vec::new(),
+        };
+        let mut count = 0u64;
+        run_benchmark(&settings, "t/spin", Some(Throughput::Bytes(1024)), |b| {
+            b.iter(|| {
+                count += 1;
+                std::hint::black_box(count)
+            })
+        });
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn filters_skip_non_matching() {
+        let settings = Settings {
+            sample_time: Duration::from_millis(1),
+            samples: 1,
+            filters: vec!["other".to_string()],
+        };
+        let mut ran = false;
+        run_benchmark(&settings, "group/name", None, |b| {
+            ran = true;
+            b.iter(|| 1)
+        });
+        assert!(!ran);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let settings = Settings {
+            sample_time: Duration::from_millis(2),
+            samples: 1,
+            filters: Vec::new(),
+        };
+        run_benchmark(&settings, "t/batched", None, |b| {
+            b.iter_batched(
+                || vec![1u8; 512],
+                |v| v.iter().map(|x| *x as u64).sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}

@@ -1,6 +1,6 @@
 //! The flash array: page state, real contents, NAND rules, wear, errors.
 
-use crate::{BlockId, EccModel, FlashError, FlashGeometry, FlashTiming, Ppa};
+use crate::{BlockId, EccModel, FlashError, FlashGeometry, FlashTiming, PageData, Ppa};
 use morpheus_simcore::{SimDuration, SplitMix64};
 use std::collections::HashMap;
 
@@ -78,7 +78,7 @@ pub struct FlashArray {
     timing: FlashTiming,
     ecc: EccModel,
     rng: SplitMix64,
-    data: HashMap<Ppa, Box<[u8]>>,
+    data: HashMap<Ppa, PageData>,
     state: Vec<PageState>,
     /// Next programmable page index per block (NAND sequential-program rule).
     write_point: Vec<u32>,
@@ -158,7 +158,10 @@ impl FlashArray {
             .count() as u32
     }
 
-    /// Reads a page, returning its contents and the operation timing.
+    /// Reads a page, returning a zero-copy handle to its contents and the
+    /// operation timing. The handle shares the stored allocation; it stays
+    /// valid (with the contents as of this read) even if the page is later
+    /// overwritten or erased.
     ///
     /// # Errors
     ///
@@ -166,7 +169,7 @@ impl FlashArray {
     /// [`FlashError::BadBlock`] for retired blocks,
     /// [`FlashError::Uncorrectable`] when the error model injects a failure,
     /// and [`FlashError::OutOfRange`] for invalid addresses.
-    pub fn read_page(&mut self, ppa: Ppa) -> Result<(Box<[u8]>, FlashOp), FlashError> {
+    pub fn read_page(&mut self, ppa: Ppa) -> Result<(PageData, FlashOp), FlashError> {
         let idx = self.checked_index(ppa)?;
         let block = self.geometry.block_of(ppa);
         if self.bad[block.0 as usize] {
@@ -185,6 +188,8 @@ impl FlashArray {
             cell_time += self.timing.read_latency * self.ecc.correction_retries as u64;
         }
         self.stats.reads += 1;
+        // Clone of the handle, not the payload: the read path never copies
+        // page contents (see `copy_audit`).
         let data = self
             .data
             .get(&ppa)
@@ -209,6 +214,20 @@ impl FlashArray {
     /// must fit ([`FlashError::DataTooLarge`]), and retired blocks reject
     /// all operations ([`FlashError::BadBlock`]).
     pub fn program_page(&mut self, ppa: Ppa, data: &[u8]) -> Result<FlashOp, FlashError> {
+        // Copying the caller's buffer into the array is the program
+        // operation itself, not a read-path copy.
+        self.program_page_data(ppa, PageData::copy_from(data))
+    }
+
+    /// Programs a page from an existing [`PageData`] handle without copying
+    /// the payload — the array stores the shared allocation. This is the
+    /// garbage collector's relocation path: a valid page moves blocks by
+    /// re-homing its handle, never its bytes.
+    ///
+    /// # Errors
+    ///
+    /// Same rules as [`FlashArray::program_page`].
+    pub fn program_page_data(&mut self, ppa: Ppa, data: PageData) -> Result<FlashOp, FlashError> {
         let idx = self.checked_index(ppa)?;
         let block = self.geometry.block_of(ppa);
         if self.bad[block.0 as usize] {
@@ -234,13 +253,14 @@ impl FlashArray {
         }
         self.write_point[block.0 as usize] = expected + 1;
         self.state[idx] = PageState::Valid;
-        self.data.insert(ppa, data.into());
+        let len = data.len() as u64;
+        self.data.insert(ppa, data);
         self.stats.programs += 1;
         Ok(FlashOp {
             kind: FlashOpKind::Program,
             channel: self.geometry.channel_of(ppa),
             cell_time: self.timing.program_latency,
-            bus_time: self.timing.bus_transfer(data.len() as u64),
+            bus_time: self.timing.bus_transfer(len),
         })
     }
 
@@ -338,7 +358,10 @@ mod tests {
     fn read_of_free_page_fails() {
         let mut a = small();
         let ppa = a.geometry().ppa(0, 0, 0, 0, 0);
-        assert_eq!(a.read_page(ppa).unwrap_err(), FlashError::ReadOfFreePage(ppa));
+        assert_eq!(
+            a.read_page(ppa).unwrap_err(),
+            FlashError::ReadOfFreePage(ppa)
+        );
     }
 
     #[test]
@@ -424,7 +447,10 @@ mod tests {
         assert!(a.is_bad(b));
         assert_eq!(a.erase_block(b).unwrap_err(), FlashError::BadBlock(b));
         let ppa = a.geometry().ppa(0, 0, 0, 0, 0);
-        assert_eq!(a.program_page(ppa, b"x").unwrap_err(), FlashError::BadBlock(b));
+        assert_eq!(
+            a.program_page(ppa, b"x").unwrap_err(),
+            FlashError::BadBlock(b)
+        );
         assert_eq!(a.stats().retired_blocks, 1);
     }
 
@@ -437,7 +463,10 @@ mod tests {
         let mut a = FlashArray::with_ecc(FlashGeometry::small(), FlashTiming::default(), ecc, 7);
         let ppa = a.geometry().ppa(0, 0, 0, 0, 0);
         a.program_page(ppa, b"x").unwrap();
-        assert_eq!(a.read_page(ppa).unwrap_err(), FlashError::Uncorrectable(ppa));
+        assert_eq!(
+            a.read_page(ppa).unwrap_err(),
+            FlashError::Uncorrectable(ppa)
+        );
         assert_eq!(a.stats().uncorrectable_reads, 1);
     }
 
@@ -457,6 +486,42 @@ mod tests {
             FlashTiming::default().read_latency.as_nanos() * 3
         );
         assert_eq!(a.stats().corrected_reads, 1);
+    }
+
+    #[test]
+    fn reads_share_the_stored_allocation() {
+        let mut a = small();
+        let ppa = a.geometry().ppa(0, 0, 0, 0, 0);
+        a.program_page(ppa, b"shared").unwrap();
+        let (first, _) = a.read_page(ppa).unwrap();
+        let (second, _) = a.read_page(ppa).unwrap();
+        assert!(
+            PageData::ptr_eq(&first, &second),
+            "repeated reads must hand out the same allocation"
+        );
+    }
+
+    #[test]
+    fn program_page_data_reuses_the_handle() {
+        let mut a = small();
+        let src = a.geometry().ppa(0, 0, 0, 0, 0);
+        let dst = a.geometry().ppa(0, 0, 0, 1, 0);
+        a.program_page(src, b"relocate me").unwrap();
+        let (data, _) = a.read_page(src).unwrap();
+        a.program_page_data(dst, data.clone()).unwrap();
+        let (moved, _) = a.read_page(dst).unwrap();
+        assert!(PageData::ptr_eq(&data, &moved), "relocation must not copy");
+        assert_eq!(&moved[..], b"relocate me");
+    }
+
+    #[test]
+    fn read_handle_survives_erase() {
+        let mut a = small();
+        let ppa = a.geometry().ppa(0, 0, 0, 0, 0);
+        a.program_page(ppa, b"snapshot").unwrap();
+        let (data, _) = a.read_page(ppa).unwrap();
+        a.erase_block(a.geometry().block_of(ppa)).unwrap();
+        assert_eq!(&data[..], b"snapshot");
     }
 
     #[test]

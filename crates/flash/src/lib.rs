@@ -31,9 +31,11 @@
 mod array;
 mod errors;
 mod geometry;
+mod page;
 mod timing;
 
 pub use array::{FlashArray, FlashOp, FlashOpKind, FlashStats, PageState};
 pub use errors::{EccModel, FlashError};
 pub use geometry::{BlockId, FlashGeometry, Ppa};
+pub use page::{copy_audit, PageData};
 pub use timing::FlashTiming;

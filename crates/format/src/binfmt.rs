@@ -131,11 +131,8 @@ mod tests {
     }
 
     fn sample() -> ParsedColumns {
-        let (mut p, _) = parse_buffer(
-            b"1 -20 0.5\n4294967295 300 -2.25\n",
-            &mixed_schema(),
-        )
-        .unwrap();
+        let (mut p, _) =
+            parse_buffer(b"1 -20 0.5\n4294967295 300 -2.25\n", &mixed_schema()).unwrap();
         p.canonicalize();
         p
     }

@@ -1,10 +1,8 @@
 //! Text serialization (the inverse direction, used by workload generators
 //! and the `ms_printf` device-library primitive).
 
-use serde::Serialize;
-
 /// Accounting of serialization work.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SerializeWork {
     /// Bytes emitted (tokens + separators).
     pub bytes_emitted: u64,

@@ -9,6 +9,77 @@ pub(crate) fn is_separator(b: u8) -> bool {
     matches!(b, b' ' | b'\t' | b'\n' | b'\r' | b',')
 }
 
+/// Exact positive powers of ten. Every entry equals the result of the
+/// corresponding run of `*= 10.0` steps from 1.0 (exact through 10^22, the
+/// largest power of ten representable exactly in an f64).
+const POW10: [f64; 23] = [
+    1e0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11, 1e12, 1e13, 1e14, 1e15, 1e16,
+    1e17, 1e18, 1e19, 1e20, 1e21, 1e22,
+];
+
+/// The fraction scale after `n` fractional digits: 10^n, continuing with
+/// the same progressive rounding the old per-digit `*= 10.0` chain had
+/// once past the exact range.
+#[inline]
+fn frac_scale_for(n: usize) -> f64 {
+    if n < POW10.len() {
+        return POW10[n];
+    }
+    let mut s = POW10[POW10.len() - 1];
+    for _ in POW10.len() - 1..n {
+        s *= 10.0;
+    }
+    s
+}
+
+/// Mantissa accumulator for [`TextScanner::parse_f64`]: folds digits in the
+/// integer domain while exactness is guaranteed (up to 15 folded digits
+/// stays below 10^15 < 2^53), then spills to the float shift-add the
+/// scalar path always used. Bit-identical results, but the common short
+/// literal never touches the dependent f64 multiply-add chain.
+struct Mantissa {
+    acc: u64,
+    folded: u32,
+    spill: f64,
+    spilled: bool,
+}
+
+impl Mantissa {
+    #[inline]
+    fn new() -> Self {
+        Mantissa {
+            acc: 0,
+            folded: 0,
+            spill: 0.0,
+            spilled: false,
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, d: u8) {
+        if self.spilled {
+            self.spill = self.spill * 10.0 + d as f64;
+        } else if self.folded < 15 {
+            self.acc = self.acc * 10 + d as u64;
+            self.folded += 1;
+        } else {
+            // `acc` < 10^15 < 2^53, so the conversion is exact and this
+            // rounds exactly like the pure-f64 sequence would have.
+            self.spill = self.acc as f64 * 10.0 + d as f64;
+            self.spilled = true;
+        }
+    }
+
+    #[inline]
+    fn value(&self) -> f64 {
+        if self.spilled {
+            self.spill
+        } else {
+            self.acc as f64
+        }
+    }
+}
+
 /// A scanner over a byte buffer that converts ASCII tokens to binary values
 /// while counting the work performed.
 ///
@@ -62,11 +133,14 @@ impl<'a> TextScanner<'a> {
 
     /// Skips separator bytes.
     pub fn skip_separators(&mut self) {
+        let buf = self.buf;
         let start = self.pos;
-        while self.pos < self.buf.len() && is_separator(self.buf[self.pos]) {
-            self.pos += 1;
+        let mut i = start;
+        while i < buf.len() && is_separator(buf[i]) {
+            i += 1;
         }
-        self.work.bytes_scanned += (self.pos - start) as u64;
+        self.pos = i;
+        self.work.bytes_scanned += (i - start) as u64;
     }
 
     /// True once only separators remain.
@@ -81,6 +155,58 @@ impl<'a> TextScanner<'a> {
 
     fn peek(&self) -> Option<u8> {
         self.buf.get(self.pos).copied()
+    }
+
+    /// Scans the decimal magnitude at the cursor in a single fused pass and
+    /// advances past it, returning the value and digit count.
+    ///
+    /// Fast path: the first 19 digits cannot overflow `u64` (19 nines
+    /// < 2^64), so they accumulate without per-digit overflow checks. Only
+    /// a 20th digit switches to the checked continuation, so overflow is
+    /// still reported at the exact offending digit.
+    #[inline]
+    fn scan_magnitude(&mut self) -> Result<(u64, usize), ParseError> {
+        let start = self.pos;
+        let rest = &self.buf[start..];
+        let limit = rest.len().min(19);
+        let mut v: u64 = 0;
+        let mut n = 0usize;
+        while n < limit {
+            let d = rest[n].wrapping_sub(b'0');
+            if d >= 10 {
+                break;
+            }
+            v = v * 10 + d as u64;
+            n += 1;
+        }
+        if n == 19 {
+            while n < rest.len() {
+                let d = rest[n].wrapping_sub(b'0');
+                if d >= 10 {
+                    break;
+                }
+                v = v
+                    .checked_mul(10)
+                    .and_then(|m| m.checked_add(d as u64))
+                    .ok_or_else(|| {
+                        ParseError::new(self.base_offset + start + n, ParseErrorKind::Overflow)
+                    })?;
+                n += 1;
+            }
+        }
+        self.pos = start + n;
+        if n == 0 {
+            return Err(match self.peek() {
+                Some(b) => self.err(ParseErrorKind::UnexpectedChar(b)),
+                None => self.err(ParseErrorKind::UnexpectedEof),
+            });
+        }
+        if let Some(b) = self.peek() {
+            if !is_separator(b) {
+                return Err(self.err(ParseErrorKind::UnexpectedChar(b)));
+            }
+        }
+        Ok((v, n))
     }
 
     /// Parses a (possibly signed) decimal integer token.
@@ -102,36 +228,11 @@ impl<'a> TextScanner<'a> {
             }
             _ => {}
         }
-        let digits_start = self.pos;
-        let mut magnitude: u64 = 0;
-        while let Some(b) = self.peek() {
-            if b.is_ascii_digit() {
-                magnitude = magnitude
-                    .checked_mul(10)
-                    .and_then(|m| m.checked_add((b - b'0') as u64))
-                    .ok_or_else(|| self.err(ParseErrorKind::Overflow))?;
-                self.pos += 1;
-            } else if is_separator(b) {
-                break;
-            } else {
-                return Err(self.err(ParseErrorKind::UnexpectedChar(b)));
-            }
-        }
-        let ndigits = self.pos - digits_start;
-        if ndigits == 0 {
-            return Err(match self.peek() {
-                Some(b) => self.err(ParseErrorKind::UnexpectedChar(b)),
-                None => self.err(ParseErrorKind::UnexpectedEof),
-            });
-        }
+        let (magnitude, ndigits) = self.scan_magnitude()?;
         self.work.bytes_scanned += (self.pos - tok_start) as u64;
         self.work.int_tokens += 1;
         self.work.int_digits += ndigits as u64;
-        let limit = if neg {
-            1u64 << 63
-        } else {
-            (1u64 << 63) - 1
-        };
+        let limit = if neg { 1u64 << 63 } else { (1u64 << 63) - 1 };
         if magnitude > limit {
             return Err(self.err(ParseErrorKind::Overflow));
         }
@@ -150,28 +251,7 @@ impl<'a> TextScanner<'a> {
     pub fn parse_u64(&mut self) -> Result<u64, ParseError> {
         self.skip_separators();
         let tok_start = self.pos;
-        let digits_start = self.pos;
-        let mut value: u64 = 0;
-        while let Some(b) = self.peek() {
-            if b.is_ascii_digit() {
-                value = value
-                    .checked_mul(10)
-                    .and_then(|m| m.checked_add((b - b'0') as u64))
-                    .ok_or_else(|| self.err(ParseErrorKind::Overflow))?;
-                self.pos += 1;
-            } else if is_separator(b) {
-                break;
-            } else {
-                return Err(self.err(ParseErrorKind::UnexpectedChar(b)));
-            }
-        }
-        let ndigits = self.pos - digits_start;
-        if ndigits == 0 {
-            return Err(match self.peek() {
-                Some(b) => self.err(ParseErrorKind::UnexpectedChar(b)),
-                None => self.err(ParseErrorKind::UnexpectedEof),
-            });
-        }
+        let (value, ndigits) = self.scan_magnitude()?;
         self.work.bytes_scanned += (self.pos - tok_start) as u64;
         self.work.int_tokens += 1;
         self.work.int_digits += ndigits as u64;
@@ -197,31 +277,35 @@ impl<'a> TextScanner<'a> {
             }
             _ => {}
         }
-        let mut digits = 0u64;
-        let mut mantissa: f64 = 0.0;
-        while let Some(b) = self.peek() {
-            if b.is_ascii_digit() {
-                mantissa = mantissa * 10.0 + (b - b'0') as f64;
-                digits += 1;
-                self.pos += 1;
-            } else {
+        let buf = self.buf;
+        let mut i = self.pos;
+        let mut m = Mantissa::new();
+        let int_start = i;
+        while i < buf.len() {
+            let d = buf[i].wrapping_sub(b'0');
+            if d >= 10 {
                 break;
             }
+            m.push(d);
+            i += 1;
         }
+        let mut digits = (i - int_start) as u64;
         let mut frac_scale = 1.0f64;
-        if self.peek() == Some(b'.') {
-            self.pos += 1;
-            while let Some(b) = self.peek() {
-                if b.is_ascii_digit() {
-                    mantissa = mantissa * 10.0 + (b - b'0') as f64;
-                    frac_scale *= 10.0;
-                    digits += 1;
-                    self.pos += 1;
-                } else {
+        if buf.get(i) == Some(&b'.') {
+            i += 1;
+            let frac_start = i;
+            while i < buf.len() {
+                let d = buf[i].wrapping_sub(b'0');
+                if d >= 10 {
                     break;
                 }
+                m.push(d);
+                i += 1;
             }
+            frac_scale = frac_scale_for(i - frac_start);
+            digits += (i - frac_start) as u64;
         }
+        self.pos = i;
         if digits == 0 {
             return Err(match self.peek() {
                 Some(b) => self.err(ParseErrorKind::UnexpectedChar(b)),
@@ -242,23 +326,24 @@ impl<'a> TextScanner<'a> {
                 }
                 _ => {}
             }
-            let mut exp_digits = 0;
-            while let Some(b) = self.peek() {
-                if b.is_ascii_digit() {
-                    exp = exp.saturating_mul(10).saturating_add((b - b'0') as i32);
-                    exp_digits += 1;
-                    digits += 1;
-                    self.pos += 1;
-                } else {
+            let exp_start = self.pos;
+            let mut j = self.pos;
+            while j < buf.len() {
+                let d = buf[j].wrapping_sub(b'0');
+                if d >= 10 {
                     break;
                 }
+                exp = exp.saturating_mul(10).saturating_add(d as i32);
+                j += 1;
             }
-            if exp_digits == 0 {
+            if j == exp_start {
                 return Err(match self.peek() {
                     Some(b) => self.err(ParseErrorKind::UnexpectedChar(b)),
                     None => self.err(ParseErrorKind::UnexpectedEof),
                 });
             }
+            digits += (j - exp_start) as u64;
+            self.pos = j;
             if exp_neg {
                 exp = -exp;
             }
@@ -272,7 +357,7 @@ impl<'a> TextScanner<'a> {
         self.work.bytes_scanned += (self.pos - tok_start) as u64;
         self.work.float_tokens += 1;
         self.work.float_digits += digits;
-        let mut value = mantissa / frac_scale * 10f64.powi(exp);
+        let mut value = m.value() / frac_scale * 10f64.powi(exp);
         if neg {
             value = -value;
         }
@@ -317,6 +402,21 @@ mod tests {
         assert_eq!(s.parse_i64().unwrap_err().kind, ParseErrorKind::Overflow);
         let mut s = TextScanner::new(b"99999999999999999999999");
         assert_eq!(s.parse_u64().unwrap_err().kind, ParseErrorKind::Overflow);
+    }
+
+    #[test]
+    fn fast_path_boundary_is_exact() {
+        // 19 digits: longest run the unchecked fast path may take.
+        let mut s = TextScanner::new(b"9999999999999999999");
+        assert_eq!(s.parse_u64().unwrap(), 9_999_999_999_999_999_999);
+        // 20 digits: checked path; u64::MAX still parses...
+        let mut s = TextScanner::new(b"18446744073709551615");
+        assert_eq!(s.parse_u64().unwrap(), u64::MAX);
+        // ...and u64::MAX + 1 reports overflow at the offending digit.
+        let mut s = TextScanner::new(b"18446744073709551616");
+        let e = s.parse_u64().unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::Overflow);
+        assert_eq!(e.offset, 19);
     }
 
     #[test]

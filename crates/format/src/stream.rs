@@ -9,7 +9,7 @@
 //! input, which the property tests verify for arbitrary chunkings.
 
 use crate::schema::incomplete_record_error;
-use crate::{Column, ParseError, ParsedColumns, ParseWork, Schema, TextScanner};
+use crate::{Column, ParseError, ParseWork, ParsedColumns, Schema, TextScanner};
 
 /// Incremental parser fed one chunk at a time.
 ///

@@ -12,10 +12,8 @@
 //!   conversions are multiplied by a soft-float penalty — the reason the
 //!   paper's SpMV (33 % float tokens) barely gains from Morpheus-SSD.
 
-use serde::Serialize;
-
 /// Accumulated parsing work, platform-independent.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ParseWork {
     /// Bytes the scanner advanced over (tokens + separators).
     pub bytes_scanned: u64,
@@ -52,7 +50,7 @@ impl ParseWork {
 /// embedded core multiplies the float path by its soft-float penalty.
 ///
 /// [`CodeClass`]: https://docs.rs/morpheus-host
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     /// Instructions per byte scanned (delimiter test, pointer bump, branch).
     pub scan_instr_per_byte: f64,

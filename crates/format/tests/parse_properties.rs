@@ -1,8 +1,6 @@
 //! Property tests: print→parse identity and streaming ≡ whole-buffer.
 
-use morpheus_format::{
-    parse_buffer, parse_chunked, FieldKind, Schema, TextScanner, TextWriter,
-};
+use morpheus_format::{parse_buffer, parse_chunked, FieldKind, Schema, TextScanner, TextWriter};
 use proptest::prelude::*;
 
 proptest! {

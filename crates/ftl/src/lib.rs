@@ -35,3 +35,4 @@ mod mapping;
 pub use config::FtlConfig;
 pub use error::FtlError;
 pub use mapping::{Ftl, FtlStats, Lpn, ReadOutcome, WriteOutcome};
+pub use morpheus_flash::PageData;

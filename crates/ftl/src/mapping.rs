@@ -1,7 +1,7 @@
 //! Page-level mapping, allocation, garbage collection.
 
 use crate::{FtlConfig, FtlError};
-use morpheus_flash::{BlockId, FlashArray, FlashError, FlashOp, FlashOpKind, Ppa};
+use morpheus_flash::{BlockId, FlashArray, FlashError, FlashOp, FlashOpKind, PageData, Ppa};
 use std::collections::{HashMap, VecDeque};
 
 /// Logical page number: index into the FTL's exported capacity, in units of
@@ -23,8 +23,9 @@ pub struct WriteOutcome {
 /// Result of a logical read.
 #[derive(Debug, Clone)]
 pub struct ReadOutcome {
-    /// The page contents as last written.
-    pub data: Box<[u8]>,
+    /// The page contents as last written — a zero-copy handle sharing the
+    /// flash array's stored allocation (see [`PageData`]).
+    pub data: PageData,
     /// Flash operations, including failed attempts that were retried.
     pub ops: Vec<FlashOp>,
     /// Number of retries that were needed (0 = clean read).
@@ -94,9 +95,8 @@ impl Ftl {
         let geo = *flash.geometry();
         let total_pages = geo.total_pages();
         let logical_pages = ((total_pages as f64) * (1.0 - cfg.overprovision)).floor() as u64;
-        let mut channels: Vec<ChannelState> = (0..geo.channels)
-            .map(|_| ChannelState::default())
-            .collect();
+        let mut channels: Vec<ChannelState> =
+            (0..geo.channels).map(|_| ChannelState::default()).collect();
         for b in 0..geo.total_blocks() {
             let block = BlockId(b);
             channels[geo.channel_of_block(block) as usize]
@@ -198,11 +198,7 @@ impl Ftl {
                 Ok((data, op)) => {
                     ops.push(op);
                     self.stats.read_retries += retries as u64;
-                    return Ok(ReadOutcome {
-                        data,
-                        ops,
-                        retries,
-                    });
+                    return Ok(ReadOutcome { data, ops, retries });
                 }
                 Err(FlashError::Uncorrectable(_)) if retries < self.cfg.read_retries => {
                     retries += 1;
@@ -248,10 +244,7 @@ impl Ftl {
         self.channels
             .iter()
             .map(|c| {
-                c.free.len() as u64 * ppb
-                    + c.open
-                        .map(|(_, next)| ppb - next as u64)
-                        .unwrap_or(0)
+                c.free.len() as u64 * ppb + c.open.map(|(_, next)| ppb - next as u64).unwrap_or(0)
             })
             .sum()
     }
@@ -305,7 +298,8 @@ impl Ftl {
                 let better = match best {
                     None => true,
                     Some((_, bv, bw)) => {
-                        valid < bv || (valid == bv && wear + self.cfg.wear_spread < bw)
+                        valid < bv
+                            || (valid == bv && wear + self.cfg.wear_spread < bw)
                             || (valid == bv && wear < bw)
                     }
                 };
@@ -351,7 +345,9 @@ impl Ftl {
             ops.push(read_op);
             // Relocation stays on the same channel; GC must not recurse.
             let dest = self.allocate(channel, false, ops, gc_relocations)?;
-            let prog_op = self.flash.program_page(dest, &data)?;
+            // Re-home the handle: relocation moves the page without
+            // copying its payload.
+            let prog_op = self.flash.program_page_data(dest, data)?;
             ops.push(prog_op);
             self.flash.invalidate_page(ppa);
             self.rmap.remove(&ppa);
@@ -514,14 +510,48 @@ mod tests {
     }
 
     #[test]
+    fn logical_reads_share_the_stored_allocation() {
+        let mut f = small_ftl();
+        f.write(Lpn(0), b"zero copy").unwrap();
+        let a = f.read(Lpn(0)).unwrap().data;
+        let b = f.read(Lpn(0)).unwrap().data;
+        assert!(PageData::ptr_eq(&a, &b), "FTL reads must not copy payloads");
+    }
+
+    #[test]
+    fn gc_relocation_moves_handles_not_bytes() {
+        let mut f = small_ftl();
+        let cap = f.capacity_pages();
+        // Take handles on a few pages, then force GC with an overwrite
+        // storm on the rest: survivors must relocate without copying.
+        for l in 0..cap {
+            f.write(Lpn(l), &[l as u8, 0xAB]).unwrap();
+        }
+        let before: Vec<_> = (0..4).map(|l| f.read(Lpn(l)).unwrap().data).collect();
+        for round in 0u8..6 {
+            for l in 4..cap {
+                f.write(Lpn(l), &[round, l as u8]).unwrap();
+            }
+        }
+        assert!(f.stats().gc_runs > 0, "storm must trigger GC");
+        for (l, old) in before.iter().enumerate() {
+            let now = f.read(Lpn(l as u64)).unwrap().data;
+            assert_eq!(&now[..], &[l as u8, 0xAB]);
+            assert!(
+                PageData::ptr_eq(old, &now),
+                "page {l} was relocated by copying instead of re-homing its handle"
+            );
+        }
+    }
+
+    #[test]
     fn read_retries_recover_from_transient_errors() {
         // ~40% uncorrectable probability: with 3 retries most reads succeed.
         let ecc = EccModel {
             uncorrectable_prob: 0.4,
             ..EccModel::perfect()
         };
-        let flash =
-            FlashArray::with_ecc(FlashGeometry::small(), FlashTiming::default(), ecc, 99);
+        let flash = FlashArray::with_ecc(FlashGeometry::small(), FlashTiming::default(), ecc, 99);
         let mut f = Ftl::new(flash, FtlConfig::default());
         f.write(Lpn(0), b"fragile").unwrap();
         let mut successes = 0;

@@ -80,7 +80,10 @@ impl SimFs {
     ///
     /// Panics if either argument is zero.
     pub fn new(block_bytes: u64, volume_blocks: u64) -> Self {
-        assert!(block_bytes > 0 && volume_blocks > 0, "volume must be non-empty");
+        assert!(
+            block_bytes > 0 && volume_blocks > 0,
+            "volume must be non-empty"
+        );
         SimFs {
             block_bytes,
             volume_blocks,
@@ -125,13 +128,8 @@ impl SimFs {
             self.next_lba += take;
             blocks_needed -= take;
         }
-        self.files.insert(
-            name.to_string(),
-            FileMeta {
-                len,
-                extents,
-            },
-        );
+        self.files
+            .insert(name.to_string(), FileMeta { len, extents });
         Ok(&self.files[name])
     }
 
@@ -214,7 +212,10 @@ mod tests {
     #[test]
     fn missing_open_rejected() {
         let fs = SimFs::new(512, 1024);
-        assert_eq!(fs.open("nope").unwrap_err(), FsError::NotFound("nope".into()));
+        assert_eq!(
+            fs.open("nope").unwrap_err(),
+            FsError::NotFound("nope".into())
+        );
     }
 
     #[test]

@@ -14,10 +14,9 @@
 
 use crate::{CodeClass, Cpu};
 use morpheus_simcore::SimDuration;
-use serde::Serialize;
 
 /// Cost parameters of the conventional I/O path.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OsParams {
     /// Bytes returned per `read()` call (page-cache readahead window).
     pub read_window_bytes: u64,
@@ -66,7 +65,7 @@ pub struct OsCost {
 }
 
 /// Running totals of OS activity.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct OsAccounting {
     /// Total syscalls.
     pub syscalls: u64,

@@ -6,10 +6,8 @@
 //! working, host mostly idle) — the source of Fig. 9's 7 % average power
 //! and 42 % energy savings.
 
-use serde::Serialize;
-
 /// Platform power parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HostPowerParams {
     /// Whole-platform idle power, watts.
     pub idle_watts: f64,

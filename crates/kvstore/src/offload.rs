@@ -37,17 +37,15 @@ pub struct ScanReport {
 /// # Errors
 ///
 /// Propagates drive/fabric failures.
-pub fn scan_conventional(
-    sys: &mut System,
-    kv: &KvStore,
-    lo: u64,
-    hi: u64,
-) -> ScanOutcome<KvError> {
+pub fn scan_conventional(sys: &mut System, kv: &KvStore, lo: u64, hi: u64) -> ScanOutcome<KvError> {
     sys.reset_timing();
     let (slba, blocks) = kv.region();
     let bucket_bytes = kv.config().bucket_bytes as u64;
     let chunk_blocks = ((1 << 20) / LBA_BYTES).min(blocks);
-    let buf_addr = sys.dram.alloc(chunk_blocks * LBA_BYTES).expect("host buffer");
+    let buf_addr = sys
+        .dram
+        .alloc(chunk_blocks * LBA_BYTES)
+        .expect("host buffer");
 
     let mut matches = Vec::new();
     let mut cpu_ready = SimTime::ZERO;
@@ -59,7 +57,13 @@ pub fn scan_conventional(
         let (raw, t) = sys.mssd.dev.read_range(slba + at, take, SimTime::ZERO)?;
         let dma = sys
             .fabric
-            .dma(sys.ssd_device(), DmaDir::Write, buf_addr, take * LBA_BYTES, t)
+            .dma(
+                sys.ssd_device(),
+                DmaDir::Write,
+                buf_addr,
+                take * LBA_BYTES,
+                t,
+            )
             .expect("host buffer address is always mapped");
         let mb = sys.membus.transfer(dma.start, take * LBA_BYTES);
         let io_done = dma.end.max(mb.end);
@@ -103,12 +107,7 @@ pub fn scan_conventional(
 /// # Errors
 ///
 /// Propagates firmware/drive failures.
-pub fn scan_morpheus(
-    sys: &mut System,
-    kv: &KvStore,
-    lo: u64,
-    hi: u64,
-) -> ScanOutcome<RunError> {
+pub fn scan_morpheus(sys: &mut System, kv: &KvStore, lo: u64, hi: u64) -> ScanOutcome<RunError> {
     sys.reset_timing();
     let (slba, blocks) = kv.region();
     let iid = sys.allocate_instance_id();

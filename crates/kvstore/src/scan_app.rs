@@ -1,7 +1,7 @@
 //! The in-storage range-scan StorageApp.
 
-use crate::store::decode_bucket;
 use crate::encode_pair;
+use crate::store::decode_bucket;
 use morpheus::{AppError, DeviceCtx, StorageApp};
 use morpheus_simcore::SplitMix64;
 
@@ -61,7 +61,10 @@ impl StorageApp for KvScanApp {
             let pairs = decode_bucket(&bucket);
             // Price the scan through the shared work model: every bucket
             // byte is examined once, every record is one fixed-up compare.
-            ctx.charge_work(&morpheus_format_work(self.bucket_bytes as u64, pairs.len() as u64));
+            ctx.charge_work(&morpheus_format_work(
+                self.bucket_bytes as u64,
+                pairs.len() as u64,
+            ));
             for (k, v) in pairs {
                 if (self.lo..=self.hi).contains(&k) {
                     encode_pair(&mut emitted, k, &v);

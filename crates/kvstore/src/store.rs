@@ -146,10 +146,7 @@ impl KvStore {
                 &empty,
             )?;
         }
-        Ok(KvStore {
-            base_lba,
-            cfg,
-        })
+        Ok(KvStore { base_lba, cfg })
     }
 
     /// The table's configuration.
@@ -238,9 +235,7 @@ impl KvStore {
         // Insert into the first probe bucket with room.
         for b in self.probe_sequence(key).collect::<Vec<_>>() {
             let mut pairs = self.read_bucket(ssd, b)?;
-            if used_bytes(&pairs) + RECORD_HEADER + value.len()
-                <= self.cfg.bucket_bytes as usize
-            {
+            if used_bytes(&pairs) + RECORD_HEADER + value.len() <= self.cfg.bucket_bytes as usize {
                 pairs.push((key, value.to_vec()));
                 return self.write_bucket(ssd, b, &pairs);
             }

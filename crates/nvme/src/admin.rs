@@ -7,8 +7,8 @@
 //! vendor-specific region of the Identify Controller page advertises the
 //! StorageApp execution resources (core count, clock, SRAM sizes).
 
+use crate::wire::{Buf, BufMut};
 use crate::{QueuePair, StatusCode};
-use bytes::{Buf, BufMut};
 use std::collections::BTreeMap;
 
 /// Admin-queue opcodes (NVMe 1.2 values).
@@ -126,7 +126,9 @@ impl IdentifyController {
         let vendor_id = r.get_u16_le();
         let _ssvid = r.get_u16_le();
         let serial = String::from_utf8_lossy(&page[4..24]).trim_end().to_string();
-        let model = String::from_utf8_lossy(&page[24..64]).trim_end().to_string();
+        let model = String::from_utf8_lossy(&page[24..64])
+            .trim_end()
+            .to_string();
         let mdts = page[77];
         let namespaces = u32::from_le_bytes(page[516..520].try_into().expect("4 bytes"));
         let mut caps: &[u8] = &page[MORPHEUS_CAPS_OFFSET..];

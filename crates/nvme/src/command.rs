@@ -1,6 +1,6 @@
 //! 64-byte NVMe command packets and the Morpheus typed views.
 
-use bytes::{Buf, BufMut};
+use crate::wire::{Buf, BufMut};
 use std::fmt;
 
 /// Size of an encoded NVMe command packet.
@@ -421,7 +421,10 @@ mod tests {
             let bytes = wire.encode();
             let back = NvmeCommand::decode(&bytes).unwrap();
             assert_eq!(MorpheusCommand::parse(&back), Some(m));
-            assert_eq!(MorpheusCommand::parse(&back).unwrap().instance_id(), m.instance_id());
+            assert_eq!(
+                MorpheusCommand::parse(&back).unwrap().instance_id(),
+                m.instance_id()
+            );
         }
     }
 

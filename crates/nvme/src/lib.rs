@@ -44,10 +44,9 @@ mod admin;
 mod command;
 mod queue;
 mod status;
+mod wire;
 
-pub use admin::{
-    AdminController, AdminOpcode, IdentifyController, MorpheusCaps, IDENTIFY_BYTES,
-};
+pub use admin::{AdminController, AdminOpcode, IdentifyController, MorpheusCaps, IDENTIFY_BYTES};
 pub use command::{
     IoOpcode, MorpheusCommand, NvmeCommand, Opcode, CMD_BYTES, LBA_BYTES, MAX_IO_BLOCKS,
 };

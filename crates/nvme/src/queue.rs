@@ -282,10 +282,9 @@ mod tests {
         let mut next_cid: u16 = 0;
         let mut expect_reap: u16 = 0;
         for step in 0..1000u32 {
-            if step % 3 != 0
-                && qp.sq.submit(cmd(next_cid)).is_ok() {
-                    next_cid += 1;
-                }
+            if step % 3 != 0 && qp.sq.submit(cmd(next_cid)).is_ok() {
+                next_cid += 1;
+            }
             if qp.cq.outstanding() < 8 {
                 if let Some(c) = qp.sq.pop() {
                     qp.cq.post(c.cid, StatusCode::Success, 0).unwrap();

@@ -1,0 +1,112 @@
+//! Little-endian wire codec helpers over plain slices.
+//!
+//! A dependency-free stand-in for the tiny subset of the `bytes` crate the
+//! codecs used (`Buf::get_*_le` / `BufMut::put_*_le` on slices): readers
+//! and writers are bare slices that advance themselves as they go, and
+//! panic on under/overflow just like `bytes` does — callers check lengths
+//! up front.
+
+/// Reading side: `&[u8]` consumes itself from the front.
+pub(crate) trait Buf {
+    /// Next byte.
+    fn get_u8(&mut self) -> u8;
+    /// Next little-endian u16.
+    fn get_u16_le(&mut self) -> u16;
+    /// Next little-endian u32.
+    fn get_u32_le(&mut self) -> u32;
+    /// Next little-endian u64.
+    fn get_u64_le(&mut self) -> u64;
+}
+
+/// Writing side: `&mut [u8]` fills itself from the front.
+pub(crate) trait BufMut {
+    /// Appends a byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a little-endian u16.
+    fn put_u16_le(&mut self, v: u16);
+    /// Appends a little-endian u32.
+    fn put_u32_le(&mut self, v: u32);
+    /// Appends a little-endian u64.
+    fn put_u64_le(&mut self, v: u64);
+}
+
+macro_rules! get_impl {
+    ($self:ident, $t:ty) => {{
+        const N: usize = std::mem::size_of::<$t>();
+        let (head, tail) = $self.split_at(N);
+        let v = <$t>::from_le_bytes(head.try_into().expect("split length"));
+        *$self = tail;
+        v
+    }};
+}
+
+impl Buf for &[u8] {
+    fn get_u8(&mut self) -> u8 {
+        get_impl!(self, u8)
+    }
+    fn get_u16_le(&mut self) -> u16 {
+        get_impl!(self, u16)
+    }
+    fn get_u32_le(&mut self) -> u32 {
+        get_impl!(self, u32)
+    }
+    fn get_u64_le(&mut self) -> u64 {
+        get_impl!(self, u64)
+    }
+}
+
+macro_rules! put_impl {
+    ($self:ident, $v:ident, $t:ty) => {{
+        const N: usize = std::mem::size_of::<$t>();
+        let buf = std::mem::take($self);
+        let (head, tail) = buf.split_at_mut(N);
+        head.copy_from_slice(&$v.to_le_bytes());
+        *$self = tail;
+    }};
+}
+
+impl BufMut for &mut [u8] {
+    fn put_u8(&mut self, v: u8) {
+        put_impl!(self, v, u8)
+    }
+    fn put_u16_le(&mut self, v: u16) {
+        put_impl!(self, v, u16)
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        put_impl!(self, v, u32)
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        put_impl!(self, v, u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_all_widths() {
+        let mut buf = [0u8; 15];
+        {
+            let mut w: &mut [u8] = &mut buf;
+            w.put_u8(0xAB);
+            w.put_u16_le(0x1234);
+            w.put_u32_le(0xDEAD_BEEF);
+            w.put_u64_le(0x0123_4567_89AB_CDEF);
+            assert!(w.is_empty());
+        }
+        let mut r: &[u8] = &buf;
+        assert_eq!(r.get_u8(), 0xAB);
+        assert_eq!(r.get_u16_le(), 0x1234);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn read_past_end_panics() {
+        let mut r: &[u8] = &[1u8];
+        let _ = r.get_u16_le();
+    }
+}

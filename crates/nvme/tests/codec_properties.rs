@@ -28,16 +28,18 @@ fn command_strategy() -> impl Strategy<Value = NvmeCommand> {
         any::<(u64, u64, u64)>(),
         any::<[u32; 6]>(),
     )
-        .prop_map(|(opcode, flags, cid, nsid, (mptr, prp1, prp2), cdw)| NvmeCommand {
-            opcode,
-            flags,
-            cid,
-            nsid,
-            mptr,
-            prp1,
-            prp2,
-            cdw,
-        })
+        .prop_map(
+            |(opcode, flags, cid, nsid, (mptr, prp1, prp2), cdw)| NvmeCommand {
+                opcode,
+                flags,
+                cid,
+                nsid,
+                mptr,
+                prp1,
+                prp2,
+                cdw,
+            },
+        )
 }
 
 fn morpheus_strategy() -> impl Strategy<Value = MorpheusCommand> {

@@ -180,11 +180,7 @@ impl Fabric {
         let base = self.next_bar_base;
         let span = size.div_ceil(ALIGN) * ALIGN;
         self.next_bar_base += span;
-        let win = BarWindow {
-            base,
-            size,
-            device,
-        };
+        let win = BarWindow { base, size, device };
         self.bars.push(win);
         Ok(win)
     }
@@ -368,7 +364,9 @@ mod tests {
     #[test]
     fn host_dma_crosses_root_link() {
         let (mut f, ssd, _) = fabric();
-        let out = f.dma(ssd, DmaDir::Write, 0x1000, 1 << 20, SimTime::ZERO).unwrap();
+        let out = f
+            .dma(ssd, DmaDir::Write, 0x1000, 1 << 20, SimTime::ZERO)
+            .unwrap();
         assert!(!out.peer_to_peer);
         assert_eq!(f.traffic().root_bytes, 1 << 20);
         assert_eq!(f.traffic().p2p_bytes, 0);
@@ -378,7 +376,9 @@ mod tests {
     fn p2p_dma_avoids_root_link() {
         let (mut f, ssd, gpu) = fabric();
         let w = f.map_bar(gpu, 1 << 24).unwrap();
-        let out = f.dma(ssd, DmaDir::Write, w.base, 1 << 20, SimTime::ZERO).unwrap();
+        let out = f
+            .dma(ssd, DmaDir::Write, w.base, 1 << 20, SimTime::ZERO)
+            .unwrap();
         assert!(out.peer_to_peer);
         assert_eq!(f.traffic().root_bytes, 0);
         assert_eq!(f.traffic().p2p_bytes, 1 << 20);
@@ -391,7 +391,9 @@ mod tests {
         let w = f.map_bar(gpu, 1 << 24).unwrap();
         f.set_hop_latency(SimDuration::ZERO);
         let bytes = 100 << 20;
-        let out = f.dma(ssd, DmaDir::Write, w.base, bytes, SimTime::ZERO).unwrap();
+        let out = f
+            .dma(ssd, DmaDir::Write, w.base, bytes, SimTime::ZERO)
+            .unwrap();
         let ssd_bw = LinkConfig::new(PcieGen::Gen3, 4).bandwidth();
         let expect = ssd_bw.duration_for(bytes);
         assert_eq!(out.end.duration_since(out.start), expect);
@@ -401,8 +403,12 @@ mod tests {
     fn concurrent_dmas_contend_on_shared_link() {
         let (mut f, ssd, _) = fabric();
         f.set_hop_latency(SimDuration::ZERO);
-        let a = f.dma(ssd, DmaDir::Write, 0, 1 << 20, SimTime::ZERO).unwrap();
-        let b = f.dma(ssd, DmaDir::Write, 0, 1 << 20, SimTime::ZERO).unwrap();
+        let a = f
+            .dma(ssd, DmaDir::Write, 0, 1 << 20, SimTime::ZERO)
+            .unwrap();
+        let b = f
+            .dma(ssd, DmaDir::Write, 0, 1 << 20, SimTime::ZERO)
+            .unwrap();
         assert_eq!(b.start, a.end);
     }
 
@@ -410,7 +416,9 @@ mod tests {
     fn reads_and_writes_use_independent_directions() {
         let (mut f, ssd, _) = fabric();
         f.set_hop_latency(SimDuration::ZERO);
-        let w = f.dma(ssd, DmaDir::Write, 0, 1 << 20, SimTime::ZERO).unwrap();
+        let w = f
+            .dma(ssd, DmaDir::Write, 0, 1 << 20, SimTime::ZERO)
+            .unwrap();
         let r = f.dma(ssd, DmaDir::Read, 0, 1 << 20, SimTime::ZERO).unwrap();
         // Full duplex: both start at time zero.
         assert_eq!(w.start, r.start);
@@ -421,7 +429,8 @@ mod tests {
         let (mut f, ssd, _) = fabric();
         let w = f.map_bar(ssd, 4096).unwrap();
         assert_eq!(
-            f.dma(ssd, DmaDir::Write, w.base, 64, SimTime::ZERO).unwrap_err(),
+            f.dma(ssd, DmaDir::Write, w.base, 64, SimTime::ZERO)
+                .unwrap_err(),
             PcieError::Loopback(ssd)
         );
     }

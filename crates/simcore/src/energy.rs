@@ -8,14 +8,13 @@
 //! `idle * makespan + Σ rail_delta * rail_busy`.
 
 use crate::{SimDuration, SimTime};
-use serde::Serialize;
 
 /// Identifies a rail within a [`PowerModel`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RailId(usize);
 
 /// One component's contribution to system power while active.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Rail {
     /// Component name (e.g. `"cpu"`, `"ssd-cores"`).
     pub name: String,
@@ -38,7 +37,7 @@ pub struct Rail {
 /// let rep = pm.report(SimTime::ZERO + SimDuration::from_secs(2));
 /// assert!((rep.energy_joules - (105.0 * 2.0 + 10.4)).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PowerModel {
     /// Watts drawn by the whole platform when idle.
     pub idle_watts: f64,
@@ -46,7 +45,7 @@ pub struct PowerModel {
 }
 
 /// Power/energy summary over a run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct EnergyReport {
     /// Wall-clock length of the run.
     pub makespan_s: f64,

@@ -1,6 +1,5 @@
 //! A small ordered metric bag used by reports throughout the workspace.
 
-use serde::Serialize;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -17,7 +16,7 @@ use std::fmt;
 /// assert_eq!(m.get("bytes"), 8192.0);
 /// assert_eq!(m.get("missing"), 0.0);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Metrics {
     values: BTreeMap<String, f64>,
 }

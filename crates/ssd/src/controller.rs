@@ -1,10 +1,66 @@
 //! The SSD controller: timed logical-block I/O over the FTL.
 
 use crate::{EmbeddedCorePool, SsdConfig, SsdError};
-use morpheus_flash::{FlashArray, FlashGeometry, FlashOp, FlashOpKind, FlashTiming};
+use morpheus_flash::{FlashArray, FlashGeometry, FlashOp, FlashOpKind, FlashTiming, PageData};
 use morpheus_ftl::{Ftl, Lpn};
 use morpheus_nvme::LBA_BYTES;
 use morpheus_simcore::{SimDuration, SimTime, Timeline};
+use std::borrow::Cow;
+
+/// A zero-copy view of one logical page served by the controller.
+///
+/// Wraps the FTL's [`PageData`] handle (sharing the flash array's stored
+/// allocation) or represents an unmapped page, which reads as zeros
+/// without any backing allocation. Stored payloads may be shorter than
+/// the flash page; accessors zero-extend to page size.
+#[derive(Debug, Clone)]
+pub struct PageRead {
+    data: Option<PageData>,
+    page_bytes: usize,
+}
+
+impl PageRead {
+    /// Logical size of the page in bytes.
+    pub fn page_bytes(&self) -> usize {
+        self.page_bytes
+    }
+
+    /// The shared payload handle, or `None` for an unmapped page.
+    pub fn data(&self) -> Option<&PageData> {
+        self.data.as_ref()
+    }
+
+    /// Appends bytes `lo..hi` of the page onto `out`, zero-extending past
+    /// the stored payload. This is the read path's single payload copy —
+    /// straight from the flash array's allocation into the caller's
+    /// destination buffer.
+    pub fn copy_into(&self, lo: usize, hi: usize, out: &mut Vec<u8>) {
+        debug_assert!(lo <= hi && hi <= self.page_bytes);
+        let stored_end = match &self.data {
+            Some(d) => d.len().clamp(lo, hi),
+            None => lo,
+        };
+        if let Some(d) = &self.data {
+            out.extend_from_slice(&d[lo..stored_end]);
+        }
+        out.resize(out.len() + (hi - stored_end), 0);
+    }
+
+    /// Bytes `lo..hi` of the page: borrowed straight from the stored
+    /// allocation when the range is fully backed (the hot case — the
+    /// controller writes whole pages), owned and zero-extended otherwise.
+    pub fn slice(&self, lo: usize, hi: usize) -> Cow<'_, [u8]> {
+        debug_assert!(lo <= hi && hi <= self.page_bytes);
+        match &self.data {
+            Some(d) if d.len() >= hi => Cow::Borrowed(&d[lo..hi]),
+            _ => {
+                let mut v = Vec::with_capacity(hi - lo);
+                self.copy_into(lo, hi, &mut v);
+                Cow::Owned(v)
+            }
+        }
+    }
+}
 
 /// Controller-level statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -43,7 +99,13 @@ impl Ssd {
     ///
     /// Panics if the configuration is invalid.
     pub fn new(cfg: SsdConfig, geometry: FlashGeometry, timing: FlashTiming) -> Self {
-        Self::with_ecc(cfg, geometry, timing, morpheus_flash::EccModel::perfect(), 0)
+        Self::with_ecc(
+            cfg,
+            geometry,
+            timing,
+            morpheus_flash::EccModel::perfect(),
+            0,
+        )
     }
 
     /// Creates a controller over an erased flash array with an error
@@ -186,7 +248,7 @@ impl Ssd {
             let lo = byte_start.max(page_base) - page_base;
             let hi = (byte_start + byte_len).min(page_base + page_bytes) - page_base;
             let (page, avail) = self.read_page_timed(Lpn(lpn), start)?;
-            out.extend_from_slice(&page[lo as usize..hi as usize]);
+            page.copy_into(lo as usize, hi as usize, &mut out);
             done = done.max(avail);
         }
         self.stats.read_commands += 1;
@@ -218,26 +280,37 @@ impl Ssd {
         Ok(done)
     }
 
-    /// Reads one full logical page with timing; unmapped pages read as
-    /// zeros instantly (used by the Morpheus firmware extension, which
+    /// Reads one full logical page with timing, returning a zero-copy
+    /// [`PageRead`] handle; unmapped pages read as zeros instantly without
+    /// allocating (used by the Morpheus firmware extension, which
     /// pipelines parsing at page granularity).
     pub fn read_page_timed(
         &mut self,
         lpn: Lpn,
         ready: SimTime,
-    ) -> Result<(Vec<u8>, SimTime), SsdError> {
+    ) -> Result<(PageRead, SimTime), SsdError> {
         let page_bytes = self.page_bytes() as usize;
         if self.ftl.translate(lpn).is_none() {
-            return Ok((vec![0u8; page_bytes], ready));
+            return Ok((
+                PageRead {
+                    data: None,
+                    page_bytes,
+                },
+                ready,
+            ));
         }
         let outcome = self.ftl.read(lpn)?;
         let mut avail = ready;
         for op in &outcome.ops {
             avail = self.apply_op(op, ready);
         }
-        let mut page = outcome.data.into_vec();
-        page.resize(page_bytes, 0);
-        Ok((page, avail))
+        Ok((
+            PageRead {
+                data: Some(outcome.data),
+                page_bytes,
+            },
+            avail,
+        ))
     }
 
     fn write_bytes(
@@ -261,28 +334,26 @@ impl Ssd {
             let page_base = lpn * page_bytes;
             let lo = byte_start.max(page_base) - page_base;
             let hi = (byte_start + byte_len).min(page_base + page_bytes) - page_base;
-            let src = &data[(page_base + lo - byte_start) as usize
-                ..(page_base + hi - byte_start) as usize];
+            let src = &data
+                [(page_base + lo - byte_start) as usize..(page_base + hi - byte_start) as usize];
             let full_page = lo == 0 && hi == page_bytes;
             let mut page;
             if full_page {
                 page = src.to_vec();
             } else {
-                // Read-modify-write: merge with the existing contents.
-                page = match self.ftl.translate(Lpn(lpn)) {
-                    Some(_) => {
-                        let outcome = self.ftl.read(Lpn(lpn))?;
-                        if let Some(t0) = timed_from {
-                            for op in &outcome.ops {
-                                done = done.max(self.apply_op(op, t0));
-                            }
+                // Read-modify-write: merge with the existing contents,
+                // copying straight out of the read handle's shared
+                // allocation into the new page image.
+                page = vec![0u8; page_bytes as usize];
+                if self.ftl.translate(Lpn(lpn)).is_some() {
+                    let outcome = self.ftl.read(Lpn(lpn))?;
+                    if let Some(t0) = timed_from {
+                        for op in &outcome.ops {
+                            done = done.max(self.apply_op(op, t0));
                         }
-                        let mut p = outcome.data.into_vec();
-                        p.resize(page_bytes as usize, 0);
-                        p
                     }
-                    None => vec![0u8; page_bytes as usize],
-                };
+                    page[..outcome.data.len()].copy_from_slice(&outcome.data);
+                }
                 page[lo as usize..hi as usize].copy_from_slice(src);
             }
             let outcome = self.ftl.write(Lpn(lpn), &page)?;
@@ -338,15 +409,14 @@ impl Ssd {
             let page_base = lpn * page_bytes;
             let lo = byte_start.max(page_base) - page_base;
             let hi = (byte_start + byte_len).min(page_base + page_bytes) - page_base;
-            let page = match self.ftl.translate(Lpn(lpn)) {
-                Some(_) => {
-                    let mut p = self.ftl.read(Lpn(lpn))?.data.into_vec();
-                    p.resize(page_bytes as usize, 0);
-                    p
-                }
-                None => vec![0u8; page_bytes as usize],
+            let page = PageRead {
+                data: match self.ftl.translate(Lpn(lpn)) {
+                    Some(_) => Some(self.ftl.read(Lpn(lpn))?.data),
+                    None => None,
+                },
+                page_bytes: page_bytes as usize,
             };
-            out.extend_from_slice(&page[lo as usize..hi as usize]);
+            page.copy_into(lo as usize, hi as usize, &mut out);
         }
         Ok(out)
     }

@@ -36,6 +36,7 @@ mod cores;
 mod error;
 
 pub use config::SsdConfig;
-pub use controller::{Ssd, SsdStats};
+pub use controller::{PageRead, Ssd, SsdStats};
 pub use cores::EmbeddedCorePool;
 pub use error::SsdError;
+pub use morpheus_flash::{copy_audit, PageData};

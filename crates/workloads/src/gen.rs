@@ -5,11 +5,35 @@
 //! requested size, so input scale is a single knob.
 
 use morpheus_format::TextWriter;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use morpheus_simcore::SplitMix64;
 
-fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+/// Generator RNG: SplitMix64, the workspace's deterministic source of
+/// simulation randomness (`rand` is unavailable offline and its exact
+/// streams are not load-bearing — all reported quantities are ratios).
+struct GenRng(SplitMix64);
+
+fn rng(seed: u64) -> GenRng {
+    GenRng(SplitMix64::new(
+        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xA076_1D64_78BD_642F,
+    ))
+}
+
+impl GenRng {
+    /// Uniform float in `[0, 1)`.
+    fn unit_f64(&mut self) -> f64 {
+        self.0.next_f64()
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    fn below_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(hi > lo);
+        lo + self.0.next_below((hi - lo) as u64) as i64
+    }
+
+    /// Uniform unsigned integer in `[0, hi)`.
+    fn below_u64(&mut self, hi: u64) -> u64 {
+        self.0.next_below(hi)
+    }
 }
 
 /// A graph edge list (`src dst` per line) over `~sqrt`-sized vertex set,
@@ -23,8 +47,8 @@ pub fn edge_list_text(target_bytes: u64, seed: u64) -> Vec<u8> {
     while (w.len() as u64) < target_bytes {
         // Skewed endpoints: squaring a uniform sample biases toward low
         // ids, giving hub vertices.
-        let u = ((r.random::<f64>() * r.random::<f64>()) * vertices as f64) as u64;
-        let v = r.random_range(0..vertices) as u64;
+        let u = ((r.unit_f64() * r.unit_f64()) * vertices as f64) as u64;
+        let v = r.below_u64(vertices as u64);
         w.write_u64(u);
         w.sep();
         w.write_u64(v);
@@ -38,7 +62,7 @@ pub fn int_list_text(target_bytes: u64, seed: u64, max_value: u64) -> Vec<u8> {
     let mut r = rng(seed);
     let mut w = TextWriter::with_capacity(target_bytes as usize + 16);
     while (w.len() as u64) < target_bytes {
-        w.write_u64(r.random_range(0..max_value));
+        w.write_u64(r.below_u64(max_value));
         w.newline();
     }
     w.into_bytes()
@@ -55,9 +79,9 @@ pub fn matrix_text(target_bytes: u64, seed: u64) -> Vec<u8> {
     for i in 0..n {
         for j in 0..n {
             let v: i64 = if i == j {
-                1000 + r.random_range(0..100)
+                1000 + r.below_i64(0, 100)
             } else {
-                r.random_range(-9..10)
+                r.below_i64(-9, 10)
             };
             w.write_i64(v);
             if j + 1 < n {
@@ -79,7 +103,7 @@ pub fn points_text(target_bytes: u64, seed: u64, dims: usize) -> Vec<u8> {
         w.write_u64(id);
         for _ in 0..dims {
             w.sep();
-            w.write_i64(r.random_range(0..1000));
+            w.write_i64(r.below_i64(0, 1000));
         }
         w.newline();
         id += 1;
@@ -95,11 +119,11 @@ pub fn sparse_coo_text(target_bytes: u64, seed: u64) -> Vec<u8> {
     let n = (target_bytes / 60).clamp(8, u64::MAX) as u32; // matrix dim
     let mut w = TextWriter::with_capacity(target_bytes as usize + 32);
     while (w.len() as u64) < target_bytes {
-        w.write_u64(r.random_range(0..n) as u64);
+        w.write_u64(r.below_u64(n as u64));
         w.sep();
-        w.write_u64(r.random_range(0..n) as u64);
+        w.write_u64(r.below_u64(n as u64));
         w.sep();
-        w.write_f64(r.random::<f64>() * 10.0 - 5.0, 3);
+        w.write_f64(r.unit_f64() * 10.0 - 5.0, 3);
         w.newline();
     }
     w.into_bytes()

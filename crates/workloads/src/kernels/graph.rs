@@ -51,10 +51,7 @@ impl Csr {
             targets[*c as usize] = *d as u32;
             *c += 1;
         }
-        Csr {
-            offsets,
-            targets,
-        }
+        Csr { offsets, targets }
     }
 
     /// Number of vertices.

@@ -94,13 +94,7 @@ mod tests {
     fn two_well_separated_clusters_have_low_inertia() {
         let p = points(b"0 0 0\n1 1 1\n2 100 100\n3 101 101\n");
         let r = kmeans(&p, 2, 10);
-        let inertia: f64 = r
-            .summary
-            .split("inertia ")
-            .nth(1)
-            .unwrap()
-            .parse()
-            .unwrap();
+        let inertia: f64 = r.summary.split("inertia ").nth(1).unwrap().parse().unwrap();
         assert!(inertia < 5.0, "{}", r.summary);
     }
 

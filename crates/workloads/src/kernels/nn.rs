@@ -34,7 +34,11 @@ pub fn nearest(objects: &ParsedColumns, qx: f64, qy: f64, k: usize) -> KernelRes
         .unwrap_or_else(|| "none".into());
     KernelResult {
         digest: d.value(),
-        summary: format!("nn: {} of {} points, closest {closest}", best.len(), objects.records),
+        summary: format!(
+            "nn: {} of {} points, closest {closest}",
+            best.len(),
+            objects.records
+        ),
     }
 }
 
@@ -73,6 +77,9 @@ mod tests {
     #[test]
     fn deterministic() {
         let p = points(b"0 3 4\n1 6 8\n");
-        assert_eq!(nearest(&p, 0.0, 0.0, 2).digest, nearest(&p, 0.0, 0.0, 2).digest);
+        assert_eq!(
+            nearest(&p, 0.0, 0.0, 2).digest,
+            nearest(&p, 0.0, 0.0, 2).digest
+        );
     }
 }

@@ -38,8 +38,6 @@ mod kernels;
 mod suite;
 
 pub use digest::Digest;
-pub use gen::{
-    edge_list_text, int_list_text, matrix_text, points_text, sparse_coo_text,
-};
+pub use gen::{edge_list_text, int_list_text, matrix_text, points_text, sparse_coo_text};
 pub use kernels::{graph, kmeans, matrix, nn, scan, sort, spmv, KernelResult};
 pub use suite::{run_benchmark, stage_input, suite, BenchOutcome, Benchmark, Suite};

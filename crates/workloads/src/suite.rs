@@ -143,7 +143,14 @@ pub fn suite() -> Vec<Benchmark> {
             schema_fn: matrix_schema,
             generate_fn: matrix_text,
             spec_fn: || {
-                AppSpec::gpu_app("gaussian", "gaussian.txt", matrix_schema(), 120_000.0, 48.0, 40.0)
+                AppSpec::gpu_app(
+                    "gaussian",
+                    "gaussian.txt",
+                    matrix_schema(),
+                    120_000.0,
+                    48.0,
+                    40.0,
+                )
             },
             kernel_fn: matrix::gaussian,
         },
@@ -174,7 +181,14 @@ pub fn suite() -> Vec<Benchmark> {
             schema_fn: points4_schema,
             generate_fn: |b, s| points_text(b, s, 4),
             spec_fn: || {
-                AppSpec::gpu_app("kmeans", "kmeans.txt", points4_schema(), 700_000.0, 160.0, 150.0)
+                AppSpec::gpu_app(
+                    "kmeans",
+                    "kmeans.txt",
+                    points4_schema(),
+                    700_000.0,
+                    160.0,
+                    150.0,
+                )
             },
             kernel_fn: |o| kmeans::kmeans(o, 8, 8),
         },

@@ -100,7 +100,12 @@ fn main() {
     }
     let text = w.into_bytes();
     mssd.dev.load_at(0, &text).unwrap();
-    println!("staged {} edges ({} forward) as {:.1} MB of text", 50_000, forward, text.len() as f64 / 1e6);
+    println!(
+        "staged {} edges ({} forward) as {:.1} MB of text",
+        50_000,
+        forward,
+        text.len() as f64 / 1e6
+    );
 
     // --- MREAD through the filtering StorageApp ---
     let t0 = mssd
@@ -123,7 +128,11 @@ fn main() {
 
     // --- MWRITE: on-device format conversion (text in, binary stored) ---
     let t1 = mssd
-        .minit(2, Box::new(DeserializeApp::new("to-binary", edge_schema())), SimTime::ZERO)
+        .minit(
+            2,
+            Box::new(DeserializeApp::new("to-binary", edge_schema())),
+            SimTime::ZERO,
+        )
         .unwrap();
     let sample = b"11 22\n33 44\n";
     let wrote = mssd.mwrite(2, 1 << 20, sample, t1).unwrap();

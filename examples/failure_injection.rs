@@ -51,7 +51,10 @@ fn main() {
     }
     let stats = ftl.stats();
     println!("after {} reads:", reads);
-    println!("  {} recovered through retries, {} lost after all retries", recovered, lost);
+    println!(
+        "  {} recovered through retries, {} lost after all retries",
+        recovered, lost
+    );
     println!(
         "  ftl: {} host writes, {} gc writes (WA {:.2}), {} gc runs, {} erases",
         stats.host_writes,
@@ -110,6 +113,9 @@ fn main() {
         .map(BlockId)
         .find(|b| ftl2.flash().is_bad(*b));
     if let Some(b) = bad {
-        println!("  block {} is retired and rejects new work at the flash layer", b.0);
+        println!(
+            "  block {} is retired and rejects new work at the flash layer",
+            b.0
+        );
     }
 }

@@ -27,12 +27,17 @@ fn main() {
             w.newline();
         }
         sys.create_input_file(&file, w.as_bytes()).unwrap();
-        specs.push(AppSpec::cpu_app(&format!("tenant{i}"), &file, schema.clone(), 1, 50.0));
+        specs.push(AppSpec::cpu_app(
+            &format!("tenant{i}"),
+            &file,
+            schema.clone(),
+            1,
+            50.0,
+        ));
     }
 
     for mode in [Mode::Conventional, Mode::Morpheus] {
-        let tenants: Vec<(AppSpec, Mode)> =
-            specs.iter().map(|s| (s.clone(), mode)).collect();
+        let tenants: Vec<(AppSpec, Mode)> = specs.iter().map(|s| (s.clone(), mode)).collect();
         let rep = sys.run_deserialize_many(&tenants).unwrap();
         println!("== {mode}: 4 tenants deserializing concurrently ==");
         for t in &rep.tenants {

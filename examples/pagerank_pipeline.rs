@@ -27,7 +27,10 @@ fn main() {
 
     println!("kernel result: {}\n", conv.kernel.summary);
 
-    for (name, r) in [("conventional", &conv.report), ("morpheus-ssd", &morp.report)] {
+    for (name, r) in [
+        ("conventional", &conv.report),
+        ("morpheus-ssd", &morp.report),
+    ] {
         let p = r.phases;
         println!(
             "{name:<14} total {:.3}s = deserialize {:.3}s ({:.0}%) + other {:.3}s + kernel {:.3}s",

@@ -22,7 +22,10 @@ fn main() {
     }
     let text = w.into_bytes();
     sys.create_input_file("pairs.txt", &text).unwrap();
-    println!("staged pairs.txt: {:.1} MB of ASCII", text.len() as f64 / 1e6);
+    println!(
+        "staged pairs.txt: {:.1} MB of ASCII",
+        text.len() as f64 / 1e6
+    );
 
     // Describe the application: two u32 columns, a small CPU kernel.
     let schema = Schema::new(vec![FieldKind::U32, FieldKind::U32]);
@@ -33,9 +36,15 @@ fn main() {
     let morp = sys.run(&spec, Mode::Morpheus).unwrap();
 
     assert_eq!(conv.report.checksum, morp.report.checksum);
-    println!("\nboth modes produced identical objects ({} records)\n", conv.report.records);
+    println!(
+        "\nboth modes produced identical objects ({} records)\n",
+        conv.report.records
+    );
 
-    let rows = [("conventional", &conv.report), ("morpheus-ssd", &morp.report)];
+    let rows = [
+        ("conventional", &conv.report),
+        ("morpheus-ssd", &morp.report),
+    ];
     println!(
         "{:<14} {:>10} {:>12} {:>10} {:>12} {:>10}",
         "mode", "deser", "eff. MB/s", "switches", "power", "energy"

@@ -41,7 +41,14 @@ fn main() {
         "{} pages through read({read}) -> parse({parse}) -> dma({ship}):\n",
         pages
     );
-    print!("{}", render_gantt(&[("flash", &flash), ("core", &core), ("dma", &dma)], result.end, 72));
+    print!(
+        "{}",
+        render_gantt(
+            &[("flash", &flash), ("core", &core), ("dma", &dma)],
+            result.end,
+            72
+        )
+    );
 
     let serial = (read + parse + ship) * pages as u64;
     println!(

@@ -20,7 +20,11 @@ fn all_benchmarks_agree_across_all_modes() {
         assert_eq!(conv.kernel, morp.kernel, "{}", bench.name);
         assert_eq!(conv.report.checksum, morp.report.checksum, "{}", bench.name);
         assert_eq!(conv.report.records, morp.report.records, "{}", bench.name);
-        assert_eq!(conv.report.object_bytes, morp.report.object_bytes, "{}", bench.name);
+        assert_eq!(
+            conv.report.object_bytes, morp.report.object_bytes,
+            "{}",
+            bench.name
+        );
         if bench.parallel_label == "CUDA" {
             let p2p = run_benchmark(&mut sys, &bench, Mode::MorpheusP2P).unwrap();
             assert_eq!(conv.kernel, p2p.kernel, "{}", bench.name);
@@ -36,7 +40,10 @@ fn runs_are_deterministic() {
     stage_input(&mut sys, bench, SMALL_INPUT, 9).unwrap();
     let a = run_benchmark(&mut sys, bench, Mode::Morpheus).unwrap();
     let b = run_benchmark(&mut sys, bench, Mode::Morpheus).unwrap();
-    assert_eq!(a.report.phases.deserialization_s, b.report.phases.deserialization_s);
+    assert_eq!(
+        a.report.phases.deserialization_s,
+        b.report.phases.deserialization_s
+    );
     assert_eq!(a.report.membus_bytes, b.report.membus_bytes);
     assert_eq!(a.report.deser_energy_j, b.report.deser_energy_j);
     assert_eq!(a.kernel, b.kernel);
@@ -91,7 +98,10 @@ fn p2p_bypasses_host_memory_entirely() {
     let mut sys = staged_system();
     stage_input(&mut sys, &bench, 2 << 20, 5).unwrap();
     let p2p = run_benchmark(&mut sys, &bench, Mode::MorpheusP2P).unwrap();
-    assert_eq!(p2p.report.membus_bytes, 0, "objects must not touch host DRAM");
+    assert_eq!(
+        p2p.report.membus_bytes, 0,
+        "objects must not touch host DRAM"
+    );
     assert!(p2p.report.metrics.get("pcie_p2p_bytes") as u64 >= p2p.report.object_bytes);
     assert_eq!(p2p.report.phases.copy_s, 0.0);
 }
@@ -193,7 +203,10 @@ fn headline_speedups_in_paper_range() {
     // SpMV is the float-bound outlier.
     let spmv_idx = suite().iter().position(|b| b.name == "spmv").unwrap();
     let min = deser.iter().cloned().fold(f64::INFINITY, f64::min);
-    assert_eq!(deser[spmv_idx], min, "spmv should be the slowest to improve");
+    assert_eq!(
+        deser[spmv_idx], min,
+        "spmv should be the slowest to improve"
+    );
 }
 
 #[test]
@@ -202,7 +215,9 @@ fn identify_advertises_morpheus_capabilities() {
     let id = sys.mssd.identify();
     let page = id.encode();
     let back = morpheus_nvme::IdentifyController::decode(&page[..]).unwrap();
-    let caps = back.morpheus.expect("morpheus-ssd advertises storageapp support");
+    let caps = back
+        .morpheus
+        .expect("morpheus-ssd advertises storageapp support");
     assert_eq!(caps.embedded_cores, sys.params.ssd.embedded_cores);
     assert_eq!(caps.dsram_bytes, sys.params.ssd.dsram_bytes);
     assert!(back.model.contains("Morpheus"));
@@ -227,7 +242,10 @@ fn multiprogrammed_host_widens_the_deser_gap() {
     };
     let (idle_speedup, idle_cs) = speedup(&mut idle);
     let (busy_speedup, busy_cs) = speedup(&mut busy);
-    assert!(busy_speedup > idle_speedup, "{busy_speedup} vs {idle_speedup}");
+    assert!(
+        busy_speedup > idle_speedup,
+        "{busy_speedup} vs {idle_speedup}"
+    );
     assert!(busy_cs > idle_cs, "co-runner must add context switches");
 }
 

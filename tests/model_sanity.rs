@@ -22,7 +22,10 @@ fn input(n: u64) -> Vec<u8> {
 fn sys_with(params: SystemParams, data: &[u8]) -> (System, AppSpec) {
     let mut sys = System::new(params);
     sys.create_input_file("in.txt", data).unwrap();
-    (sys, AppSpec::cpu_app("sanity", "in.txt", edge_schema(), 4, 200.0))
+    (
+        sys,
+        AppSpec::cpu_app("sanity", "in.txt", edge_schema(), 4, 200.0),
+    )
 }
 
 #[test]
@@ -41,7 +44,10 @@ fn higher_cpu_frequency_speeds_conventional_deserialization() {
     sys.cpu.set_frequency(1.2e9);
     let m_slow = sys.run(&spec, Mode::Morpheus).unwrap().report;
     let drift = m_slow.phases.deserialization_s / m_fast.phases.deserialization_s;
-    assert!(drift < 1.1, "morpheus deser drifted {drift}x with host clock");
+    assert!(
+        drift < 1.1,
+        "morpheus deser drifted {drift}x with host clock"
+    );
 }
 
 #[test]
@@ -61,7 +67,11 @@ fn smaller_mread_chunks_mean_more_interrupts() {
 fn storage_devices_order_sensibly() {
     let data = input(200_000);
     let mut bw = Vec::new();
-    for storage in [StorageKind::RamDrive, StorageKind::NvmeSsd, StorageKind::Hdd] {
+    for storage in [
+        StorageKind::RamDrive,
+        StorageKind::NvmeSsd,
+        StorageKind::Hdd,
+    ] {
         let mut p = SystemParams::paper_testbed();
         p.storage = storage;
         let (mut sys, spec) = sys_with(p, &data);
@@ -77,7 +87,10 @@ fn storage_devices_order_sensibly() {
     assert!(nvme >= hdd, "nvme {nvme} vs hdd {hdd}");
     // And the whole point: the spread is small because the CPU is the
     // bottleneck.
-    assert!(ram / hdd < 1.5, "device spread should be modest: {ram} vs {hdd}");
+    assert!(
+        ram / hdd < 1.5,
+        "device spread should be modest: {ram} vs {hdd}"
+    );
 }
 
 #[test]

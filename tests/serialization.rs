@@ -25,27 +25,29 @@ fn serialize_then_deserialize_round_trips_through_the_drive() {
     let mut sys = System::new(SystemParams::paper_testbed());
 
     // Serialize on the drive (MWRITE through a SerializeApp).
-    let rep = sys.run_serialize(&objs, "roundtrip.txt", Mode::Morpheus).unwrap();
+    let rep = sys
+        .run_serialize(&objs, "roundtrip.txt", Mode::Morpheus)
+        .unwrap();
     assert_eq!(rep.object_bytes, objs.binary_bytes());
     assert!(rep.text_bytes > 0);
 
     // Deserialize the produced file back — also on the drive.
-    let spec = morpheus::AppSpec::cpu_app(
-        "roundtrip",
-        "roundtrip.txt",
-        objs.schema.clone(),
-        2,
-        50.0,
-    );
+    let spec =
+        morpheus::AppSpec::cpu_app("roundtrip", "roundtrip.txt", objs.schema.clone(), 2, 50.0);
     let back = sys.run(&spec, Mode::Morpheus).unwrap();
-    assert_eq!(back.objects, objs, "drive->drive round trip must be lossless");
+    assert_eq!(
+        back.objects, objs,
+        "drive->drive round trip must be lossless"
+    );
 }
 
 #[test]
 fn serialization_report_is_consistent() {
     let objs = objects(10_000);
     let mut sys = System::new(SystemParams::paper_testbed());
-    let conv = sys.run_serialize(&objs, "c.txt", Mode::Conventional).unwrap();
+    let conv = sys
+        .run_serialize(&objs, "c.txt", Mode::Conventional)
+        .unwrap();
     let morp = sys.run_serialize(&objs, "m.txt", Mode::Morpheus).unwrap();
     for r in [&conv, &morp] {
         assert!(r.serialize_s > 0.0);
@@ -67,8 +69,7 @@ fn command_plan_matches_what_the_driver_issues() {
     let data = vec![b'7'; 3_000_000];
     // "7 7 7 ..." would not parse as pairs; this test only inspects layout.
     sys.create_input_file("layout.bin", &data).unwrap();
-    let stream =
-        ms_stream_create(&sys.fs, "layout.bin", sys.params.mread_chunk_bytes).unwrap();
+    let stream = ms_stream_create(&sys.fs, "layout.bin", sys.params.mread_chunk_bytes).unwrap();
     let plan = CommandPlan::lower(&stream, 42, 0x4000, 16 * 1024, 0x2000);
     // One MINIT + ceil(3MB / 8MiB) = 1 MREAD + one MDEINIT.
     assert_eq!(plan.reads(), 1);
