@@ -24,10 +24,15 @@ use morpheus_gpu::KernelCost;
 use morpheus_host::CodeClass;
 use morpheus_nvme::{MorpheusCommand, NvmeCommand, StatusCode};
 use morpheus_pcie::{DmaDir, PcieError};
-use morpheus_simcore::{Metrics, SimDuration, SimTime};
+use morpheus_simcore::{Metrics, SimDuration, SimTime, TraceLayer};
 use morpheus_ssd::SsdError;
 use std::error::Error;
 use std::fmt;
+
+/// Trace track for the host-visible NVMe I/O queue pair (queue id 1).
+const NVME_TRACK: &str = "ioq1";
+/// Trace track for OS scheduler events (syscalls, context switches).
+const OS_TRACK: &str = "os";
 
 /// How the compute kernel parallelizes (Table I's "parallel model").
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -303,9 +308,25 @@ impl System {
         let mut last_work = ParseWork::default();
         let mut cpu_ready = SimTime::ZERO;
         let mut cpu_busy = SimDuration::ZERO;
+        // QD-1 blocking reads: the next command is submitted when the
+        // previous one's data has landed (traced as the NVMe lifecycle).
+        let mut submit = SimTime::ZERO;
         for c in &chunks {
             let cid = self.alloc_cid();
             let (text, io_done) = self.conventional_io(c, cid, buf_addr)?;
+            if matches!(self.params.storage, StorageKind::NvmeSsd) {
+                self.tracer.span_bytes(
+                    TraceLayer::Nvme,
+                    NVME_TRACK,
+                    "READ",
+                    submit,
+                    io_done,
+                    c.valid_bytes,
+                );
+                self.nvme_lat
+                    .record(io_done.duration_since(submit).as_nanos());
+                submit = io_done;
+            }
             parser.feed(&text[..c.valid_bytes as usize])?;
             let w = parser.work();
             let dw = work_delta(&w, &last_work);
@@ -320,6 +341,16 @@ impl System {
             let iv = self
                 .cpu_cores
                 .acquire(io_done.max(cpu_ready), os_t + parse_t);
+            self.tracer
+                .instant(TraceLayer::Host, OS_TRACK, "context-switch", iv.start);
+            self.tracer.span_bytes(
+                TraceLayer::Host,
+                self.cpu_cores.name(),
+                "read+parse",
+                iv.start,
+                iv.end,
+                c.valid_bytes,
+            );
             cpu_ready = iv.end;
             cpu_busy += iv.duration();
             // The parse loop streams the text back out of DRAM.
@@ -414,6 +445,15 @@ impl System {
         .into_command(cid, 1);
         self.mssd.protocol_round_trip(wire, StatusCode::Success, 0);
         let ready = self.mssd.minit(iid, app, init_iv.end)?;
+        self.tracer.span(
+            TraceLayer::Host,
+            self.cpu_cores.name(),
+            "minit-syscall",
+            init_iv.start,
+            init_iv.end,
+        );
+        self.tracer
+            .span(TraceLayer::Nvme, NVME_TRACK, "MINIT", init_iv.end, ready);
 
         let bar = if p2p { Some(self.map_gpu_bar()) } else { None };
         let mut obj_bin: Vec<u8> = Vec::new();
@@ -422,6 +462,18 @@ impl System {
             let out = self
                 .mssd
                 .mread(iid, c.slba, c.blocks, c.valid_bytes, ready)?;
+            // MREADs are all queued once the instance is up (async queue
+            // depth): the command's lifecycle runs submit → staging done.
+            self.tracer.span_bytes(
+                TraceLayer::Nvme,
+                NVME_TRACK,
+                "MREAD",
+                ready,
+                out.done,
+                c.valid_bytes,
+            );
+            self.nvme_lat
+                .record(out.done.duration_since(ready).as_nanos());
             let end = self.deliver_output(&out.output, bar, iid, c.slba, c.blocks)?;
             if let Some(e) = end {
                 cpu_busy += e.1;
@@ -436,6 +488,8 @@ impl System {
         let cid = self.alloc_cid();
         let wire = MorpheusCommand::Deinit { instance_id: iid }.into_command(cid, 1);
         let dein = self.mssd.mdeinit(iid, last_end)?;
+        self.tracer
+            .span(TraceLayer::Nvme, NVME_TRACK, "MDEINIT", last_end, dein.done);
         let (retval, tail, dein_done) = (dein.retval, dein.host_output, dein.done);
         self.mssd
             .protocol_round_trip(wire, StatusCode::Success, retval as u32);
@@ -446,6 +500,13 @@ impl System {
             let iv = self
                 .cpu_cores
                 .acquire(base, self.cpu.duration(c.instructions, CodeClass::OsKernel));
+            self.tracer.span(
+                TraceLayer::Host,
+                self.cpu_cores.name(),
+                "mdeinit-wakeup",
+                iv.start,
+                iv.end,
+            );
             cpu_busy += iv.duration();
             iv.end
         };
@@ -514,6 +575,15 @@ impl System {
             dma.end,
             self.cpu.duration(c.instructions, CodeClass::OsKernel),
         );
+        self.tracer
+            .instant(TraceLayer::Host, OS_TRACK, "context-switch", iv.start);
+        self.tracer.span(
+            TraceLayer::Host,
+            self.cpu_cores.name(),
+            "completion",
+            iv.start,
+            iv.end,
+        );
         Ok(Some((iv.end, iv.duration())))
     }
 
@@ -536,6 +606,13 @@ impl System {
             window.end,
             self.cpu.duration(other_instr, CodeClass::AppKernel),
         );
+        self.tracer.span(
+            TraceLayer::Host,
+            self.cpu_cores.name(),
+            "other-cpu",
+            other_iv.start,
+            other_iv.end,
+        );
         let mut cpu_busy_total = window.cpu_busy + other_iv.duration();
 
         let mut copy_s = 0.0;
@@ -549,6 +626,13 @@ impl System {
                 let mut kend = other_iv.end;
                 for _ in 0..t {
                     let iv = self.cpu_cores.acquire(other_iv.end, d);
+                    self.tracer.span(
+                        TraceLayer::Host,
+                        self.cpu_cores.name(),
+                        "kernel",
+                        iv.start,
+                        iv.end,
+                    );
                     kend = kend.max(iv.end);
                     cpu_busy_total += iv.duration();
                 }
@@ -617,6 +701,13 @@ impl System {
         metrics.set("gpu_busy_s", gpu_busy_s);
         metrics.set("pcie_p2p_bytes", self.fabric.traffic().p2p_bytes as f64);
         metrics.set("kernel_start_s", kernel_start.as_secs_f64());
+        // Latency distributions (absent when no timed command of the kind
+        // ran, e.g. flash reads on a fully unwritten range).
+        self.nvme_lat.export("nvme_cmd_lat_ns", &mut metrics);
+        self.mssd
+            .dev
+            .read_latency()
+            .export("flash_read_lat_ns", &mut metrics);
 
         let report = RunReport {
             app: spec.name.clone(),

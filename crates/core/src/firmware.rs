@@ -12,7 +12,7 @@ use morpheus_nvme::{
     AdminController, CompletionEntry, IdentifyController, MorpheusCaps, MorpheusCommand,
     NvmeCommand, QueuePair, StatusCode, LBA_BYTES,
 };
-use morpheus_simcore::{SimDuration, SimTime};
+use morpheus_simcore::{SimDuration, SimTime, TraceLayer, Tracer};
 use morpheus_ssd::{Ssd, SsdError};
 use std::collections::HashMap;
 use std::error::Error;
@@ -185,6 +185,7 @@ pub struct MorpheusSsd {
     device_cost: CostModel,
     instances: HashMap<u32, Instance>,
     parse_core_busy: SimDuration,
+    tracer: Tracer,
 }
 
 impl MorpheusSsd {
@@ -205,7 +206,16 @@ impl MorpheusSsd {
             device_cost,
             instances: HashMap::new(),
             parse_core_busy: SimDuration::ZERO,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs a trace handle on the firmware and the underlying drive;
+    /// StorageApp phases, flash activity, and FTL events record through it
+    /// (disabled by default).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.dev.set_tracer(tracer.clone());
+        self.tracer = tracer;
     }
 
     /// The I/O queue pair the host runtime drives.
@@ -293,6 +303,13 @@ impl MorpheusSsd {
             self.dev.config().command_dispatch_instructions + app.code_bytes() as f64 * 0.25;
         let core = instance_id as usize % self.dev.cores().cores();
         let iv = self.dev.cores_mut().exec_on(core, ready, instr);
+        self.tracer.span(
+            TraceLayer::Ssd,
+            self.dev.cores().core_name(core),
+            "minit",
+            iv.start,
+            iv.end,
+        );
         self.instances.insert(
             instance_id,
             Instance {
@@ -333,6 +350,13 @@ impl MorpheusSsd {
         };
         let dispatch_instr = self.dev.config().command_dispatch_instructions;
         let dispatch = self.dev.cores_mut().exec_on(core, ready, dispatch_instr);
+        self.tracer.span(
+            TraceLayer::Ssd,
+            self.dev.cores().core_name(core),
+            "dispatch",
+            dispatch.start,
+            dispatch.end,
+        );
 
         let page_bytes = self.dev.page_bytes();
         let byte_start = slba * LBA_BYTES;
@@ -370,6 +394,14 @@ impl MorpheusSsd {
             let instr = self.device_cost.total_instructions(&work) + extra;
             let start = avail.max(inst.last_done);
             let iv = self.dev.cores_mut().exec_on(core, start, instr);
+            self.tracer.span_bytes(
+                TraceLayer::Ssd,
+                self.dev.cores().core_name(core),
+                "parse",
+                iv.start,
+                iv.end,
+                hi - lo,
+            );
             let inst = self
                 .instances
                 .get_mut(&instance_id)
@@ -420,6 +452,18 @@ impl MorpheusSsd {
         let instr = self.device_cost.total_instructions(&work) + extra;
         let start = dispatch.end.max(inst.last_done);
         let iv = self.dev.cores_mut().exec_on(core, start, instr);
+        self.tracer.span_bytes(
+            TraceLayer::Ssd,
+            self.dev.cores().core_name(core),
+            "pack",
+            iv.start,
+            iv.end,
+            data.len() as u64,
+        );
+        let inst = self
+            .instances
+            .get_mut(&instance_id)
+            .expect("existence checked above");
         inst.last_done = iv.end;
         inst.out_base_slba.get_or_insert(slba);
         let produced = inst.ctx.take_output();
@@ -509,6 +553,13 @@ impl MorpheusSsd {
             )
         };
         let iv = self.dev.cores_mut().exec_on(core, start, instr);
+        self.tracer.span(
+            TraceLayer::Ssd,
+            self.dev.cores().core_name(core),
+            "finish",
+            iv.start,
+            iv.end,
+        );
         self.parse_core_busy += iv.duration();
         let mut done = iv.end;
         let mut host_output = Vec::new();

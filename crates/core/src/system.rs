@@ -5,7 +5,7 @@ use morpheus_gpu::Gpu;
 use morpheus_host::{Cpu, FileMeta, FsError, HostDram, MemBus, OsModel, SimFs};
 use morpheus_nvme::{LBA_BYTES, MAX_IO_BLOCKS};
 use morpheus_pcie::{BarWindow, DeviceId, Fabric};
-use morpheus_simcore::{Bandwidth, Timeline};
+use morpheus_simcore::{Bandwidth, Histogram, Timeline, Tracer};
 use morpheus_ssd::{Ssd, SsdError};
 
 /// One I/O command's worth of a file: an LBA range plus how many of its
@@ -62,6 +62,8 @@ pub struct System {
     pub(crate) gpu_bar: Option<BarWindow>,
     pub(crate) next_instance: u32,
     pub(crate) next_cid: u16,
+    pub(crate) tracer: Tracer,
+    pub(crate) nvme_lat: Histogram,
 }
 
 impl System {
@@ -96,8 +98,26 @@ impl System {
             gpu_bar: None,
             next_instance: 1,
             next_cid: 0,
+            tracer: Tracer::disabled(),
+            nvme_lat: Histogram::new(),
             params,
         }
+    }
+
+    /// Installs a trace handle across every layer of the platform (host,
+    /// NVMe, FTL, flash, StorageApp firmware, PCIe). Survives
+    /// [`reset_timing`](System::reset_timing), so enable it once and every
+    /// subsequent run records. Disabled by default at zero cost.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.mssd.set_tracer(tracer.clone());
+        self.fabric.set_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
+    /// The installed trace handle (disabled unless
+    /// [`set_tracer`](System::set_tracer) was called).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Creates a file and stages its bytes on the SSD (untimed: inputs are
@@ -223,8 +243,11 @@ impl System {
         let mut fabric = Fabric::new(self.params.root_link);
         self.ssd_dev = fabric.add_device("morpheus-ssd", self.params.ssd_link);
         self.gpu_dev = fabric.add_device("gpu", self.params.gpu_link);
+        // The fabric is rebuilt from scratch: re-arm its trace handle.
+        fabric.set_tracer(self.tracer.clone());
         self.fabric = fabric;
         self.gpu_bar = None;
+        self.nvme_lat = Histogram::new();
     }
 
     /// Allocates a fresh StorageApp instance ID (for external runtimes

@@ -1,7 +1,7 @@
 //! The switch fabric: devices, BAR address map, DMA routing, traffic.
 
 use crate::LinkConfig;
-use morpheus_simcore::{SimDuration, SimTime, Timeline};
+use morpheus_simcore::{SimDuration, SimTime, Timeline, TraceLayer, Tracer};
 use std::error::Error;
 use std::fmt;
 
@@ -127,6 +127,7 @@ pub struct Fabric {
     /// Per-transfer latency (switch + completion overhead).
     hop_latency: SimDuration,
     traffic: TrafficStats,
+    tracer: Tracer,
 }
 
 impl Fabric {
@@ -141,7 +142,14 @@ impl Fabric {
             root_up: Timeline::new("root-up", 1),
             hop_latency: SimDuration::from_nanos(500),
             traffic: TrafficStats::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs a trace handle; DMA transfers record through it (disabled
+    /// by default).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Attaches a device with its own link and returns its id.
@@ -280,6 +288,17 @@ impl Fabric {
                 self.devices[d.0].tx.acquire(start_at, service);
             }
             (Target::Unmapped, _) => unreachable!("checked above"),
+        }
+
+        {
+            let slot = &self.devices[initiator.0];
+            let track = match dir {
+                DmaDir::Write => slot.tx.name(),
+                DmaDir::Read => slot.rx.name(),
+            };
+            let name = if p2p { "dma-p2p" } else { "dma-host" };
+            self.tracer
+                .span_bytes(TraceLayer::Pcie, track, name, iv.start, iv.end, bytes);
         }
 
         self.devices[initiator.0].bytes += bytes;

@@ -11,7 +11,9 @@ use std::fmt::Write as _;
 /// wide. Busy cells print `█`, half-covered cells `▒`, idle `·`.
 ///
 /// Timelines recorded with [`Timeline::with_recording`] contribute their
-/// intervals; unrecorded timelines render as an `(unrecorded)` note.
+/// intervals; zero-duration intervals still mark their cell with `▒`. A
+/// busy timeline that was never recording renders as an `(unrecorded)`
+/// note, while a recording timeline with no activity renders as `(idle)`.
 ///
 /// # Panics
 ///
@@ -47,8 +49,12 @@ pub fn render_gantt(lanes: &[(&str, &Timeline)], end: SimTime, width: usize) -> 
         width = width.saturating_sub(1)
     );
     for (name, t) in lanes {
-        if t.intervals().is_empty() && !t.busy().is_zero() {
+        if !t.is_recording() && !t.busy().is_zero() {
             let _ = writeln!(out, "{name:label_w$} (unrecorded)");
+            continue;
+        }
+        if t.is_recording() && t.intervals().is_empty() {
+            let _ = writeln!(out, "{name:label_w$} (idle)");
             continue;
         }
         for unit in 0..t.units() {
@@ -57,6 +63,12 @@ pub fn render_gantt(lanes: &[(&str, &Timeline)], end: SimTime, width: usize) -> 
             for iv in t.intervals().iter().filter(|iv| iv.unit == unit) {
                 let s = iv.start.as_nanos() as f64 / span * width as f64;
                 let e = iv.end.as_nanos() as f64 / span * width as f64;
+                if iv.start == iv.end {
+                    // A zero-duration interval still marks its cell.
+                    let c = (s.floor() as usize).min(width - 1);
+                    cover[c] = cover[c].max(0.25);
+                    continue;
+                }
                 let lo = s.floor() as usize;
                 let hi = (e.ceil() as usize).min(width);
                 for (c, slot) in cover.iter_mut().enumerate().take(hi).skip(lo) {
@@ -130,5 +142,65 @@ mod tests {
         t.acquire(SimTime::from_nanos(2), SimDuration::from_nanos(5));
         let chart = render_gantt(&[("t", &t)], SimTime::from_nanos(100), 10);
         assert!(chart.lines().nth(1).unwrap().contains('▒'), "{chart}");
+    }
+
+    #[test]
+    fn zero_duration_interval_marks_its_cell() {
+        let mut t = Timeline::new("t", 1).with_recording();
+        t.acquire(SimTime::from_nanos(55), SimDuration::ZERO);
+        let chart = render_gantt(&[("t", &t)], SimTime::from_nanos(100), 10);
+        let row = chart.lines().nth(1).unwrap();
+        assert_eq!(
+            row.trim_start_matches(|c| c != ' ').trim(),
+            "·····▒····",
+            "{chart}"
+        );
+    }
+
+    #[test]
+    fn zero_duration_at_horizon_stays_in_range() {
+        let mut t = Timeline::new("t", 1).with_recording();
+        t.acquire(SimTime::from_nanos(100), SimDuration::ZERO);
+        let chart = render_gantt(&[("t", &t)], SimTime::from_nanos(100), 10);
+        assert!(chart.lines().nth(1).unwrap().ends_with('▒'), "{chart}");
+    }
+
+    #[test]
+    fn idle_recorded_lane_distinct_from_unrecorded() {
+        let idle = Timeline::new("idle", 1).with_recording();
+        let mut unrec = Timeline::new("unrec", 1); // recording off
+        unrec.acquire(SimTime::ZERO, SimDuration::from_nanos(10));
+        let chart = render_gantt(
+            &[("idle", &idle), ("unrec", &unrec)],
+            SimTime::from_nanos(10),
+            8,
+        );
+        assert!(chart.contains("idle  (idle)"), "{chart}");
+        assert!(chart.contains("unrec (unrecorded)"), "{chart}");
+    }
+
+    #[test]
+    fn untouched_unrecorded_lane_renders_idle_row() {
+        // Never-recording, never-busy: nothing to flag, show an idle row.
+        let t = Timeline::new("t", 1);
+        let chart = render_gantt(&[("t", &t)], SimTime::from_nanos(10), 8);
+        assert!(
+            chart.lines().nth(1).unwrap().contains("········"),
+            "{chart}"
+        );
+    }
+
+    #[test]
+    fn multi_unit_rows_cover_their_own_intervals() {
+        let mut t = Timeline::new("cores", 2).with_recording();
+        t.acquire(SimTime::ZERO, SimDuration::from_nanos(10)); // unit 0
+        t.acquire(SimTime::ZERO, SimDuration::from_nanos(5)); // unit 1
+        let chart = render_gantt(&[("cores", &t)], SimTime::from_nanos(10), 10);
+        let row0 = chart.lines().nth(1).unwrap();
+        let row1 = chart.lines().nth(2).unwrap();
+        assert!(row0.starts_with("cores/0"), "{chart}");
+        assert!(row0.contains("██████████"), "{chart}");
+        assert!(row1.starts_with("cores/1"), "{chart}");
+        assert!(row1.contains("█████·····"), "{chart}");
     }
 }

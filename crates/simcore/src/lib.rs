@@ -42,11 +42,16 @@ mod pipeline;
 mod rng;
 mod time;
 mod timeline;
+mod trace;
 
 pub use energy::{EnergyReport, PowerModel, Rail, RailId};
 pub use gantt::render_gantt;
-pub use metrics::Metrics;
+pub use metrics::{Histogram, Metrics};
 pub use pipeline::{pipeline, PipelineResult, StageDemand};
 pub use rng::SplitMix64;
 pub use time::{SimDuration, SimTime};
 pub use timeline::{Bandwidth, Interval, Timeline};
+pub use trace::{
+    fmt_ns, render_trace_diff, TraceAggregate, TraceEvent, TraceEventKind, TraceLayer, TraceLog,
+    Tracer,
+};

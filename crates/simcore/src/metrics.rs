@@ -92,6 +92,147 @@ impl<'a> IntoIterator for &'a Metrics {
     }
 }
 
+/// A fixed log-2-bucket latency histogram.
+///
+/// Values land in bucket `ceil(log2(v))` (64 buckets plus one for zero), so
+/// recording is branch-light and allocation-free; percentile queries return
+/// the bucket's upper bound clamped to the observed maximum, giving at most
+/// 2× relative error — plenty for spotting distribution shifts between runs.
+///
+/// # Example
+///
+/// ```
+/// use morpheus_simcore::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in [10, 20, 30, 40, 1000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.max(), 1000);
+/// assert!(h.p50() >= 20 && h.p50() <= 64);
+/// assert_eq!(h.p99(), 1000);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// counts[0] holds zeros; counts[b] holds [2^(b-1), 2^b).
+    counts: [u64; 65],
+    count: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; 65],
+            count: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        let bucket = (64 - v.leading_zeros()) as usize;
+        self.counts[bucket] += 1;
+        self.count += 1;
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Largest recorded value (zero when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The value at quantile `q` in `[0, 1]` (bucket upper bound, clamped
+    /// to the observed maximum). Zero when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (bucket, n) in self.counts.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Bucket b holds [2^(b-1), 2^b); report its largest value.
+                let upper = if bucket >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << bucket) - 1
+                };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (see [`quantile`](Histogram::quantile) for precision).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Writes `p50/p95/p99/max/count` under `prefix` into a metric bag
+    /// (no-op when empty, so untouched histograms leave reports unchanged).
+    pub fn export(&self, prefix: &str, metrics: &mut Metrics) {
+        if self.is_empty() {
+            return;
+        }
+        metrics.set(&format!("{prefix}_p50"), self.p50() as f64);
+        metrics.set(&format!("{prefix}_p95"), self.p95() as f64);
+        metrics.set(&format!("{prefix}_p99"), self.p99() as f64);
+        metrics.set(&format!("{prefix}_max"), self.max as f64);
+        metrics.set(&format!("{prefix}_count"), self.count as f64);
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("p50", &self.p50())
+            .field("p95", &self.p95())
+            .field("p99", &self.p99())
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,5 +280,71 @@ mod tests {
         let mut m = Metrics::new();
         m.set("a", 1.0);
         assert_eq!(m.to_string(), "a: 1\n");
+    }
+
+    #[test]
+    fn histogram_empty_reads_zero() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.max(), 0);
+        let mut m = Metrics::new();
+        h.export("lat", &mut m);
+        assert!(m.is_empty(), "empty histograms export nothing");
+    }
+
+    #[test]
+    fn histogram_buckets_zero_and_powers() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.quantile(0.0), 0);
+        // Median of {0, 1, 2} lands in the bucket holding 1.
+        assert_eq!(h.p50(), 1);
+        assert_eq!(h.max(), 2);
+    }
+
+    #[test]
+    fn histogram_percentiles_bound_by_max() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(100);
+        }
+        h.record(1_000_000);
+        // p50/p95 stay in the common bucket ([64,128) → upper bound 127).
+        assert_eq!(h.p50(), 127);
+        assert_eq!(h.p95(), 127);
+        assert_eq!(h.p99(), 127);
+        assert_eq!(h.quantile(1.0), 1_000_000);
+        assert_eq!(h.max(), 1_000_000);
+    }
+
+    #[test]
+    fn histogram_merge_combines() {
+        let mut a = Histogram::new();
+        a.record(10);
+        let mut b = Histogram::new();
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 1000);
+    }
+
+    #[test]
+    fn histogram_exports_prefixed_metrics() {
+        let mut h = Histogram::new();
+        for v in [10, 20, 30] {
+            h.record(v);
+        }
+        let mut m = Metrics::new();
+        h.export("nvme_lat_ns", &mut m);
+        assert_eq!(m.get("nvme_lat_ns_count"), 3.0);
+        assert_eq!(m.get("nvme_lat_ns_max"), 30.0);
+        assert!(m.contains("nvme_lat_ns_p50"));
+        assert!(m.contains("nvme_lat_ns_p95"));
+        assert!(m.contains("nvme_lat_ns_p99"));
     }
 }

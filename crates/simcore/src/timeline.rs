@@ -139,16 +139,26 @@ impl Timeline {
         self.next_free.len()
     }
 
+    /// True if interval recording is enabled.
+    pub fn is_recording(&self) -> bool {
+        self.record
+    }
+
     /// Requests `service` time on the earliest-free unit, starting no
     /// earlier than `ready`. Zero-length requests are granted instantly at
-    /// `ready` without occupying a unit.
+    /// `ready` without occupying a unit (they count neither as busy time
+    /// nor as a grant, but are still recorded for trace dumps).
     pub fn acquire(&mut self, ready: SimTime, service: SimDuration) -> Interval {
         if service.is_zero() {
-            return Interval {
+            let iv = Interval {
                 start: ready,
                 end: ready,
                 unit: 0,
             };
+            if self.record {
+                self.intervals.push(iv);
+            }
+            return iv;
         }
         let unit = self
             .next_free
@@ -275,6 +285,22 @@ mod tests {
         assert_eq!(z.end, at(3));
         assert_eq!(t.grants(), 1);
         assert_eq!(t.busy(), ns(10));
+    }
+
+    #[test]
+    fn zero_service_is_recorded_when_recording() {
+        let mut t = Timeline::new("r", 1).with_recording();
+        assert!(t.is_recording());
+        t.acquire(at(5), SimDuration::ZERO);
+        assert_eq!(
+            t.intervals(),
+            [Interval {
+                start: at(5),
+                end: at(5),
+                unit: 0
+            }]
+        );
+        assert_eq!(t.grants(), 0, "instant grants stay free");
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::{EmbeddedCorePool, SsdConfig, SsdError};
 use morpheus_flash::{FlashArray, FlashGeometry, FlashOp, FlashOpKind, FlashTiming, PageData};
 use morpheus_ftl::{Ftl, Lpn};
 use morpheus_nvme::LBA_BYTES;
-use morpheus_simcore::{SimDuration, SimTime, Timeline};
+use morpheus_simcore::{Histogram, SimDuration, SimTime, Timeline, TraceLayer, Tracer};
 use std::borrow::Cow;
 
 /// A zero-copy view of one logical page served by the controller.
@@ -90,6 +90,8 @@ pub struct Ssd {
     channel_bus: Vec<Timeline>,
     dram_used: u64,
     stats: SsdStats,
+    tracer: Tracer,
+    read_lat: Histogram,
 }
 
 impl Ssd {
@@ -137,7 +139,21 @@ impl Ssd {
             ftl,
             dram_used: 0,
             stats: SsdStats::default(),
+            tracer: Tracer::disabled(),
+            read_lat: Histogram::new(),
         }
+    }
+
+    /// Installs a trace handle; flash channel activity and FTL map/GC
+    /// events record through it (disabled by default).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Distribution of timed flash page-read latencies (ready → buffered),
+    /// in nanoseconds, since the last [`reset_timing`](Ssd::reset_timing).
+    pub fn read_latency(&self) -> &Histogram {
+        &self.read_lat
     }
 
     /// The controller configuration.
@@ -300,10 +316,12 @@ impl Ssd {
             ));
         }
         let outcome = self.ftl.read(lpn)?;
+        self.tracer.instant(TraceLayer::Ftl, "map", "lookup", ready);
         let mut avail = ready;
         for op in &outcome.ops {
             avail = self.apply_op(op, ready);
         }
+        self.read_lat.record(avail.duration_since(ready).as_nanos());
         Ok((
             PageRead {
                 data: Some(outcome.data),
@@ -361,6 +379,16 @@ impl Ssd {
                 for op in &outcome.ops {
                     done = done.max(self.apply_op(op, t0));
                 }
+                self.tracer.instant(TraceLayer::Ftl, "map", "update", t0);
+                if outcome.gc_relocations > 0 {
+                    self.tracer.instant_bytes(
+                        TraceLayer::Ftl,
+                        "map",
+                        "gc",
+                        t0,
+                        u64::from(outcome.gc_relocations) * page_bytes,
+                    );
+                }
             }
         }
         Ok(done)
@@ -374,14 +402,52 @@ impl Ssd {
             FlashOpKind::Read => {
                 let cell = self.channel_cell[ch].acquire(ready, op.cell_time);
                 let bus = self.channel_bus[ch].acquire(cell.end, op.bus_time);
+                self.tracer.span(
+                    TraceLayer::Flash,
+                    self.channel_cell[ch].name(),
+                    "read-cell",
+                    cell.start,
+                    cell.end,
+                );
+                self.tracer.span(
+                    TraceLayer::Flash,
+                    self.channel_bus[ch].name(),
+                    "read-bus",
+                    bus.start,
+                    bus.end,
+                );
                 bus.end
             }
             FlashOpKind::Program => {
                 let bus = self.channel_bus[ch].acquire(ready, op.bus_time);
                 let cell = self.channel_cell[ch].acquire(bus.end, op.cell_time);
+                self.tracer.span(
+                    TraceLayer::Flash,
+                    self.channel_bus[ch].name(),
+                    "program-bus",
+                    bus.start,
+                    bus.end,
+                );
+                self.tracer.span(
+                    TraceLayer::Flash,
+                    self.channel_cell[ch].name(),
+                    "program-cell",
+                    cell.start,
+                    cell.end,
+                );
                 cell.end
             }
-            FlashOpKind::Erase => self.channel_cell[ch].acquire(ready, op.cell_time).end,
+            FlashOpKind::Erase => {
+                let cell = self.channel_cell[ch].acquire(ready, op.cell_time);
+                self.tracer.span(
+                    TraceLayer::Flash,
+                    self.channel_cell[ch].name(),
+                    "erase",
+                    cell.start,
+                    cell.end,
+                );
+                cell.end
+            }
         }
     }
 
@@ -432,6 +498,7 @@ impl Ssd {
             t.reset();
         }
         self.stats = SsdStats::default();
+        self.read_lat = Histogram::new();
     }
 
     fn check_range(&self, slba: u64, blocks: u64) -> Result<(), SsdError> {

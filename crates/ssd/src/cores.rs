@@ -41,6 +41,16 @@ impl EmbeddedCorePool {
         self.cores.len()
     }
 
+    /// The stable timeline name of one core (e.g. `ssd-core1`), usable as
+    /// a trace track without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn core_name(&self, core: usize) -> &str {
+        self.cores[core].name()
+    }
+
     /// The core clock in Hz.
     pub fn clock_hz(&self) -> f64 {
         self.clock_hz
