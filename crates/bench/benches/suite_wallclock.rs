@@ -20,6 +20,7 @@ fn bench_suite(c: &mut Criterion) {
             scale: 4096,
             seed: 42,
             jobs,
+            faults: None,
         };
         g.bench_function(format!("conventional_jobs_{jobs}"), |b| {
             b.iter(|| {

@@ -1,0 +1,128 @@
+//! Degradation curve: suite speedup as the injected fault rate rises.
+//!
+//! Sweeps a ladder of fault rates; at each rung every suite application
+//! runs conventionally and under Morpheus on the *same* faulty system, so
+//! the table shows how gracefully the in-storage path degrades — retried
+//! commands, ECC penalties, and the occasional host fallback — while the
+//! objects stay bit-identical. Regenerates the EXPERIMENTS.md
+//! "fault-rate degradation" table.
+//!
+//! Flags: the shared harness grammar (`--scale`, `--seed`, `--jobs`);
+//! the sweep sets the per-rung fault plans itself, so `--faults` here
+//! only overrides the *seed* ladder via its `seed=` key.
+
+use morpheus::Mode;
+use morpheus_bench::{geomean, print_table, Harness};
+use morpheus_simcore::{FaultCounters, FaultPlan};
+use morpheus_workloads::{run_benchmark, suite};
+
+/// The swept fault rates. Per rung `r`, probabilities scale as:
+/// correctable flash errors `10r`, uncorrectable `r/10`, NVMe command
+/// loss `r`, core stalls `r`, core crashes `r/20`, PCIe degradation `r`.
+const RATES: [f64; 6] = [0.0, 1e-4, 5e-4, 2e-3, 1e-2, 5e-2];
+
+fn plan_for(rate: f64, seed: u64) -> Option<FaultPlan> {
+    if rate == 0.0 {
+        return None;
+    }
+    let mut p = FaultPlan::none();
+    p.seed = seed;
+    p.flash_correctable = (10.0 * rate).min(1.0);
+    p.flash_uncorrectable = rate / 10.0;
+    p.nvme_timeout = rate;
+    p.core_stall = rate;
+    p.core_crash = rate / 20.0;
+    p.pcie_degrade = rate;
+    Some(p)
+}
+
+fn main() {
+    // Suite × rates × two modes: default to a small input scale so the
+    // whole sweep stays quick; an explicit --scale still wins because the
+    // parser applies flags left to right.
+    let mut args: Vec<String> = vec!["--scale".into(), "4096".into()];
+    args.extend(std::env::args().skip(1));
+    let h = match Harness::parse(&args, &[]) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: [--scale N] [--seed N] [--jobs N] [--faults SPEC]");
+            std::process::exit(2);
+        }
+    };
+    let fault_seed = h.faults.map(|p| p.seed).unwrap_or(1);
+    println!(
+        "Fault-rate degradation: suite deser speedup, morpheus vs baseline (scale 1/{}, fault seed {})\n",
+        h.scale, fault_seed
+    );
+    let benches = suite();
+    let mut rows = Vec::new();
+    for rate in RATES {
+        let hr = Harness {
+            faults: plan_for(rate, fault_seed),
+            ..h
+        };
+        let outcomes = hr.run_suite_parallel(&benches, |bench| {
+            let mut sys = hr.app_system(bench);
+            let conv = run_benchmark(&mut sys, bench, Mode::Conventional);
+            let morp = run_benchmark(&mut sys, bench, Mode::Morpheus);
+            match (conv, morp) {
+                (Ok(c), Ok(m)) => {
+                    assert_eq!(
+                        c.report.checksum, m.report.checksum,
+                        "{}: objects must stay bit-identical under faults",
+                        bench.name
+                    );
+                    Some((m.report.deser_speedup_over(&c.report), m.report.faults))
+                }
+                // A run may fail cleanly (reissue budget spent); it is
+                // reported, not counted into the geomean.
+                _ => None,
+            }
+        });
+        let speedups: Vec<f64> = outcomes.iter().flatten().map(|(s, _)| *s).collect();
+        let failed = outcomes.len() - speedups.len();
+        let mut agg = FaultCounters::default();
+        for (_, c) in outcomes.iter().flatten() {
+            agg.ecc_corrected += c.ecc_corrected;
+            agg.media_retries += c.media_retries;
+            agg.media_failures += c.media_failures;
+            agg.nvme_timeouts += c.nvme_timeouts;
+            agg.nvme_retries += c.nvme_retries;
+            agg.core_stalls += c.core_stalls;
+            agg.core_crashes += c.core_crashes;
+            agg.pcie_degraded += c.pcie_degraded;
+            agg.host_fallbacks += c.host_fallbacks;
+        }
+        rows.push(vec![
+            format!("{rate:.0e}"),
+            if speedups.is_empty() {
+                "-".into()
+            } else {
+                format!("{:.2}x", geomean(&speedups))
+            },
+            failed.to_string(),
+            agg.ecc_corrected.to_string(),
+            agg.nvme_retries.to_string(),
+            (agg.core_stalls + agg.core_crashes).to_string(),
+            agg.pcie_degraded.to_string(),
+            agg.host_fallbacks.to_string(),
+        ]);
+    }
+    print_table(
+        &[
+            "fault rate",
+            "deser speedup",
+            "failed",
+            "ecc",
+            "nvme-retries",
+            "core-faults",
+            "pcie-degraded",
+            "fallbacks",
+        ],
+        &rows,
+    );
+    println!();
+    println!("speedup is the geomean over suite apps that completed; objects are checked");
+    println!("bit-identical between modes at every rate (fallback keeps Morpheus correct).");
+}

@@ -12,11 +12,12 @@
 
 use morpheus::Mode;
 use morpheus_bench::Harness;
-use morpheus_simcore::{render_trace_diff, TraceLog, Tracer};
+use morpheus_simcore::{render_error_chain, render_trace_diff, TraceLog, Tracer};
 use morpheus_workloads::{run_benchmark, suite};
 
 const USAGE: &str = "usage: trace --app <name> [--mode conventional|morpheus|morpheus+p2p]
              [--trace-out <path>] [--summary-width N] [--scale N] [--seed N] [--jobs N]
+             [--faults SPEC]
        trace --diff <a.json> <b.json>";
 
 /// What one invocation was asked to do.
@@ -81,7 +82,7 @@ fn parse(args: &[String]) -> Result<Cmd, String> {
             // Harness flags: re-validated by the shared grammar below so
             // `--scale 0` fails here exactly as it does in every figure
             // binary.
-            "--scale" | "--seed" | "--jobs" => {
+            "--scale" | "--seed" | "--jobs" | "--faults" => {
                 let v = value(arg, &mut it)?;
                 harness_args.push(arg.clone());
                 harness_args.push(v.clone());
@@ -156,7 +157,15 @@ fn main() {
             }
             let mut sys = harness.app_system(bench);
             sys.set_tracer(Tracer::enabled());
-            let outcome = run_benchmark(&mut sys, bench, mode).expect("benchmark run");
+            let outcome = match run_benchmark(&mut sys, bench, mode) {
+                Ok(o) => o,
+                Err(e) => {
+                    // Injected faults can exhaust every recovery path; that
+                    // is a clean failure, reported as the full cause chain.
+                    eprintln!("error: run failed: {}", render_error_chain(&e));
+                    std::process::exit(1);
+                }
+            };
             let log = sys.tracer().take();
             println!(
                 "{app} ({mode}, scale 1/{}): {} events across layers [{}]",
@@ -169,10 +178,17 @@ fn main() {
                     .join(", ")
             );
             println!(
-                "phases: deserialization {:.6}s, total {:.6}s\n",
+                "phases: deserialization {:.6}s, total {:.6}s",
                 outcome.report.phases.deserialization_s,
                 outcome.report.phases.total_s()
             );
+            if harness.faults.is_some() {
+                println!("faults: {}", outcome.report.faults);
+                if let Some(cause) = sys.last_fallback_cause() {
+                    println!("fallback cause: {cause}");
+                }
+            }
+            println!();
             print!("{}", log.summary(summary_width));
             if let Some(path) = trace_out {
                 std::fs::write(&path, log.to_chrome_json()).unwrap_or_else(|e| {
@@ -228,6 +244,8 @@ mod tests {
             "512",
             "--seed",
             "7",
+            "--faults",
+            "seed=9,crash=1",
         ]))
         .expect("valid");
         match cmd {
@@ -242,6 +260,9 @@ mod tests {
                 assert_eq!(trace_out.as_deref(), Some("/tmp/t.json"));
                 assert_eq!(summary_width, 32);
                 assert_eq!((harness.scale, harness.seed), (512, 7));
+                let plan = harness.faults.expect("fault plan parsed");
+                assert_eq!(plan.seed, 9);
+                assert_eq!(plan.core_crash, 1.0);
             }
             other => panic!("expected run, got {other:?}"),
         }
@@ -269,6 +290,7 @@ mod tests {
             vec!["--diff", "a.json"],                           // one file
             vec!["--diff", "a.json", "b.json", "--app", "bfs"], // mixed
             vec!["--app", "bfs", "--scale", "0"],               // harness re-check
+            vec!["--app", "bfs", "--faults", "bogus"],          // bad fault spec
             vec![],                                             // no app at all
         ] {
             assert!(parse(&argv(&bad)).is_err(), "should reject {bad:?}");

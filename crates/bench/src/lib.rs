@@ -11,6 +11,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use morpheus::{Mode, RunReport, StorageKind, System, SystemParams};
+use morpheus_simcore::FaultPlan;
 use morpheus_workloads::{run_benchmark, stage_input, BenchOutcome, Benchmark};
 
 /// Command-line configuration shared by all figure binaries.
@@ -22,6 +23,9 @@ pub struct Harness {
     pub seed: u64,
     /// Worker threads for suite fan-out (`--jobs`, `MORPHEUS_JOBS`).
     pub jobs: usize,
+    /// Fault-injection plan (`--faults SPEC`), armed on every system the
+    /// harness builds. `None` leaves every run fault-free.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for Harness {
@@ -30,6 +34,7 @@ impl Default for Harness {
             scale: 256,
             seed: 42,
             jobs: default_jobs(),
+            faults: None,
         }
     }
 }
@@ -70,13 +75,16 @@ impl Harness {
             Ok(h) => h,
             Err(e) => {
                 eprintln!("error: {e}");
-                eprintln!("usage: [--scale N] [--seed N] [--jobs N]{}", {
-                    let mut s = String::new();
-                    for f in extra {
-                        s.push_str(&format!(" [{f} V]"));
+                eprintln!(
+                    "usage: [--scale N] [--seed N] [--jobs N] [--faults SPEC]{}",
+                    {
+                        let mut s = String::new();
+                        for f in extra {
+                            s.push_str(&format!(" [{f} V]"));
+                        }
+                        s
                     }
-                    s
-                });
+                );
                 std::process::exit(2);
             }
         }
@@ -118,6 +126,12 @@ impl Harness {
                     if h.jobs == 0 {
                         return Err(ArgError("--jobs must be >= 1".into()));
                     }
+                }
+                "--faults" => {
+                    let v = value_of("--faults", &mut it)?;
+                    let plan =
+                        FaultPlan::parse(v).map_err(|e| ArgError(format!("--faults: {e}")))?;
+                    h.faults = Some(plan);
                 }
                 other if extra.contains(&other) => {
                     value_of(other, &mut it)?;
@@ -169,6 +183,11 @@ impl Harness {
         }
         stage_input(&mut sys, bench, self.input_bytes(bench), self.seed)
             .expect("staging benchmark input");
+        // Arm faults only after staging: input files are always written
+        // intact, faults perturb the measured runs alone.
+        if let Some(plan) = self.faults {
+            sys.set_fault_plan(plan);
+        }
         sys
     }
 }
@@ -374,6 +393,7 @@ mod tests {
             scale: 8192,
             seed: 42,
             jobs: 1,
+            faults: None,
         };
         let benches: Vec<Benchmark> = morpheus_workloads::suite().into_iter().take(4).collect();
         let seq = h.run_suite_parallel(&benches, |b| run_mode(&h, b, Mode::Conventional));

@@ -24,7 +24,7 @@ use morpheus_gpu::KernelCost;
 use morpheus_host::CodeClass;
 use morpheus_nvme::{MorpheusCommand, NvmeCommand, StatusCode};
 use morpheus_pcie::{DmaDir, PcieError};
-use morpheus_simcore::{Metrics, SimDuration, SimTime, TraceLayer};
+use morpheus_simcore::{FaultCounters, Metrics, SimDuration, SimTime, TraceLayer};
 use morpheus_ssd::SsdError;
 use std::error::Error;
 use std::fmt;
@@ -195,21 +195,30 @@ pub enum RunError {
     NotGpuApp(String),
     /// A GPU app spec without a GPU kernel cost.
     MissingGpuKernel(String),
+    /// An injected NVMe command loss exhausted the host's reissue budget
+    /// on a path with no further fallback.
+    CommandTimeout {
+        /// Total attempts made (the original issue plus every reissue).
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for RunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RunError::UnknownFile(n) => write!(f, "input file {n:?} was never created"),
-            RunError::Parse(e) => write!(f, "input parse failure: {e}"),
-            RunError::Morpheus(e) => write!(f, "morpheus firmware error: {e}"),
-            RunError::Ssd(e) => write!(f, "drive error: {e}"),
-            RunError::Pcie(e) => write!(f, "fabric error: {e}"),
+            RunError::Parse(_) => write!(f, "input parse failure"),
+            RunError::Morpheus(_) => write!(f, "morpheus firmware error"),
+            RunError::Ssd(_) => write!(f, "drive error"),
+            RunError::Pcie(_) => write!(f, "fabric error"),
             RunError::OutOfHostMemory => write!(f, "host dram exhausted"),
             RunError::OutOfGpuMemory => write!(f, "gpu memory exhausted"),
             RunError::NotGpuApp(n) => write!(f, "p2p mode requires a gpu app, {n:?} is not"),
             RunError::MissingGpuKernel(n) => {
                 write!(f, "gpu app {n:?} has no gpu kernel cost")
+            }
+            RunError::CommandTimeout { attempts } => {
+                write!(f, "nvme command timed out after {attempts} attempts")
             }
         }
     }
@@ -264,6 +273,33 @@ struct DeserWindow {
     text_bytes: u64,
     /// Host address of the object region (0 when objects live on the GPU).
     obj_addr: u64,
+    /// True when a Morpheus-mode run degraded to host deserialization:
+    /// the objects ended up in host DRAM, so a P2P run still owes the
+    /// host-to-GPU copy.
+    fell_back: bool,
+}
+
+/// Why a Morpheus-mode attempt was abandoned.
+enum MorpheusAbort {
+    /// Unrecoverable: surface the error to the caller.
+    Fatal(RunError),
+    /// Recoverable by degrading to host-side deserialization.
+    Fallback {
+        /// Simulated time the failure was detected (fallback starts here).
+        at: SimTime,
+        /// Instance to reap (may never have been created).
+        iid: u32,
+        /// NVMe status the driver posts for the failed command.
+        status: StatusCode,
+        /// Rendered cause chain, for the report and logs.
+        cause: String,
+    },
+}
+
+impl From<RunError> for MorpheusAbort {
+    fn from(e: RunError) -> Self {
+        MorpheusAbort::Fatal(e)
+    }
 }
 
 impl System {
@@ -298,7 +334,21 @@ impl System {
             .open(&spec.input)
             .map_err(|_| RunError::UnknownFile(spec.input.clone()))?
             .clone();
-        let chunks = Self::file_chunks(&meta, self.params.conventional_chunk_bytes);
+        let (objects, window) = self.host_deser_window(spec, &meta, SimTime::ZERO)?;
+        self.finish_run(spec, Mode::Conventional, objects, window)
+    }
+
+    /// The host-side `read()`+parse loop of Fig. 1, shared by the
+    /// conventional mode and the Morpheus fallback path: deserializes the
+    /// whole file starting no earlier than `start`, allocates the object
+    /// region, and returns the objects with the window summary.
+    fn host_deser_window(
+        &mut self,
+        spec: &AppSpec,
+        meta: &morpheus_host::FileMeta,
+        start: SimTime,
+    ) -> Result<(ParsedColumns, DeserWindow), RunError> {
+        let chunks = Self::file_chunks(meta, self.params.conventional_chunk_bytes);
         let mut parser = HostParser::new(&spec.schema, spec.input_format);
         // Buffer X of Fig. 1(b): the raw-text landing buffer.
         let buf_addr = self
@@ -306,14 +356,24 @@ impl System {
             .alloc(self.params.conventional_chunk_bytes)
             .ok_or(RunError::OutOfHostMemory)?;
         let mut last_work = ParseWork::default();
-        let mut cpu_ready = SimTime::ZERO;
+        let mut cpu_ready = start;
         let mut cpu_busy = SimDuration::ZERO;
         // QD-1 blocking reads: the next command is submitted when the
         // previous one's data has landed (traced as the NVMe lifecycle).
-        let mut submit = SimTime::ZERO;
+        let mut submit = start;
         for c in &chunks {
             let cid = self.alloc_cid();
-            let (text, io_done) = self.conventional_io(c, cid, buf_addr)?;
+            // The injected-timeout floor: `start` when the command went
+            // out untouched, later when reissues pushed it back. On this
+            // path there is nothing left to fall back to, so an exhausted
+            // reissue budget is a clean run failure.
+            let floor = if matches!(self.params.storage, StorageKind::NvmeSsd) {
+                self.issue_with_timeouts(submit, start)
+                    .map_err(|(_, attempts)| RunError::CommandTimeout { attempts })?
+            } else {
+                start
+            };
+            let (text, io_done) = self.conventional_io(c, cid, buf_addr, floor)?;
             if matches!(self.params.storage, StorageKind::NvmeSsd) {
                 self.tracer.span_bytes(
                     TraceLayer::Nvme,
@@ -370,22 +430,25 @@ impl System {
             cpu_busy,
             text_bytes: meta.len,
             obj_addr,
+            fell_back: false,
         };
-        self.finish_run(spec, Mode::Conventional, objects, window)
+        Ok((objects, window))
     }
 
-    /// One conventional-path input chunk on the configured storage device.
+    /// One conventional-path input chunk on the configured storage device,
+    /// served no earlier than `ready`.
     fn conventional_io(
         &mut self,
         c: &ChunkIo,
         cid: u16,
         buf_addr: u64,
+        ready: SimTime,
     ) -> Result<(Vec<u8>, SimTime), RunError> {
         match self.params.storage {
             StorageKind::NvmeSsd => {
                 let cmd = NvmeCommand::read(cid, 1, c.slba, c.blocks, buf_addr);
                 self.mssd.protocol_round_trip(cmd, StatusCode::Success, 0);
-                let (data, t) = self.mssd.dev.read_range(c.slba, c.blocks, SimTime::ZERO)?;
+                let (data, t) = self.mssd.dev.read_range(c.slba, c.blocks, ready)?;
                 let dma =
                     self.fabric
                         .dma(self.ssd_dev, DmaDir::Write, buf_addr, c.valid_bytes, t)?;
@@ -394,7 +457,7 @@ impl System {
             }
             StorageKind::RamDrive => {
                 let data = self.mssd.dev.read_range_untimed(c.slba, c.blocks)?;
-                let mb = self.membus.transfer(SimTime::ZERO, c.valid_bytes);
+                let mb = self.membus.transfer(ready, c.valid_bytes);
                 Ok((data, mb.end))
             }
             StorageKind::Hdd => {
@@ -402,14 +465,135 @@ impl System {
                 let seek = SimDuration::from_secs_f64(self.params.hdd_seek_ms / 1e3);
                 let stream =
                     SimDuration::from_secs_f64(c.valid_bytes as f64 / (self.params.hdd_mbs * 1e6));
-                let iv = self.hdd.acquire(SimTime::ZERO, seek + stream);
+                let iv = self.hdd.acquire(ready, seek + stream);
                 let mb = self.membus.transfer(iv.start, c.valid_bytes);
                 Ok((data, iv.end.max(mb.end)))
             }
         }
     }
 
+    /// Rolls the NVMe command-loss dice for one submission at `submit`.
+    ///
+    /// Returns the device-ready floor for the command: `base` when it went
+    /// through untouched (preserving the fault-free schedule exactly), or
+    /// the final reissue time when injected losses pushed it back. A lost
+    /// command never reached the device, so reissuing it is always safe.
+    /// `Err((at, n))` means the reissue budget was spent after `n` total
+    /// attempts, with the last loss detected at `at`.
+    fn issue_with_timeouts(
+        &mut self,
+        submit: SimTime,
+        base: SimTime,
+    ) -> Result<SimTime, (SimTime, u32)> {
+        let tracer = self.tracer.clone();
+        let Some(fi) = self.faults.as_mut() else {
+            return Ok(base);
+        };
+        if fi.plan.nvme_timeout <= 0.0 {
+            return Ok(base);
+        }
+        let window = fi.plan.timeout_window();
+        let mut t = submit;
+        let mut attempt = 0u32;
+        loop {
+            if !fi.timeout.roll() {
+                return Ok(if attempt == 0 { base } else { t.max(base) });
+            }
+            fi.counters.nvme_timeouts += 1;
+            let detect = t + window;
+            tracer.instant(TraceLayer::Nvme, NVME_TRACK, "nvme-timeout", detect);
+            if attempt >= fi.plan.nvme_max_retries {
+                return Err((detect, attempt + 1));
+            }
+            fi.counters.nvme_retries += 1;
+            t = detect + fi.plan.backoff(attempt);
+            attempt += 1;
+        }
+    }
+
+    /// Rolls the embedded-core stall dice for a Morpheus command about to
+    /// dispatch at `ready`; a hit delays it by the plan's stall duration.
+    fn inject_core_stall(&mut self, ready: SimTime) -> SimTime {
+        let tracer = self.tracer.clone();
+        let Some(fi) = self.faults.as_mut() else {
+            return ready;
+        };
+        if fi.plan.core_stall <= 0.0 || !fi.stall.roll() {
+            return ready;
+        }
+        fi.counters.core_stalls += 1;
+        tracer.instant(TraceLayer::Ssd, "faults", "core-stall", ready);
+        ready + fi.plan.stall_duration()
+    }
+
+    /// Rolls the embedded-core crash dice for a Morpheus command at `at`;
+    /// `Some(at)` means the core crashed and the instance is lost.
+    fn inject_core_crash(&mut self, at: SimTime) -> Option<SimTime> {
+        let tracer = self.tracer.clone();
+        let fi = self.faults.as_mut()?;
+        if fi.plan.core_crash <= 0.0 || !fi.crash.roll() {
+            return None;
+        }
+        fi.counters.core_crashes += 1;
+        tracer.instant(TraceLayer::Ssd, "faults", "core-crash", at);
+        Some(at)
+    }
+
     fn run_morpheus(&mut self, spec: &AppSpec, p2p: bool) -> Result<RunOutcome, RunError> {
+        match self.try_morpheus(spec, p2p) {
+            Ok(out) => Ok(out),
+            Err(MorpheusAbort::Fatal(e)) => Err(e),
+            Err(MorpheusAbort::Fallback {
+                at,
+                iid,
+                status,
+                cause,
+            }) => self.morpheus_fallback(spec, p2p, at, iid, status, cause),
+        }
+    }
+
+    /// Graceful degradation: reap the failed Morpheus command with its
+    /// error status, tear the instance down, and rerun deserialization on
+    /// the host starting at the failure time. The run still produces
+    /// bit-identical objects — just later, and visibly so in the report's
+    /// fault counters and the trace.
+    fn morpheus_fallback(
+        &mut self,
+        spec: &AppSpec,
+        p2p: bool,
+        at: SimTime,
+        iid: u32,
+        status: StatusCode,
+        cause: String,
+    ) -> Result<RunOutcome, RunError> {
+        self.mssd.abort_instance(iid);
+        // The driver's abort path reaps the instance's stream with a
+        // synthetic completion carrying the failure status.
+        let cid = self.alloc_cid();
+        let wire = MorpheusCommand::Deinit { instance_id: iid }.into_command(cid, 1);
+        self.mssd.protocol_round_trip(wire, status, 0);
+        self.tracer
+            .instant(TraceLayer::Host, OS_TRACK, "host-fallback", at);
+        if let Some(fi) = self.faults.as_mut() {
+            fi.counters.host_fallbacks += 1;
+            fi.fallback_cause = Some(cause);
+        }
+        let meta = self
+            .fs
+            .open(&spec.input)
+            .map_err(|_| RunError::UnknownFile(spec.input.clone()))?
+            .clone();
+        let (objects, mut window) = self.host_deser_window(spec, &meta, at)?;
+        window.fell_back = true;
+        let mode = if p2p {
+            Mode::MorpheusP2P
+        } else {
+            Mode::Morpheus
+        };
+        self.finish_run(spec, mode, objects, window)
+    }
+
+    fn try_morpheus(&mut self, spec: &AppSpec, p2p: bool) -> Result<RunOutcome, MorpheusAbort> {
         // The runtime resolves the file into a stream (ms_stream_create):
         // permission checks and LBA layout stay on the host, §V-A2.
         let stream = crate::ms_stream_create(&self.fs, &spec.input, self.params.mread_chunk_bytes)
@@ -443,8 +627,30 @@ impl System {
             arg: meta.len as u32,
         }
         .into_command(cid, 1);
+        // Injected faults: the MINIT may be lost on the wire, or find its
+        // embedded core stalled or crashed before the firmware runs it.
+        let issue =
+            self.issue_with_timeouts(init_iv.end, init_iv.end)
+                .map_err(|(at, attempts)| MorpheusAbort::Fallback {
+                    at,
+                    iid,
+                    status: StatusCode::CommandTimeout,
+                    cause: format!("MINIT lost {attempts} times; reissue budget spent"),
+                })?;
+        let issue = self.inject_core_stall(issue);
+        if let Some(at) = self.inject_core_crash(issue) {
+            return Err(MorpheusAbort::Fallback {
+                at,
+                iid,
+                status: StatusCode::CoreFault,
+                cause: "embedded core crashed during MINIT".into(),
+            });
+        }
         self.mssd.protocol_round_trip(wire, StatusCode::Success, 0);
-        let ready = self.mssd.minit(iid, app, init_iv.end)?;
+        let ready = self
+            .mssd
+            .minit(iid, app, issue)
+            .map_err(|e| MorpheusAbort::Fatal(e.into()))?;
         self.tracer.span(
             TraceLayer::Host,
             self.cpu_cores.name(),
@@ -459,9 +665,35 @@ impl System {
         let mut obj_bin: Vec<u8> = Vec::new();
         let mut last_end = ready;
         for c in &chunks {
-            let out = self
-                .mssd
-                .mread(iid, c.slba, c.blocks, c.valid_bytes, ready)?;
+            let issue = self
+                .issue_with_timeouts(ready, ready)
+                .map_err(|(at, attempts)| MorpheusAbort::Fallback {
+                    at,
+                    iid,
+                    status: StatusCode::CommandTimeout,
+                    cause: format!("MREAD lost {attempts} times; reissue budget spent"),
+                })?;
+            let issue = self.inject_core_stall(issue);
+            if let Some(at) = self.inject_core_crash(issue) {
+                return Err(MorpheusAbort::Fallback {
+                    at,
+                    iid,
+                    status: StatusCode::CoreFault,
+                    cause: "embedded core crashed during MREAD".into(),
+                });
+            }
+            let out = match self.mssd.mread(iid, c.slba, c.blocks, c.valid_bytes, issue) {
+                Ok(o) => o,
+                Err(e) if e.status() == StatusCode::MediaUncorrectable => {
+                    return Err(MorpheusAbort::Fallback {
+                        at: issue,
+                        iid,
+                        status: StatusCode::MediaUncorrectable,
+                        cause: morpheus_simcore::render_error_chain(&e),
+                    });
+                }
+                Err(e) => return Err(MorpheusAbort::Fatal(e.into())),
+            };
             // MREADs are all queued once the instance is up (async queue
             // depth): the command's lifecycle runs submit → staging done.
             self.tracer.span_bytes(
@@ -487,7 +719,35 @@ impl System {
         // MDEINIT: collect the final output and the return value.
         let cid = self.alloc_cid();
         let wire = MorpheusCommand::Deinit { instance_id: iid }.into_command(cid, 1);
-        let dein = self.mssd.mdeinit(iid, last_end)?;
+        let issue = self
+            .issue_with_timeouts(last_end, last_end)
+            .map_err(|(at, attempts)| MorpheusAbort::Fallback {
+                at,
+                iid,
+                status: StatusCode::CommandTimeout,
+                cause: format!("MDEINIT lost {attempts} times; reissue budget spent"),
+            })?;
+        let issue = self.inject_core_stall(issue);
+        if let Some(at) = self.inject_core_crash(issue) {
+            return Err(MorpheusAbort::Fallback {
+                at,
+                iid,
+                status: StatusCode::CoreFault,
+                cause: "embedded core crashed during MDEINIT".into(),
+            });
+        }
+        let dein = match self.mssd.mdeinit(iid, issue) {
+            Ok(d) => d,
+            Err(e) if e.status() == StatusCode::MediaUncorrectable => {
+                return Err(MorpheusAbort::Fallback {
+                    at: issue,
+                    iid,
+                    status: StatusCode::MediaUncorrectable,
+                    cause: morpheus_simcore::render_error_chain(&e),
+                });
+            }
+            Err(e) => return Err(MorpheusAbort::Fatal(e.into())),
+        };
         self.tracer
             .span(TraceLayer::Nvme, NVME_TRACK, "MDEINIT", last_end, dein.done);
         let (retval, tail, dein_done) = (dein.retval, dein.host_output, dein.done);
@@ -512,20 +772,22 @@ impl System {
         };
         obj_bin.extend_from_slice(&tail);
 
-        let objects = ParsedColumns::decode(spec.schema.clone(), &obj_bin)?;
+        let objects = ParsedColumns::decode(spec.schema.clone(), &obj_bin)
+            .map_err(|e| MorpheusAbort::Fatal(e.into()))?;
         debug_assert_eq!(retval as u64 as i64 as i32, objects.records as i32);
         let window = DeserWindow {
             end: deinit_wakeup,
             cpu_busy,
             text_bytes: meta.len,
             obj_addr: 0x2000,
+            fell_back: false,
         };
         let mode = if p2p {
             Mode::MorpheusP2P
         } else {
             Mode::Morpheus
         };
-        self.finish_run(spec, mode, objects, window)
+        Ok(self.finish_run(spec, mode, objects, window)?)
     }
 
     /// DMAs one MREAD's output to its destination (host DRAM or the GPU
@@ -642,7 +904,7 @@ impl System {
             }
             ParallelModel::GpuCuda => {
                 let gk = spec.gpu_kernel.expect("checked in run()");
-                let copy_end = if mode == Mode::MorpheusP2P {
+                let copy_end = if mode == Mode::MorpheusP2P && !window.fell_back {
                     other_iv.end
                 } else {
                     // Pageable cudaMemcpy H2D: the driver first stages the
@@ -749,9 +1011,30 @@ impl System {
             deser_energy_j: deser_energy,
             total_energy_j: total_energy,
             host_dram_peak: self.dram.high_watermark(),
+            faults: self.collect_fault_counters(),
             metrics,
         };
         Ok(RunOutcome { report, objects })
+    }
+
+    /// Fold media/link statistics into the injector's counters and return a
+    /// snapshot for the report. All-zero when no fault plan is armed.
+    fn collect_fault_counters(&mut self) -> FaultCounters {
+        let corrected = self.mssd.dev.ftl().flash().stats().corrected_reads;
+        let uncorrectable = self.mssd.dev.ftl().flash().stats().uncorrectable_reads;
+        let retries = self.mssd.dev.ftl().stats().read_retries;
+        let degraded = self.fabric.traffic().degraded_dmas;
+        match self.faults.as_mut() {
+            Some(fi) => {
+                fi.counters.ecc_corrected = corrected - fi.corrected_snap;
+                fi.counters.media_retries = retries - fi.retries_snap;
+                fi.counters.media_failures = (uncorrectable - fi.uncorrectable_snap)
+                    .saturating_sub(fi.counters.media_retries);
+                fi.counters.pcie_degraded = degraded;
+                fi.counters
+            }
+            None => FaultCounters::default(),
+        }
     }
 }
 

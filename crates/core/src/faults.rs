@@ -1,0 +1,54 @@
+//! Host-side fault-injection state: the armed dice and per-run counters.
+//!
+//! [`System::reset_timing`](crate::System::reset_timing) rebuilds this from
+//! the installed [`FaultPlan`] at the start of every run, so each run draws
+//! identical fault streams and the counters always describe exactly one run.
+
+use morpheus_simcore::{FaultCounters, FaultDice, FaultPlan};
+
+/// The armed fault plane for one run.
+#[derive(Debug)]
+pub(crate) struct FaultInjector {
+    /// The plan every stream was derived from.
+    pub plan: FaultPlan,
+    /// NVMe command-loss dice (site `nvme-timeout`).
+    pub timeout: FaultDice,
+    /// Embedded-core stall dice (site `core-stall`).
+    pub stall: FaultDice,
+    /// Embedded-core crash dice (site `core-crash`).
+    pub crash: FaultDice,
+    /// What fired and what recovery absorbed, so far this run.
+    pub counters: FaultCounters,
+    /// Rendered cause chain of the last host fallback, if one happened.
+    pub fallback_cause: Option<String>,
+    /// Flash `corrected_reads` at run start (media counters survive
+    /// `reset_timing`, so per-run numbers are diffs against these).
+    pub corrected_snap: u64,
+    /// Flash `uncorrectable_reads` at run start.
+    pub uncorrectable_snap: u64,
+    /// FTL `read_retries` at run start.
+    pub retries_snap: u64,
+}
+
+impl FaultInjector {
+    /// Arms every host-side dice from the plan and snapshots the media
+    /// counters the run will diff against.
+    pub fn new(
+        plan: FaultPlan,
+        corrected_snap: u64,
+        uncorrectable_snap: u64,
+        retries_snap: u64,
+    ) -> Self {
+        FaultInjector {
+            timeout: plan.dice("nvme-timeout", plan.nvme_timeout),
+            stall: plan.dice("core-stall", plan.core_stall),
+            crash: plan.dice("core-crash", plan.core_crash),
+            plan,
+            counters: FaultCounters::default(),
+            fallback_cause: None,
+            corrected_snap,
+            uncorrectable_snap,
+            retries_snap,
+        }
+    }
+}

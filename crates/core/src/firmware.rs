@@ -47,7 +47,23 @@ impl MorpheusError {
             MorpheusError::CodeTooLarge { .. } => StatusCode::CodeTooLarge,
             MorpheusError::App(AppError::SramOverflow { .. }) => StatusCode::SramOverflow,
             MorpheusError::App(_) => StatusCode::AppFault,
-            MorpheusError::Ssd(_) => StatusCode::InternalError,
+            MorpheusError::Ssd(e) => {
+                // Walk the source chain: an exhausted-retry media failure
+                // posts the NVMe unrecovered-read-error status (the host
+                // falls back rather than reissuing); anything else in the
+                // drive is an internal error.
+                let mut cause: Option<&(dyn Error + 'static)> = Some(e);
+                while let Some(c) = cause {
+                    if matches!(
+                        c.downcast_ref::<morpheus_ftl::FtlError>(),
+                        Some(morpheus_ftl::FtlError::MediaFailure(..))
+                    ) {
+                        return StatusCode::MediaUncorrectable;
+                    }
+                    cause = c.source();
+                }
+                StatusCode::InternalError
+            }
         }
     }
 }
@@ -60,8 +76,8 @@ impl fmt::Display for MorpheusError {
             MorpheusError::CodeTooLarge { code_bytes, isram } => {
                 write!(f, "code of {code_bytes} bytes exceeds {isram}-byte i-sram")
             }
-            MorpheusError::App(e) => write!(f, "storageapp fault: {e}"),
-            MorpheusError::Ssd(e) => write!(f, "drive error: {e}"),
+            MorpheusError::App(_) => write!(f, "storageapp fault"),
+            MorpheusError::Ssd(_) => write!(f, "drive request failed"),
         }
     }
 }
@@ -269,6 +285,16 @@ impl MorpheusSsd {
     pub fn reset_timing(&mut self) {
         self.dev.reset_timing();
         self.parse_core_busy = SimDuration::ZERO;
+    }
+
+    /// Tears an instance down without running its `on_finish` — the crash
+    /// and host-fallback path. Frees the instance's controller-DRAM
+    /// reservation and drops any buffered output. Unknown instances are
+    /// ignored (the fault may have hit before MINIT completed).
+    pub fn abort_instance(&mut self, instance_id: u32) {
+        if let Some(inst) = self.instances.remove(&instance_id) {
+            self.dev.free_dram(inst.dram_reserved);
+        }
     }
 
     /// MINIT: installs a StorageApp and creates an instance.

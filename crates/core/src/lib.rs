@@ -46,6 +46,7 @@
 mod apps;
 mod concurrent;
 mod exec;
+mod faults;
 mod firmware;
 mod params;
 mod report;

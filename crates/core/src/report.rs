@@ -1,7 +1,7 @@
 //! Run reports: the measurements every figure of the paper is built from.
 
 use crate::StorageKind;
-use morpheus_simcore::Metrics;
+use morpheus_simcore::{FaultCounters, Metrics};
 use std::fmt;
 
 /// Execution mode of a run.
@@ -102,6 +102,10 @@ pub struct RunReport {
     pub total_energy_j: f64,
     /// Peak host DRAM allocated, bytes.
     pub host_dram_peak: u64,
+    /// Injected faults and the recovery they triggered (all zero unless a
+    /// fault plan was installed with
+    /// [`System::set_fault_plan`](crate::System::set_fault_plan)).
+    pub faults: FaultCounters,
     /// Extra measurements (ad hoc, sorted).
     pub metrics: Metrics,
 }

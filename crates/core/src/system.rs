@@ -1,11 +1,13 @@
 //! Full-system composition (Fig. 5): host, Morpheus-SSD, GPU, PCIe fabric.
 
+use crate::faults::FaultInjector;
 use crate::{MorpheusSsd, SystemParams};
+use morpheus_flash::EccModel;
 use morpheus_gpu::Gpu;
 use morpheus_host::{Cpu, FileMeta, FsError, HostDram, MemBus, OsModel, SimFs};
 use morpheus_nvme::{LBA_BYTES, MAX_IO_BLOCKS};
 use morpheus_pcie::{BarWindow, DeviceId, Fabric};
-use morpheus_simcore::{Bandwidth, Histogram, Timeline, Tracer};
+use morpheus_simcore::{Bandwidth, FaultCounters, FaultPlan, Histogram, Timeline, Tracer};
 use morpheus_ssd::{Ssd, SsdError};
 
 /// One I/O command's worth of a file: an LBA range plus how many of its
@@ -64,6 +66,14 @@ pub struct System {
     pub(crate) next_cid: u16,
     pub(crate) tracer: Tracer,
     pub(crate) nvme_lat: Histogram,
+    /// The installed fault plan (inactive by default).
+    pub(crate) fault_plan: FaultPlan,
+    /// Armed fault streams + per-run counters; `None` when the plan is
+    /// inactive, so the fault-free path costs one branch per site.
+    pub(crate) faults: Option<FaultInjector>,
+    /// True while the flash error model is overridden by the fault plan
+    /// (so clearing the plan restores the configured model).
+    media_overridden: bool,
 }
 
 impl System {
@@ -100,6 +110,9 @@ impl System {
             next_cid: 0,
             tracer: Tracer::disabled(),
             nvme_lat: Histogram::new(),
+            fault_plan: FaultPlan::none(),
+            faults: None,
+            media_overridden: false,
             params,
         }
     }
@@ -118,6 +131,34 @@ impl System {
     /// [`set_tracer`](System::set_tracer) was called).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// Installs a fault-injection plan (clear it with an inactive plan,
+    /// e.g. [`FaultPlan::none`]). Takes effect at the next run:
+    /// [`System::run`](crate::System::run) re-arms every fault stream from
+    /// the plan's seed in [`reset_timing`](System::reset_timing), so
+    /// repeated runs see identical fault schedules.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = plan;
+    }
+
+    /// The installed fault plan (inactive by default).
+    pub fn fault_plan(&self) -> FaultPlan {
+        self.fault_plan
+    }
+
+    /// Fault/recovery counters of the current (or last finished) run. All
+    /// zero when no plan is installed.
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.faults.as_ref().map(|f| f.counters).unwrap_or_default()
+    }
+
+    /// The rendered cause chain of the last host fallback this run, if a
+    /// Morpheus-mode run degraded to host-side deserialization.
+    pub fn last_fallback_cause(&self) -> Option<&str> {
+        self.faults
+            .as_ref()
+            .and_then(|f| f.fallback_cause.as_deref())
     }
 
     /// Creates a file and stages its bytes on the SSD (untimed: inputs are
@@ -248,6 +289,50 @@ impl System {
         self.fabric = fabric;
         self.gpu_bar = None;
         self.nvme_lat = Histogram::new();
+        self.arm_faults();
+    }
+
+    /// Re-arms the fault plane for the run about to start: every dice is
+    /// rebuilt from the plan's seed (identical streams every run), the
+    /// flash error model is re-seeded, the fabric's link dice installed,
+    /// and media counters snapshotted so the run's numbers are diffs.
+    fn arm_faults(&mut self) {
+        if !self.fault_plan.is_active() {
+            if self.media_overridden {
+                self.mssd
+                    .dev
+                    .set_error_model(self.params.flash_ecc, self.params.flash_seed);
+                self.media_overridden = false;
+            }
+            self.faults = None;
+            return;
+        }
+        let plan = self.fault_plan;
+        if plan.flash_correctable > 0.0 || plan.flash_uncorrectable > 0.0 || self.media_overridden {
+            let ecc = EccModel {
+                correctable_prob: plan.flash_correctable,
+                correction_retries: plan.flash_correction_retries,
+                uncorrectable_prob: plan.flash_uncorrectable,
+                wear_limit: self.params.flash_ecc.wear_limit,
+            };
+            let mut stream = plan.stream("flash");
+            self.mssd.dev.set_error_model(ecc, stream.next_u64());
+            self.media_overridden = true;
+        }
+        if plan.pcie_degrade > 0.0 {
+            self.fabric.set_link_faults(
+                plan.dice("pcie-link", plan.pcie_degrade),
+                plan.pcie_degrade_factor,
+            );
+        }
+        let flash = self.mssd.dev.ftl().flash().stats();
+        let ftl = self.mssd.dev.ftl().stats();
+        self.faults = Some(FaultInjector::new(
+            plan,
+            flash.corrected_reads,
+            flash.uncorrectable_reads,
+            ftl.read_retries,
+        ));
     }
 
     /// Allocates a fresh StorageApp instance ID (for external runtimes

@@ -131,6 +131,15 @@ impl FlashArray {
         self.stats
     }
 
+    /// Replaces the bit-error model and re-seeds its PRNG stream, leaving
+    /// stored data, wear, and counters untouched. The fault plane re-arms
+    /// this at the start of every run so each run over the same array sees
+    /// an identical fault stream.
+    pub fn set_error_model(&mut self, ecc: EccModel, seed: u64) {
+        self.ecc = ecc;
+        self.rng = SplitMix64::new(seed);
+    }
+
     /// State of a page.
     ///
     /// # Panics

@@ -29,11 +29,15 @@ impl fmt::Display for FtlError {
                 write!(f, "logical page {} beyond exported capacity", l.0)
             }
             FtlError::Unmapped(l) => write!(f, "logical page {} is unmapped", l.0),
-            FtlError::MediaFailure(l, e) => {
-                write!(f, "media failure reading logical page {}: {e}", l.0)
+            FtlError::MediaFailure(l, _) => {
+                write!(
+                    f,
+                    "media failure reading logical page {} after retries",
+                    l.0
+                )
             }
             FtlError::NoFreeBlocks => write!(f, "no free blocks available"),
-            FtlError::Flash(e) => write!(f, "flash error: {e}"),
+            FtlError::Flash(_) => write!(f, "flash operation rejected"),
         }
     }
 }
@@ -69,6 +73,15 @@ mod tests {
         ] {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn display_does_not_embed_source() {
+        // The cause is reported via `source()`, not duplicated in Display,
+        // so chain renderers print each cause exactly once.
+        let e = FtlError::MediaFailure(Lpn(3), FlashError::Uncorrectable(Ppa(4)));
+        let root = Error::source(&e).unwrap().to_string();
+        assert!(!e.to_string().contains(&root));
     }
 
     #[test]

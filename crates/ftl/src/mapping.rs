@@ -134,6 +134,14 @@ impl Ftl {
         &self.flash
     }
 
+    /// Replaces the flash bit-error model and re-seeds its PRNG stream
+    /// (see [`FlashArray::set_error_model`]). The fault plane re-arms this
+    /// at the start of every run so repeated runs over the same array see
+    /// identical fault streams.
+    pub fn set_error_model(&mut self, ecc: morpheus_flash::EccModel, seed: u64) {
+        self.flash.set_error_model(ecc, seed);
+    }
+
     /// Current physical location of a logical page, if mapped.
     pub fn translate(&self, lpn: Lpn) -> Option<Ppa> {
         *self.map.get(lpn.0 as usize)?

@@ -38,7 +38,7 @@
 //! });
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod admin;
 mod command;

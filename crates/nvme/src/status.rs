@@ -17,7 +17,12 @@ pub enum StatusCode {
     InvalidField = 0x02,
     /// LBA beyond the namespace capacity.
     LbaOutOfRange = 0x80,
-    /// Device-internal error (e.g. uncorrectable media error).
+    /// A read failed even after ECC correction and the drive's retry
+    /// budget (NVMe's "unrecovered read error" media status). The host
+    /// treats this as recoverable by falling back to another data path,
+    /// not by reissuing the same command.
+    MediaUncorrectable = 0x81,
+    /// Device-internal error not attributable to the medium.
     InternalError = 0x06,
     /// Morpheus: command referenced an instance ID with no live instance.
     NoSuchInstance = 0xC0,
@@ -29,6 +34,15 @@ pub enum StatusCode {
     InstanceBusy = 0xC3,
     /// Morpheus: the StorageApp itself failed (parse error, bad input).
     AppFault = 0xC4,
+    /// Morpheus: the host declared the command lost and reaped it with a
+    /// synthetic timeout completion (posted by the driver's abort path,
+    /// not the device). Reissue with backoff, or fall back when the retry
+    /// budget is spent.
+    CommandTimeout = 0xC5,
+    /// Morpheus: the embedded core running the instance crashed; the
+    /// instance is gone and its stream must restart elsewhere (the host
+    /// falls back to host-side deserialization).
+    CoreFault = 0xC6,
 }
 
 impl StatusCode {
@@ -44,12 +58,15 @@ impl StatusCode {
             0x01 => StatusCode::InvalidOpcode,
             0x02 => StatusCode::InvalidField,
             0x80 => StatusCode::LbaOutOfRange,
+            0x81 => StatusCode::MediaUncorrectable,
             0x06 => StatusCode::InternalError,
             0xC0 => StatusCode::NoSuchInstance,
             0xC1 => StatusCode::CodeTooLarge,
             0xC2 => StatusCode::SramOverflow,
             0xC3 => StatusCode::InstanceBusy,
             0xC4 => StatusCode::AppFault,
+            0xC5 => StatusCode::CommandTimeout,
+            0xC6 => StatusCode::CoreFault,
             _ => return None,
         })
     }
@@ -62,12 +79,15 @@ impl fmt::Display for StatusCode {
             StatusCode::InvalidOpcode => "invalid opcode",
             StatusCode::InvalidField => "invalid field",
             StatusCode::LbaOutOfRange => "lba out of range",
+            StatusCode::MediaUncorrectable => "uncorrectable media error",
             StatusCode::InternalError => "internal device error",
             StatusCode::NoSuchInstance => "no such storageapp instance",
             StatusCode::CodeTooLarge => "storageapp code exceeds i-sram",
             StatusCode::SramOverflow => "storageapp working set exceeds d-sram",
             StatusCode::InstanceBusy => "instance id already in use",
             StatusCode::AppFault => "storageapp fault",
+            StatusCode::CommandTimeout => "command timed out",
+            StatusCode::CoreFault => "embedded core fault",
         };
         f.write_str(s)
     }
@@ -84,12 +104,15 @@ mod tests {
             StatusCode::InvalidOpcode,
             StatusCode::InvalidField,
             StatusCode::LbaOutOfRange,
+            StatusCode::MediaUncorrectable,
             StatusCode::InternalError,
             StatusCode::NoSuchInstance,
             StatusCode::CodeTooLarge,
             StatusCode::SramOverflow,
             StatusCode::InstanceBusy,
             StatusCode::AppFault,
+            StatusCode::CommandTimeout,
+            StatusCode::CoreFault,
         ] {
             assert_eq!(StatusCode::from_u16(c as u16), Some(c));
             assert!(!c.to_string().is_empty());

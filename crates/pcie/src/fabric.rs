@@ -1,7 +1,7 @@
 //! The switch fabric: devices, BAR address map, DMA routing, traffic.
 
 use crate::LinkConfig;
-use morpheus_simcore::{SimDuration, SimTime, Timeline, TraceLayer, Tracer};
+use morpheus_simcore::{FaultDice, SimDuration, SimTime, Timeline, TraceLayer, Tracer};
 use std::error::Error;
 use std::fmt;
 
@@ -73,6 +73,16 @@ pub struct TrafficStats {
     pub p2p_bytes: u64,
     /// Total bytes DMAed through the switch.
     pub total_bytes: u64,
+    /// DMAs that ran over a fault-injected degraded link.
+    pub degraded_dmas: u64,
+}
+
+/// Injected link-quality faults: each DMA rolls the dice; a hit stretches
+/// its service time by `factor` (replay/retrain overhead on a flaky link).
+#[derive(Debug)]
+struct LinkFaults {
+    dice: FaultDice,
+    factor: f64,
 }
 
 /// Errors from the fabric.
@@ -128,6 +138,7 @@ pub struct Fabric {
     hop_latency: SimDuration,
     traffic: TrafficStats,
     tracer: Tracer,
+    link_faults: Option<LinkFaults>,
 }
 
 impl Fabric {
@@ -143,7 +154,15 @@ impl Fabric {
             hop_latency: SimDuration::from_nanos(500),
             traffic: TrafficStats::default(),
             tracer: Tracer::disabled(),
+            link_faults: None,
         }
+    }
+
+    /// Arms link-degradation fault injection: every subsequent DMA rolls
+    /// `dice`, and a hit multiplies that transfer's service time by
+    /// `factor` (link-level replay/retrain overhead). Disabled by default.
+    pub fn set_link_faults(&mut self, dice: FaultDice, factor: f64) {
+        self.link_faults = Some(LinkFaults { dice, factor });
     }
 
     /// Installs a trace handle; DMA transfers record through it (disabled
@@ -252,7 +271,15 @@ impl Fabric {
         } else {
             peer_bw
         };
-        let service = pace.duration_for(bytes);
+        let mut service = pace.duration_for(bytes);
+        let mut degraded = false;
+        if let Some(lf) = &mut self.link_faults {
+            if lf.dice.roll() {
+                let stretched = (service.as_nanos() as f64 * lf.factor).round() as u64;
+                service = SimDuration::from_nanos(stretched);
+                degraded = true;
+            }
+        }
 
         // Cut-through: both links occupied over the same window, which
         // begins when both are free.
@@ -299,6 +326,14 @@ impl Fabric {
             let name = if p2p { "dma-p2p" } else { "dma-host" };
             self.tracer
                 .span_bytes(TraceLayer::Pcie, track, name, iv.start, iv.end, bytes);
+            if degraded {
+                self.tracer
+                    .instant(TraceLayer::Pcie, track, "link-degraded", iv.start);
+            }
+        }
+
+        if degraded {
+            self.traffic.degraded_dmas += 1;
         }
 
         self.devices[initiator.0].bytes += bytes;
@@ -469,6 +504,24 @@ mod tests {
         let out = f.dma(ssd, DmaDir::Write, 0, 0, SimTime::ZERO).unwrap();
         assert_eq!(out.start, out.end);
         assert_eq!(f.traffic().total_bytes, 0);
+    }
+
+    #[test]
+    fn degraded_link_stretches_service() {
+        let (mut f, ssd, _) = fabric();
+        f.set_hop_latency(SimDuration::ZERO);
+        let clean = f
+            .dma(ssd, DmaDir::Write, 0, 1 << 20, SimTime::ZERO)
+            .unwrap();
+        let base = clean.end.duration_since(clean.start);
+        let dice = morpheus_simcore::FaultPlan::none().dice("pcie-link", 1.0);
+        f.set_link_faults(dice, 4.0);
+        let slow = f.dma(ssd, DmaDir::Write, 0, 1 << 20, clean.end).unwrap();
+        assert_eq!(
+            slow.end.duration_since(slow.start).as_nanos(),
+            base.as_nanos() * 4
+        );
+        assert_eq!(f.traffic().degraded_dmas, 1);
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //! * [`Metrics`] — a small ordered metric bag used by reports.
 //! * [`SplitMix64`] — a tiny deterministic PRNG so lower-level crates do not
 //!   need the `rand` dependency.
+//! * [`FaultPlan`] / [`FaultDice`] / [`FaultCounters`] — the seeded,
+//!   deterministic fault-injection plane (see `docs/FAULT_MODEL.md`).
 //!
 //! Everything here is deterministic: the same inputs produce the same
 //! timings, which the integration suite relies on.
@@ -33,9 +35,10 @@
 //! assert_eq!(b.start, a.end); // FIFO queueing
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod energy;
+mod faults;
 mod gantt;
 mod metrics;
 mod pipeline;
@@ -45,6 +48,7 @@ mod timeline;
 mod trace;
 
 pub use energy::{EnergyReport, PowerModel, Rail, RailId};
+pub use faults::{render_error_chain, FaultCounters, FaultDice, FaultPlan};
 pub use gantt::render_gantt;
 pub use metrics::{Histogram, Metrics};
 pub use pipeline::{pipeline, PipelineResult, StageDemand};

@@ -166,6 +166,14 @@ impl Ssd {
         &self.ftl
     }
 
+    /// Replaces the flash bit-error model and re-seeds its PRNG stream
+    /// (see [`FlashArray::set_error_model`]). Stored data and counters are
+    /// untouched; the fault plane re-arms this at the start of every run so
+    /// repeated runs see identical media-fault streams.
+    pub fn set_error_model(&mut self, ecc: morpheus_flash::EccModel, seed: u64) {
+        self.ftl.set_error_model(ecc, seed);
+    }
+
     /// The embedded core pool.
     pub fn cores(&self) -> &EmbeddedCorePool {
         &self.cores
@@ -315,8 +323,26 @@ impl Ssd {
                 ready,
             ));
         }
-        let outcome = self.ftl.read(lpn)?;
+        let corrected_before = self.ftl.flash().stats().corrected_reads;
+        let outcome = match self.ftl.read(lpn) {
+            Ok(o) => o,
+            Err(e) => {
+                // Retry budget exhausted: the page is lost to the host. The
+                // instant marks where recovery (host fallback) begins.
+                self.tracer
+                    .instant(TraceLayer::Flash, "media", "uncorrectable", ready);
+                return Err(e.into());
+            }
+        };
         self.tracer.instant(TraceLayer::Ftl, "map", "lookup", ready);
+        if self.ftl.flash().stats().corrected_reads > corrected_before {
+            self.tracer
+                .instant(TraceLayer::Flash, "media", "ecc-correction", ready);
+        }
+        if outcome.retries > 0 {
+            self.tracer
+                .instant(TraceLayer::Ftl, "map", "read-retry", ready);
+        }
         let mut avail = ready;
         for op in &outcome.ops {
             avail = self.apply_op(op, ready);

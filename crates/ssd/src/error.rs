@@ -26,8 +26,8 @@ impl fmt::Display for SsdError {
             SsdError::LbaOutOfRange { slba, blocks } => {
                 write!(f, "lba range {slba}+{blocks} out of range")
             }
-            SsdError::Unwritten(lba) => write!(f, "read of unwritten lba {lba}"),
-            SsdError::Ftl(e) => write!(f, "ftl error: {e}"),
+            SsdError::Unwritten(lba) => write!(f, "lba {lba} has never been written"),
+            SsdError::Ftl(_) => write!(f, "ftl request failed"),
         }
     }
 }
@@ -60,5 +60,14 @@ mod tests {
         ] {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn display_does_not_embed_source() {
+        // Causes are reachable only through `source()`, so a chain renderer
+        // like `morpheus_simcore::render_error_chain` prints each layer once.
+        let e = SsdError::Ftl(FtlError::NoFreeBlocks);
+        let root = Error::source(&e).unwrap().to_string();
+        assert!(!e.to_string().contains(&root));
     }
 }
