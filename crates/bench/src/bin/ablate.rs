@@ -18,18 +18,44 @@
 
 use morpheus::{Mode, System, SystemParams};
 use morpheus_bench::{print_table, run_parallel, Harness};
+use morpheus_simcore::render_error_chain;
 use morpheus_workloads::{run_benchmark, stage_input, suite, Benchmark};
 
-fn run_with(params: SystemParams, bench: &Benchmark, bytes: u64, seed: u64) -> (f64, f64) {
+/// A sweep point's failure, rendered for the operator. Run failures are
+/// reported as full cause chains and exit 1 — a panicking worker thread
+/// would bury the cause under a backtrace.
+type SweepError = String;
+
+fn run_with(
+    params: SystemParams,
+    bench: &Benchmark,
+    bytes: u64,
+    seed: u64,
+) -> Result<(f64, f64), SweepError> {
     let mut sys = System::new(params);
-    stage_input(&mut sys, bench, bytes, seed).expect("stage");
-    let conv = run_benchmark(&mut sys, bench, Mode::Conventional).expect("conv");
-    let morp = run_benchmark(&mut sys, bench, Mode::Morpheus).expect("morpheus");
+    stage_input(&mut sys, bench, bytes, seed)
+        .map_err(|e| format!("staging {}: {}", bench.name, render_error_chain(&e)))?;
+    let conv = run_benchmark(&mut sys, bench, Mode::Conventional)
+        .map_err(|e| format!("{} (conventional): {}", bench.name, render_error_chain(&e)))?;
+    let morp = run_benchmark(&mut sys, bench, Mode::Morpheus)
+        .map_err(|e| format!("{} (morpheus): {}", bench.name, render_error_chain(&e)))?;
     assert_eq!(conv.kernel, morp.kernel);
-    (
+    Ok((
         morp.report.deser_speedup_over(&conv.report),
         morp.report.total_speedup_over(&conv.report),
-    )
+    ))
+}
+
+/// Unwraps one sweep's rows, exiting 1 with the first rendered failure.
+fn rows_or_exit(rows: Vec<Result<Vec<String>, SweepError>>) -> Vec<Vec<String>> {
+    rows.into_iter()
+        .map(|r| {
+            r.unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            })
+        })
+        .collect()
 }
 
 const SWEEPS: [&str; 7] = [
@@ -69,10 +95,17 @@ fn main() {
         let rows = run_parallel(h.jobs, &cores, |cores| {
             let mut p = SystemParams::paper_testbed();
             p.ssd.embedded_cores = *cores;
-            let (d, t) = run_with(p, pagerank, bytes, h.seed);
-            vec![format!("{cores}"), format!("{d:.2}x"), format!("{t:.2}x")]
+            let (d, t) = run_with(p, pagerank, bytes, h.seed)?;
+            Ok(vec![
+                format!("{cores}"),
+                format!("{d:.2}x"),
+                format!("{t:.2}x"),
+            ])
         });
-        print_table(&["cores", "deser_speedup", "total_speedup"], &rows);
+        print_table(
+            &["cores", "deser_speedup", "total_speedup"],
+            &rows_or_exit(rows),
+        );
         println!("(one instance is pinned to one core; extra cores serve other tenants)");
     }
 
@@ -82,14 +115,17 @@ fn main() {
         let rows = run_parallel(h.jobs, &clocks, |mhz| {
             let mut p = SystemParams::paper_testbed();
             p.ssd.core_clock_hz = mhz * 1e6;
-            let (d, t) = run_with(p, pagerank, bytes, h.seed);
-            vec![
+            let (d, t) = run_with(p, pagerank, bytes, h.seed)?;
+            Ok(vec![
                 format!("{mhz:.0}MHz"),
                 format!("{d:.2}x"),
                 format!("{t:.2}x"),
-            ]
+            ])
         });
-        print_table(&["clock", "deser_speedup", "total_speedup"], &rows);
+        print_table(
+            &["clock", "deser_speedup", "total_speedup"],
+            &rows_or_exit(rows),
+        );
     }
 
     if wanted("chunk") {
@@ -98,10 +134,17 @@ fn main() {
         let rows = run_parallel(h.jobs, &chunks, |mb| {
             let mut p = SystemParams::paper_testbed();
             p.mread_chunk_bytes = mb << 20;
-            let (d, t) = run_with(p, pagerank, bytes, h.seed);
-            vec![format!("{mb}MiB"), format!("{d:.2}x"), format!("{t:.2}x")]
+            let (d, t) = run_with(p, pagerank, bytes, h.seed)?;
+            Ok(vec![
+                format!("{mb}MiB"),
+                format!("{d:.2}x"),
+                format!("{t:.2}x"),
+            ])
         });
-        print_table(&["chunk", "deser_speedup", "total_speedup"], &rows);
+        print_table(
+            &["chunk", "deser_speedup", "total_speedup"],
+            &rows_or_exit(rows),
+        );
     }
 
     if wanted("float") {
@@ -110,10 +153,10 @@ fn main() {
         let rows = run_parallel(h.jobs, &penalties, |pen| {
             let mut p = SystemParams::paper_testbed();
             p.device_cost.float_penalty = *pen;
-            let (d, _) = run_with(p, spmv, h.input_bytes(spmv), h.seed);
-            vec![format!("{pen:.0}x"), format!("{d:.2}x")]
+            let (d, _) = run_with(p, spmv, h.input_bytes(spmv), h.seed)?;
+            Ok(vec![format!("{pen:.0}x"), format!("{d:.2}x")])
         });
-        print_table(&["fp_penalty", "spmv_deser_speedup"], &rows);
+        print_table(&["fp_penalty", "spmv_deser_speedup"], &rows_or_exit(rows));
         println!("(an FPU-equipped controller would move spmv up to the integer apps)");
     }
 
@@ -128,10 +171,17 @@ fn main() {
         let rows = run_parallel(h.jobs, &cases, |(label, co)| {
             let mut p = SystemParams::paper_testbed();
             p.corunner = *co;
-            let (d, t) = run_with(p, pagerank, bytes, h.seed);
-            vec![label.to_string(), format!("{d:.2}x"), format!("{t:.2}x")]
+            let (d, t) = run_with(p, pagerank, bytes, h.seed)?;
+            Ok(vec![
+                label.to_string(),
+                format!("{d:.2}x"),
+                format!("{t:.2}x"),
+            ])
         });
-        print_table(&["host load", "deser_speedup", "total_speedup"], &rows);
+        print_table(
+            &["host load", "deser_speedup", "total_speedup"],
+            &rows_or_exit(rows),
+        );
         println!("(contention widens the deserialization gap; total speedup compresses because");
         println!(" the compute kernel — identical in both modes — slows with the stolen cores)");
     }
@@ -154,7 +204,8 @@ fn main() {
                     w.write_u64((j * 13 + i as u64) % 100_000);
                     w.newline();
                 }
-                sys.create_input_file(&file, w.as_bytes()).expect("stage");
+                sys.create_input_file(&file, w.as_bytes())
+                    .map_err(|e| format!("staging {file}: {}", render_error_chain(&e)))?;
                 specs.push(AppSpec::cpu_app(
                     &format!("t{i}"),
                     &file,
@@ -170,16 +221,21 @@ fn main() {
             let morp: Vec<_> = specs.iter().map(|s| (s.clone(), Mode::Morpheus)).collect();
             let c = sys
                 .run_deserialize_many(&conv)
-                .expect("conventional tenants");
-            let m = sys.run_deserialize_many(&morp).expect("morpheus tenants");
-            vec![
+                .map_err(|e| format!("{n} conventional tenants: {}", render_error_chain(&e)))?;
+            let m = sys
+                .run_deserialize_many(&morp)
+                .map_err(|e| format!("{n} morpheus tenants: {}", render_error_chain(&e)))?;
+            Ok(vec![
                 format!("{n}"),
                 format!("{:.1}", c.aggregate_mbs),
                 format!("{:.1}", m.aggregate_mbs),
                 format!("{:.2}x", m.aggregate_mbs / c.aggregate_mbs),
-            ]
+            ])
         });
-        print_table(&["tenants", "conventional", "morpheus", "advantage"], &rows);
+        print_table(
+            &["tenants", "conventional", "morpheus", "advantage"],
+            &rows_or_exit(rows),
+        );
         println!("(4 host cores vs 4 embedded cores; beyond 4 tenants both saturate,");
         println!(" but the Morpheus host is still free to run real work — §III)");
     }
@@ -188,10 +244,17 @@ fn main() {
         println!("\nablation: input-scale stability of the speedup (pagerank)");
         let sizes = [2u64, 4, 8, 16, 32];
         let rows = run_parallel(h.jobs, &sizes, |mb| {
-            let (d, t) = run_with(SystemParams::paper_testbed(), pagerank, mb << 20, h.seed);
-            vec![format!("{mb}MB"), format!("{d:.2}x"), format!("{t:.2}x")]
+            let (d, t) = run_with(SystemParams::paper_testbed(), pagerank, mb << 20, h.seed)?;
+            Ok(vec![
+                format!("{mb}MB"),
+                format!("{d:.2}x"),
+                format!("{t:.2}x"),
+            ])
         });
-        print_table(&["input", "deser_speedup", "total_speedup"], &rows);
+        print_table(
+            &["input", "deser_speedup", "total_speedup"],
+            &rows_or_exit(rows),
+        );
         println!("(ratios are size-stable, justifying scaled-down staging)");
     }
 }

@@ -1,0 +1,367 @@
+//! Open-loop serving experiment: latency vs offered RPS per engine.
+//!
+//! Sweeps a ladder of arrival rates over one or all modes and prints one
+//! row per (mode, rps) cell: admission counts, end-to-end latency
+//! quantiles, sustained throughput, and NVMe doorbell economy. The knee —
+//! where queue-wait blows up the tail — arrives at a lower RPS on the
+//! conventional path than on the Morpheus paths, which is the serving
+//! version of the paper's multiprogramming result.
+//!
+//! Deterministic by construction: the cell grid is fanned out with the
+//! shared order-preserving worker pool, and every cell builds its own
+//! seeded system, so output is byte-identical across repeats and `--jobs`.
+
+use morpheus::{
+    AppSpec, Mode, RunError, ServeConfig, ServePolicy, ServeReport, System, SystemParams,
+};
+use morpheus_bench::{print_table, run_parallel, Harness};
+use morpheus_format::{FieldKind, Schema, TextWriter};
+use morpheus_simcore::{render_error_chain, SplitMix64, Tracer};
+
+const USAGE: &str =
+    "usage: serve [--rps LIST] [--duration S] [--depth N] [--batch N] [--sq-depth N]
+             [--policy shed|fallback] [--mode all|conventional|morpheus|morpheus+p2p]
+             [--apps N] [--bytes N] [--trace-out <path>]
+             [--seed N] [--jobs N] [--faults SPEC]";
+
+/// One parsed invocation.
+#[derive(Debug)]
+struct Cli {
+    rps: Vec<f64>,
+    duration_s: f64,
+    depth: usize,
+    batch: usize,
+    sq_depth: usize,
+    policy: ServePolicy,
+    modes: Vec<Mode>,
+    apps: usize,
+    bytes: u64,
+    trace_out: Option<String>,
+    harness: Harness,
+}
+
+/// The flag grammar, separated from process state so tests can drive it.
+fn parse(args: &[String]) -> Result<Cli, String> {
+    fn value<'a>(flag: &str, it: &mut std::slice::Iter<'a, String>) -> Result<&'a String, String> {
+        it.next().ok_or_else(|| format!("{flag} requires a value"))
+    }
+    fn positive<T: std::str::FromStr + PartialOrd + From<u8>>(
+        flag: &str,
+        v: &str,
+    ) -> Result<T, String> {
+        let n: T = v
+            .parse()
+            .map_err(|_| format!("{flag} expects a positive number, got {v:?}"))?;
+        if n < T::from(1u8) {
+            return Err(format!("{flag} must be >= 1"));
+        }
+        Ok(n)
+    }
+    let mut cli = Cli {
+        rps: vec![250.0, 500.0, 1000.0, 2000.0, 4000.0, 8000.0],
+        duration_s: 0.05,
+        depth: 64,
+        batch: 8,
+        sq_depth: 64,
+        policy: ServePolicy::Shed,
+        modes: vec![Mode::Conventional, Mode::Morpheus, Mode::MorpheusP2P],
+        apps: 3,
+        bytes: 64 * 1024,
+        trace_out: None,
+        harness: Harness::default(),
+    };
+    let mut harness_args: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--rps" => {
+                let v = value("--rps", &mut it)?;
+                let mut ladder = Vec::new();
+                for part in v.split(',') {
+                    let r: f64 = part
+                        .parse()
+                        .map_err(|_| format!("--rps expects numbers, got {part:?}"))?;
+                    if !r.is_finite() || r <= 0.0 {
+                        return Err(format!("--rps entries must be positive, got {part:?}"));
+                    }
+                    ladder.push(r);
+                }
+                if ladder.is_empty() {
+                    return Err("--rps needs at least one rate".into());
+                }
+                cli.rps = ladder;
+            }
+            "--duration" => {
+                let v = value("--duration", &mut it)?;
+                let d: f64 = v
+                    .parse()
+                    .map_err(|_| format!("--duration expects seconds, got {v:?}"))?;
+                if !d.is_finite() || d <= 0.0 {
+                    return Err("--duration must be positive".into());
+                }
+                cli.duration_s = d;
+            }
+            "--depth" => cli.depth = positive::<usize>("--depth", value("--depth", &mut it)?)?,
+            "--batch" => cli.batch = positive::<usize>("--batch", value("--batch", &mut it)?)?,
+            "--sq-depth" => {
+                cli.sq_depth = positive::<usize>("--sq-depth", value("--sq-depth", &mut it)?)?
+            }
+            "--apps" => cli.apps = positive::<usize>("--apps", value("--apps", &mut it)?)?,
+            "--bytes" => cli.bytes = positive::<u64>("--bytes", value("--bytes", &mut it)?)?,
+            "--policy" => {
+                let v = value("--policy", &mut it)?;
+                cli.policy = ServePolicy::parse(v)
+                    .ok_or_else(|| format!("--policy expects shed|fallback, got {v:?}"))?;
+            }
+            "--mode" => {
+                let v = value("--mode", &mut it)?;
+                cli.modes = match v.as_str() {
+                    "all" => vec![Mode::Conventional, Mode::Morpheus, Mode::MorpheusP2P],
+                    "conventional" => vec![Mode::Conventional],
+                    "morpheus" => vec![Mode::Morpheus],
+                    "morpheus+p2p" => vec![Mode::MorpheusP2P],
+                    other => {
+                        return Err(format!(
+                            "--mode expects all|conventional|morpheus|morpheus+p2p, got {other:?}"
+                        ))
+                    }
+                };
+            }
+            "--trace-out" => cli.trace_out = Some(value("--trace-out", &mut it)?.clone()),
+            // Harness flags: re-validated by the shared grammar so
+            // `--faults bogus` fails exactly as in every figure binary.
+            "--seed" | "--jobs" | "--faults" => {
+                let v = value(arg, &mut it)?;
+                harness_args.push(arg.clone());
+                harness_args.push(v.clone());
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    cli.harness = Harness::parse(&harness_args, &[]).map_err(|e| e.0)?;
+    if cli.trace_out.is_some() && (cli.modes.len() > 1 || cli.rps.len() > 1) {
+        return Err("--trace-out needs a single cell: one --mode and one --rps".into());
+    }
+    Ok(cli)
+}
+
+/// Stages `apps` tenant inputs (~`bytes` each of two-column text edges)
+/// into a fresh paper-testbed system, then arms any fault plan.
+fn build_system(cli: &Cli) -> (System, Vec<AppSpec>) {
+    let mut sys = System::new(SystemParams::paper_testbed());
+    let schema = Schema::new(vec![FieldKind::U32, FieldKind::U32]);
+    let mut specs = Vec::new();
+    for i in 0..cli.apps {
+        let name = format!("svc{i}");
+        let file = format!("{name}.txt");
+        let mut rng = SplitMix64::new(cli.harness.seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
+        let mut w = TextWriter::new();
+        // ~12 bytes per "xxxxx xxxxx\n" row.
+        for _ in 0..(cli.bytes / 12).max(1) {
+            w.write_u64(rng.next_below(100_000));
+            w.sep();
+            w.write_u64(rng.next_below(100_000));
+            w.newline();
+        }
+        sys.create_input_file(&file, &w.into_bytes())
+            .expect("staging tenant input");
+        specs.push(AppSpec::cpu_app(&name, &file, schema.clone(), 1, 50.0));
+    }
+    if let Some(plan) = cli.harness.faults {
+        sys.set_fault_plan(plan);
+    }
+    (sys, specs)
+}
+
+/// Runs one (mode, rps) cell on its own fresh system.
+fn run_cell(cli: &Cli, mode: Mode, rps: f64) -> Result<(ServeReport, Option<String>), RunError> {
+    let (mut sys, specs) = build_system(cli);
+    if cli.trace_out.is_some() {
+        sys.set_tracer(Tracer::enabled());
+    }
+    let cfg = ServeConfig {
+        rps,
+        duration_s: cli.duration_s,
+        depth: cli.depth,
+        batch_max: cli.batch,
+        sq_depth: cli.sq_depth,
+        mode,
+        policy: cli.policy,
+        seed: cli.harness.seed,
+    };
+    let rep = sys.serve(&specs, &cfg)?;
+    let trace = cli
+        .trace_out
+        .as_ref()
+        .map(|_| sys.tracer().take().to_chrome_json());
+    Ok((rep, trace))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = parse(&args).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    });
+
+    let grid: Vec<(Mode, f64)> = cli
+        .modes
+        .iter()
+        .flat_map(|m| cli.rps.iter().map(move |r| (*m, *r)))
+        .collect();
+    let cells = run_parallel(cli.harness.jobs, &grid, |(mode, rps)| {
+        run_cell(&cli, *mode, *rps)
+    });
+
+    println!(
+        "serve: {} apps x ~{} bytes, duration {}s, depth {}, batch <= {}, policy {}, seed {}",
+        cli.apps, cli.bytes, cli.duration_s, cli.depth, cli.batch, cli.policy, cli.harness.seed
+    );
+    let mut rows = Vec::new();
+    let mut fault_lines = Vec::new();
+    let mut trace_json = None;
+    for ((mode, rps), cell) in grid.iter().zip(cells) {
+        let (rep, trace) = match cell {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!(
+                    "error: serve {mode} @ {rps} rps failed: {}",
+                    render_error_chain(&e)
+                );
+                std::process::exit(1);
+            }
+        };
+        if trace.is_some() {
+            trace_json = trace;
+        }
+        rows.push(vec![
+            mode.to_string(),
+            format!("{rps:.0}"),
+            rep.offered.to_string(),
+            rep.completed.to_string(),
+            rep.shed.to_string(),
+            rep.overflow_fallbacks.to_string(),
+            rep.fault_redispatches.to_string(),
+            rep.failed.to_string(),
+            format!("{:.1}", rep.e2e_ns.p50() as f64 / 1e3),
+            format!("{:.1}", rep.e2e_ns.p95() as f64 / 1e3),
+            format!("{:.1}", rep.e2e_ns.p99() as f64 / 1e3),
+            format!("{:.1}", rep.sustained_rps),
+            format!("{:.1}", rep.aggregate_mbs),
+            rep.commands.to_string(),
+            rep.doorbell_writes.to_string(),
+            format!("{:.3}", rep.metrics.get("ssd_core_utilization")),
+        ]);
+        if cli.harness.faults.is_some() {
+            fault_lines.push(format!("faults ({mode} @ {rps:.0} rps): {}", rep.faults));
+        }
+    }
+    print_table(
+        &[
+            "mode", "rps", "offered", "done", "shed", "fb", "redisp", "fail", "p50us", "p95us",
+            "p99us", "sust_rps", "mb_s", "cmds", "dbell", "ssd_util",
+        ],
+        &rows,
+    );
+    for line in fault_lines {
+        println!("{line}");
+    }
+    if let (Some(path), Some(json)) = (&cli.trace_out, trace_json) {
+        std::fs::write(path, json).unwrap_or_else(|e| {
+            eprintln!("error: writing {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote Chrome trace-event JSON to {path} (load in Perfetto)");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_defaults() {
+        let cli = parse(&argv(&[])).expect("valid");
+        assert_eq!(cli.modes.len(), 3);
+        assert_eq!(cli.rps.len(), 6);
+        assert_eq!(cli.policy, ServePolicy::Shed);
+        assert_eq!((cli.depth, cli.batch, cli.sq_depth), (64, 8, 64));
+    }
+
+    #[test]
+    fn parse_full_grammar() {
+        let cli = parse(&argv(&[
+            "--rps",
+            "100,200.5",
+            "--duration",
+            "0.1",
+            "--depth",
+            "16",
+            "--batch",
+            "4",
+            "--sq-depth",
+            "32",
+            "--policy",
+            "fallback",
+            "--mode",
+            "morpheus",
+            "--apps",
+            "2",
+            "--bytes",
+            "4096",
+            "--seed",
+            "7",
+            "--jobs",
+            "4",
+            "--faults",
+            "seed=9,crash=0.5",
+        ]))
+        .expect("valid");
+        assert_eq!(cli.rps, vec![100.0, 200.5]);
+        assert_eq!(cli.duration_s, 0.1);
+        assert_eq!(cli.policy, ServePolicy::HostFallback);
+        assert_eq!(cli.modes, vec![Mode::Morpheus]);
+        assert_eq!((cli.apps, cli.bytes), (2, 4096));
+        assert_eq!((cli.harness.seed, cli.harness.jobs), (7, 4));
+        assert_eq!(cli.harness.faults.expect("plan").core_crash, 0.5);
+    }
+
+    #[test]
+    fn trace_out_needs_single_cell() {
+        assert!(parse(&argv(&["--trace-out", "t.json"])).is_err());
+        assert!(parse(&argv(&[
+            "--trace-out",
+            "t.json",
+            "--mode",
+            "morpheus",
+            "--rps",
+            "100"
+        ]))
+        .is_ok());
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        for bad in [
+            vec!["--rps"],             // missing value
+            vec!["--rps", "0"],        // non-positive rate
+            vec!["--rps", "100,abc"],  // malformed entry
+            vec!["--duration", "-1"],  // negative
+            vec!["--depth", "0"],      // zero depth
+            vec!["--batch", "x"],      // malformed
+            vec!["--policy", "drop"],  // unknown policy
+            vec!["--mode", "turbo"],   // unknown mode
+            vec!["--apps", "0"],       // zero tenants
+            vec!["--sacle", "64"],     // typo flag
+            vec!["--faults", "bogus"], // bad fault spec
+            vec!["--jobs", "0"],       // harness re-check
+        ] {
+            assert!(parse(&argv(&bad)).is_err(), "should reject {bad:?}");
+        }
+    }
+}

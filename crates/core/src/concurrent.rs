@@ -8,14 +8,18 @@
 //! the deserialization phase of N tenants concurrently — chunks are issued
 //! round-robin so resource contention is modelled at chunk granularity —
 //! and reports per-tenant and aggregate throughput.
+//!
+//! The per-tenant state machine ([`TenantState`]) is shared with the
+//! open-loop serving layer (`serve.rs`), which steps tenants one request
+//! at a time instead of round-robin.
 
 use crate::exec::{AppSpec, RunError};
-use crate::report::Mode;
+use crate::report::{mb_per_sec, Mode};
 use crate::system::ChunkIo;
 use crate::{DeserializeApp, StorageKind, System};
 use morpheus_format::{ParseWork, ParsedColumns, StreamingParser};
 use morpheus_host::CodeClass;
-use morpheus_pcie::DmaDir;
+use morpheus_pcie::{BarWindow, DmaDir};
 use morpheus_simcore::SimTime;
 
 /// One tenant's outcome.
@@ -48,8 +52,11 @@ pub struct ConcurrentReport {
     pub context_switches: u64,
 }
 
-/// Per-tenant progress state.
-enum Tenant {
+/// Per-tenant progress state, stepped one chunk at a time. Built via
+/// [`System::conventional_tenant`] / [`System::morpheus_tenant`] and driven
+/// with [`System::step_tenant`] / [`System::finish_tenant`].
+pub(crate) enum TenantState {
+    /// Host-side `read()`+parse tenant.
     Conventional {
         spec: AppSpec,
         chunks: Vec<ChunkIo>,
@@ -57,31 +64,101 @@ enum Tenant {
         parser: StreamingParser,
         last_work: ParseWork,
         buf_addr: u64,
+        /// No I/O is issued before this time (the dispatch instant).
+        start: SimTime,
         cpu_ready: SimTime,
-        done: Option<ParsedColumns>,
     },
+    /// In-SSD StorageApp tenant.
     Morpheus {
         spec: AppSpec,
         chunks: Vec<ChunkIo>,
         next: usize,
         iid: u32,
+        /// Instance-ready floor every MREAD respects (fault injection may
+        /// push it back).
         ready: SimTime,
         last_end: SimTime,
         obj_bin: Vec<u8>,
-        done: Option<ParsedColumns>,
+        /// P2P delivery window; `None` delivers objects to host DRAM.
+        bar: Option<BarWindow>,
     },
 }
 
-impl Tenant {
-    fn finished_chunks(&self) -> bool {
+impl TenantState {
+    pub(crate) fn finished_chunks(&self) -> bool {
         match self {
-            Tenant::Conventional { chunks, next, .. } => *next >= chunks.len(),
-            Tenant::Morpheus { chunks, next, .. } => *next >= chunks.len(),
+            TenantState::Conventional { chunks, next, .. } => *next >= chunks.len(),
+            TenantState::Morpheus { chunks, next, .. } => *next >= chunks.len(),
         }
     }
 }
 
 impl System {
+    /// Builds a conventional tenant whose first I/O happens no earlier
+    /// than `start`.
+    pub(crate) fn conventional_tenant(
+        &mut self,
+        spec: &AppSpec,
+        start: SimTime,
+    ) -> Result<TenantState, RunError> {
+        let meta = self
+            .fs
+            .open(&spec.input)
+            .map_err(|_| RunError::UnknownFile(spec.input.clone()))?
+            .clone();
+        let chunks = Self::file_chunks(&meta, self.params.conventional_chunk_bytes);
+        let buf_addr = self
+            .dram
+            .alloc(self.params.conventional_chunk_bytes)
+            .ok_or(RunError::OutOfHostMemory)?;
+        Ok(TenantState::Conventional {
+            chunks,
+            next: 0,
+            parser: StreamingParser::new(spec.schema.clone()),
+            last_work: ParseWork::default(),
+            buf_addr,
+            start,
+            cpu_ready: start,
+            spec: spec.clone(),
+        })
+    }
+
+    /// Builds a Morpheus tenant: takes the MINIT syscall on a host core no
+    /// earlier than `start` and initializes instance `iid` on the drive.
+    /// The caller picks `iid` (so a dispatcher can pin instances to
+    /// embedded cores) and the delivery target (`bar` for P2P).
+    pub(crate) fn morpheus_tenant(
+        &mut self,
+        spec: &AppSpec,
+        iid: u32,
+        start: SimTime,
+        bar: Option<BarWindow>,
+    ) -> Result<TenantState, RunError> {
+        let meta = self
+            .fs
+            .open(&spec.input)
+            .map_err(|_| RunError::UnknownFile(spec.input.clone()))?
+            .clone();
+        let chunks = Self::file_chunks(&meta, self.params.mread_chunk_bytes);
+        let c = self.os.command_completion();
+        let iv = self.cpu_cores.acquire(
+            start,
+            self.cpu.duration(c.instructions, CodeClass::OsKernel),
+        );
+        let app = DeserializeApp::new(&spec.name, spec.schema.clone());
+        let ready = self.mssd.minit(iid, Box::new(app), iv.end)?;
+        Ok(TenantState::Morpheus {
+            chunks,
+            next: 0,
+            iid,
+            ready,
+            last_end: ready,
+            obj_bin: Vec::new(),
+            bar,
+            spec: spec.clone(),
+        })
+    }
+
     /// Runs the deserialization phase of several tenants concurrently.
     ///
     /// Chunks are issued round-robin across tenants, so host cores, the
@@ -92,12 +169,15 @@ impl System {
     ///
     /// # Errors
     ///
-    /// Fails on unknown files, parse failures, firmware faults, or an
-    /// unsupported mode.
+    /// Fails on an empty tenant list ([`RunError::NoTenants`]), unknown
+    /// files, parse failures, firmware faults, or an unsupported mode.
     pub fn run_deserialize_many(
         &mut self,
         tenants: &[(AppSpec, Mode)],
     ) -> Result<ConcurrentReport, RunError> {
+        if tenants.is_empty() {
+            return Err(RunError::NoTenants);
+        }
         self.reset_timing();
         assert!(
             self.params.storage == StorageKind::NvmeSsd,
@@ -105,49 +185,11 @@ impl System {
         );
         let mut states = Vec::with_capacity(tenants.len());
         for (spec, mode) in tenants {
-            let meta = self
-                .fs
-                .open(&spec.input)
-                .map_err(|_| RunError::UnknownFile(spec.input.clone()))?
-                .clone();
             let state = match mode {
-                Mode::Conventional => {
-                    let chunks = Self::file_chunks(&meta, self.params.conventional_chunk_bytes);
-                    let buf_addr = self
-                        .dram
-                        .alloc(self.params.conventional_chunk_bytes)
-                        .ok_or(RunError::OutOfHostMemory)?;
-                    Tenant::Conventional {
-                        chunks,
-                        next: 0,
-                        parser: StreamingParser::new(spec.schema.clone()),
-                        last_work: ParseWork::default(),
-                        buf_addr,
-                        cpu_ready: SimTime::ZERO,
-                        done: None,
-                        spec: spec.clone(),
-                    }
-                }
+                Mode::Conventional => self.conventional_tenant(spec, SimTime::ZERO)?,
                 Mode::Morpheus => {
-                    let chunks = Self::file_chunks(&meta, self.params.mread_chunk_bytes);
                     let iid = self.alloc_instance();
-                    let c = self.os.command_completion();
-                    let iv = self.cpu_cores.acquire(
-                        SimTime::ZERO,
-                        self.cpu.duration(c.instructions, CodeClass::OsKernel),
-                    );
-                    let app = DeserializeApp::new(&spec.name, spec.schema.clone());
-                    let ready = self.mssd.minit(iid, Box::new(app), iv.end)?;
-                    Tenant::Morpheus {
-                        chunks,
-                        next: 0,
-                        iid,
-                        ready,
-                        last_end: ready,
-                        obj_bin: Vec::new(),
-                        done: None,
-                        spec: spec.clone(),
-                    }
+                    self.morpheus_tenant(spec, iid, SimTime::ZERO, None)?
                 }
                 Mode::MorpheusP2P => return Err(RunError::NotGpuApp(spec.name.clone())),
             };
@@ -187,11 +229,7 @@ impl System {
         let makespan_s = makespan.as_secs_f64();
         let total_obj: u64 = reports.iter().map(|r| r.object_bytes).sum();
         Ok(ConcurrentReport {
-            aggregate_mbs: if makespan_s > 0.0 {
-                total_obj as f64 / makespan_s / 1e6
-            } else {
-                0.0
-            },
+            aggregate_mbs: mb_per_sec(total_obj, makespan_s),
             tenants: reports,
             makespan_s,
             context_switches: self.os.accounting().context_switches,
@@ -199,21 +237,21 @@ impl System {
     }
 
     /// Issues one chunk of one tenant.
-    fn step_tenant(&mut self, t: &mut Tenant) -> Result<(), RunError> {
+    pub(crate) fn step_tenant(&mut self, t: &mut TenantState) -> Result<(), RunError> {
         match t {
-            Tenant::Conventional {
+            TenantState::Conventional {
                 spec,
                 chunks,
                 next,
                 parser,
                 last_work,
                 buf_addr,
+                start,
                 cpu_ready,
-                ..
             } => {
                 let c = chunks[*next];
                 *next += 1;
-                let (data, t_ssd) = self.mssd.dev.read_range(c.slba, c.blocks, SimTime::ZERO)?;
+                let (data, t_ssd) = self.mssd.dev.read_range(c.slba, c.blocks, *start)?;
                 let dma = self.fabric.dma(
                     self.ssd_dev,
                     DmaDir::Write,
@@ -248,33 +286,37 @@ impl System {
                 let _ = spec;
                 Ok(())
             }
-            Tenant::Morpheus {
+            TenantState::Morpheus {
                 chunks,
                 next,
                 iid,
                 ready,
                 last_end,
                 obj_bin,
+                bar,
                 ..
             } => {
+                let bar = *bar;
                 let c = chunks[*next];
                 *next += 1;
                 let out = self
                     .mssd
                     .mread(*iid, c.slba, c.blocks, c.valid_bytes, *ready)?;
                 if !out.output.is_empty() {
-                    let addr = self
-                        .dram
-                        .alloc(out.output.len() as u64)
-                        .ok_or(RunError::OutOfHostMemory)?;
-                    let dma = self.fabric.dma(
-                        self.ssd_dev,
-                        DmaDir::Write,
-                        addr,
-                        out.output.len() as u64,
-                        out.done,
-                    )?;
-                    self.membus.transfer(dma.start, out.output.len() as u64);
+                    let n = out.output.len() as u64;
+                    let addr = match bar {
+                        Some(w) => {
+                            let buf = self.gpu.alloc(n).ok_or(RunError::OutOfGpuMemory)?;
+                            w.base + buf.offset
+                        }
+                        None => self.dram.alloc(n).ok_or(RunError::OutOfHostMemory)?,
+                    };
+                    let dma = self
+                        .fabric
+                        .dma(self.ssd_dev, DmaDir::Write, addr, n, out.done)?;
+                    if bar.is_none() {
+                        self.membus.transfer(dma.start, n);
+                    }
                     let w = self.os.command_completion();
                     let iv = self.cpu_cores.acquire(
                         dma.end,
@@ -291,49 +333,49 @@ impl System {
     }
 
     /// Completes a tenant's stream and returns its objects.
-    fn finish_tenant(
+    pub(crate) fn finish_tenant(
         &mut self,
-        t: &mut Tenant,
+        t: &mut TenantState,
     ) -> Result<(String, Mode, SimTime, ParsedColumns), RunError> {
         match t {
-            Tenant::Conventional {
+            TenantState::Conventional {
                 spec,
                 parser,
                 cpu_ready,
-                done,
                 ..
             } => {
                 let mut objects =
                     std::mem::replace(parser, StreamingParser::new(spec.schema.clone()))
                         .finish()?;
                 objects.canonicalize();
-                *done = Some(objects.clone());
                 Ok((spec.name.clone(), Mode::Conventional, *cpu_ready, objects))
             }
-            Tenant::Morpheus {
+            TenantState::Morpheus {
                 spec,
                 iid,
                 last_end,
                 obj_bin,
-                done,
+                bar,
                 ..
             } => {
+                let bar = *bar;
                 let dein = self.mssd.mdeinit(*iid, *last_end)?;
                 let mut end = dein.done;
                 if !dein.host_output.is_empty() {
-                    let addr = self
-                        .dram
-                        .alloc(dein.host_output.len() as u64)
-                        .ok_or(RunError::OutOfHostMemory)?;
-                    let dma = self.fabric.dma(
-                        self.ssd_dev,
-                        DmaDir::Write,
-                        addr,
-                        dein.host_output.len() as u64,
-                        dein.done,
-                    )?;
-                    self.membus
-                        .transfer(dma.start, dein.host_output.len() as u64);
+                    let n = dein.host_output.len() as u64;
+                    let addr = match bar {
+                        Some(w) => {
+                            let buf = self.gpu.alloc(n).ok_or(RunError::OutOfGpuMemory)?;
+                            w.base + buf.offset
+                        }
+                        None => self.dram.alloc(n).ok_or(RunError::OutOfHostMemory)?,
+                    };
+                    let dma = self
+                        .fabric
+                        .dma(self.ssd_dev, DmaDir::Write, addr, n, dein.done)?;
+                    if bar.is_none() {
+                        self.membus.transfer(dma.start, n);
+                    }
                     end = dma.end;
                 }
                 let c = self.os.command_completion();
@@ -343,8 +385,12 @@ impl System {
                 );
                 obj_bin.extend_from_slice(&dein.host_output);
                 let objects = ParsedColumns::decode(spec.schema.clone(), obj_bin)?;
-                *done = Some(objects.clone());
-                Ok((spec.name.clone(), Mode::Morpheus, iv.end, objects))
+                let mode = if bar.is_some() {
+                    Mode::MorpheusP2P
+                } else {
+                    Mode::Morpheus
+                };
+                Ok((spec.name.clone(), mode, iv.end, objects))
             }
         }
     }
@@ -451,6 +497,15 @@ mod tests {
         assert!(matches!(
             sys.run_deserialize_many(&tenants),
             Err(RunError::NotGpuApp(_))
+        ));
+    }
+
+    #[test]
+    fn empty_tenant_list_is_an_error() {
+        let (mut sys, _) = system_with_tenants(0);
+        assert!(matches!(
+            sys.run_deserialize_many(&[]),
+            Err(RunError::NoTenants)
         ));
     }
 }

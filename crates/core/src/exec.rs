@@ -201,6 +201,8 @@ pub enum RunError {
         /// Total attempts made (the original issue plus every reissue).
         attempts: u32,
     },
+    /// A multi-tenant or serving entry point was handed no work at all.
+    NoTenants,
 }
 
 impl fmt::Display for RunError {
@@ -220,6 +222,7 @@ impl fmt::Display for RunError {
             RunError::CommandTimeout { attempts } => {
                 write!(f, "nvme command timed out after {attempts} attempts")
             }
+            RunError::NoTenants => write!(f, "no tenants: the request list is empty"),
         }
     }
 }
@@ -447,7 +450,7 @@ impl System {
         match self.params.storage {
             StorageKind::NvmeSsd => {
                 let cmd = NvmeCommand::read(cid, 1, c.slba, c.blocks, buf_addr);
-                self.mssd.protocol_round_trip(cmd, StatusCode::Success, 0);
+                self.round_trip(cmd, StatusCode::Success, 0);
                 let (data, t) = self.mssd.dev.read_range(c.slba, c.blocks, ready)?;
                 let dma =
                     self.fabric
@@ -480,7 +483,7 @@ impl System {
     /// command never reached the device, so reissuing it is always safe.
     /// `Err((at, n))` means the reissue budget was spent after `n` total
     /// attempts, with the last loss detected at `at`.
-    fn issue_with_timeouts(
+    pub(crate) fn issue_with_timeouts(
         &mut self,
         submit: SimTime,
         base: SimTime,
@@ -513,7 +516,7 @@ impl System {
 
     /// Rolls the embedded-core stall dice for a Morpheus command about to
     /// dispatch at `ready`; a hit delays it by the plan's stall duration.
-    fn inject_core_stall(&mut self, ready: SimTime) -> SimTime {
+    pub(crate) fn inject_core_stall(&mut self, ready: SimTime) -> SimTime {
         let tracer = self.tracer.clone();
         let Some(fi) = self.faults.as_mut() else {
             return ready;
@@ -528,7 +531,7 @@ impl System {
 
     /// Rolls the embedded-core crash dice for a Morpheus command at `at`;
     /// `Some(at)` means the core crashed and the instance is lost.
-    fn inject_core_crash(&mut self, at: SimTime) -> Option<SimTime> {
+    pub(crate) fn inject_core_crash(&mut self, at: SimTime) -> Option<SimTime> {
         let tracer = self.tracer.clone();
         let fi = self.faults.as_mut()?;
         if fi.plan.core_crash <= 0.0 || !fi.crash.roll() {
@@ -571,7 +574,7 @@ impl System {
         // synthetic completion carrying the failure status.
         let cid = self.alloc_cid();
         let wire = MorpheusCommand::Deinit { instance_id: iid }.into_command(cid, 1);
-        self.mssd.protocol_round_trip(wire, status, 0);
+        self.round_trip(wire, status, 0);
         self.tracer
             .instant(TraceLayer::Host, OS_TRACK, "host-fallback", at);
         if let Some(fi) = self.faults.as_mut() {
@@ -646,7 +649,7 @@ impl System {
                 cause: "embedded core crashed during MINIT".into(),
             });
         }
-        self.mssd.protocol_round_trip(wire, StatusCode::Success, 0);
+        self.round_trip(wire, StatusCode::Success, 0);
         let ready = self
             .mssd
             .minit(iid, app, issue)
@@ -751,8 +754,7 @@ impl System {
         self.tracer
             .span(TraceLayer::Nvme, NVME_TRACK, "MDEINIT", last_end, dein.done);
         let (retval, tail, dein_done) = (dein.retval, dein.host_output, dein.done);
-        self.mssd
-            .protocol_round_trip(wire, StatusCode::Success, retval as u32);
+        self.round_trip(wire, StatusCode::Success, retval as u32);
         let end = self.deliver_output(&tail, bar, iid, 0, 0)?;
         let deinit_wakeup = {
             let c = self.os.command_completion();
@@ -821,7 +823,7 @@ impl System {
                 dma_addr: addr,
             }
             .into_command(cid, 1);
-            self.mssd.protocol_round_trip(wire, StatusCode::Success, 0);
+            self.round_trip(wire, StatusCode::Success, 0);
         }
         // The SSD pushes finished objects; time base is the caller's
         // staging completion, which the fabric sees via its own timelines.
@@ -988,11 +990,7 @@ impl System {
             object_bytes: obj_bytes,
             records,
             checksum: objects.checksum(),
-            effective_bandwidth_mbs: if deser_s > 0.0 {
-                obj_bytes as f64 / deser_s / 1e6
-            } else {
-                0.0
-            },
+            effective_bandwidth_mbs: crate::report::mb_per_sec(obj_bytes, deser_s),
             context_switches: acct.context_switches,
             cs_per_second: if deser_s > 0.0 {
                 acct.context_switches as f64 / deser_s
@@ -1019,7 +1017,7 @@ impl System {
 
     /// Fold media/link statistics into the injector's counters and return a
     /// snapshot for the report. All-zero when no fault plan is armed.
-    fn collect_fault_counters(&mut self) -> FaultCounters {
+    pub(crate) fn collect_fault_counters(&mut self) -> FaultCounters {
         let corrected = self.mssd.dev.ftl().flash().stats().corrected_reads;
         let uncorrectable = self.mssd.dev.ftl().flash().stats().uncorrectable_reads;
         let retries = self.mssd.dev.ftl().stats().read_retries;

@@ -15,7 +15,11 @@
 //!   Morpheus-SSD, the GPU, and the PCIe fabric, and executes applications
 //!   under three modes ([`Mode::Conventional`], [`Mode::Morpheus`],
 //!   [`Mode::MorpheusP2P`]), producing the [`RunReport`]s every figure of
-//!   the paper is regenerated from.
+//!   the paper is regenerated from;
+//! * **open-loop serving** — [`System::serve`] pushes a seeded arrival
+//!   stream through admission, same-app batching, and per-tenant NVMe
+//!   queues to find each mode's latency-vs-RPS knee ([`ServeConfig`],
+//!   [`ServeReport`]).
 //!
 //! Deserialization is functionally real end to end: bytes live in simulated
 //! flash behind a real FTL, StorageApps parse them with the same parser the
@@ -52,6 +56,7 @@ mod params;
 mod report;
 mod runtime;
 mod serialize;
+mod serve;
 mod storage_app;
 mod system;
 
@@ -60,8 +65,9 @@ pub use concurrent::{ConcurrentReport, TenantReport};
 pub use exec::{AppSpec, GpuKernelPerRecord, InputFormat, ParallelModel, RunError, RunOutcome};
 pub use firmware::{MorpheusError, MorpheusSsd, MreadOutcome, MwriteOutcome};
 pub use params::{CoRunner, StorageKind, SystemParams};
-pub use report::{Mode, Phases, RunReport};
+pub use report::{mb_per_sec, Mode, Phases, RunReport, MB};
 pub use runtime::{ms_stream_create, CommandPlan, MsStream};
 pub use serialize::SerializeReport;
+pub use serve::{ServeConfig, ServePolicy, ServeReport};
 pub use storage_app::{AppError, DeserializeApp, DeviceCtx, StorageApp};
 pub use system::{ChunkIo, System};

@@ -1,8 +1,35 @@
 //! Run reports: the measurements every figure of the paper is built from.
+//!
+//! Throughput units: every `*_mbs` field in this crate is **decimal**
+//! megabytes per second — [`MB`] = 10⁶ bytes, matching how drive vendors
+//! and the paper's Fig. 3 quote bandwidth. Convert with [`mb_per_sec`];
+//! never divide by `1e6` (or worse, `1 << 20`) inline.
 
 use crate::StorageKind;
 use morpheus_simcore::{FaultCounters, Metrics};
 use std::fmt;
+
+/// One decimal megabyte in bytes (10⁶, not 2²⁰).
+pub const MB: f64 = 1e6;
+
+/// Bytes over a window in seconds, as decimal MB/s — the one conversion
+/// every `*_mbs` report field uses. Zero-length windows yield `0.0`
+/// rather than dividing by zero.
+///
+/// ```
+/// // 2 000 000 bytes in 2 s is exactly 1 decimal MB/s …
+/// assert_eq!(morpheus::mb_per_sec(2_000_000, 2.0), 1.0);
+/// // … not 1 MiB/s: the divisor is 1e6, never 1 << 20.
+/// assert!(morpheus::mb_per_sec(1 << 20, 1.0) > 1.0);
+/// assert_eq!(morpheus::mb_per_sec(123, 0.0), 0.0);
+/// ```
+pub fn mb_per_sec(bytes: u64, seconds: f64) -> f64 {
+    if seconds > 0.0 {
+        bytes as f64 / seconds / MB
+    } else {
+        0.0
+    }
+}
 
 /// Execution mode of a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -169,7 +169,7 @@ impl System {
                 (chunk.len() as u64).div_ceil(LBA_BYTES),
                 src_addr,
             );
-            self.mssd.protocol_round_trip(cmd, StatusCode::Success, 0);
+            self.round_trip(cmd, StatusCode::Success, 0);
             text_off += chunk.len() as u64;
             end = end.max(durable);
             if rec == objects.records && carry.is_empty() {
@@ -219,7 +219,7 @@ impl System {
                 dma_addr: src_addr,
             }
             .into_command(cid, 1);
-            self.mssd.protocol_round_trip(wire, StatusCode::Success, 0);
+            self.round_trip(wire, StatusCode::Success, 0);
             let out = self.mssd.mwrite(iid, base_slba, &bin, dma.end)?;
             // One host wakeup per completion.
             let c = self.os.command_completion();
@@ -233,8 +233,7 @@ impl System {
         let cid = self.alloc_cid();
         let wire = MorpheusCommand::Deinit { instance_id: iid }.into_command(cid, 1);
         let dein = self.mssd.mdeinit(iid, issue)?;
-        self.mssd
-            .protocol_round_trip(wire, StatusCode::Success, dein.retval as u32);
+        self.round_trip(wire, StatusCode::Success, dein.retval as u32);
         let c = self.os.command_completion();
         let iv = self.cpu_cores.acquire(
             dein.done,

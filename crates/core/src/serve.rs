@@ -1,0 +1,962 @@
+//! Open-loop serving: §III's multiprogramming argument at datacenter shape.
+//!
+//! The closed N-tenant run ([`System::run_deserialize_many`]) shows the
+//! drive's cores beating host cores when everyone is always busy. Real
+//! deployments are *open-loop*: requests arrive on their own schedule (a
+//! seeded [`ArrivalProcess`]), queue behind an admission limit, coalesce
+//! into same-app batches, and dispatch onto embedded cores (Morpheus) or
+//! host cores (conventional). Queueing is where the latency-vs-RPS knee
+//! lives — the sustainable-throughput gap between the two engines is the
+//! serving-shaped version of the paper's Fig. 3.
+//!
+//! Everything is deterministic: the arrival schedule, app picks, fault
+//! rolls, and dispatch order derive from seeds, so a serve run is
+//! byte-identical across repeats and across bench `--jobs` values.
+
+use crate::concurrent::TenantState;
+use crate::exec::{AppSpec, RunError};
+use crate::report::{mb_per_sec, Mode};
+use crate::{DeserializeApp, StorageApp, StorageKind, System};
+use morpheus_format::ParsedColumns;
+use morpheus_nvme::{AdminController, MorpheusCommand, NvmeCommand, StatusCode};
+use morpheus_pcie::BarWindow;
+use morpheus_simcore::{
+    ArrivalProcess, FaultCounters, Histogram, Metrics, SimDuration, SimTime, SplitMix64, TraceLayer,
+};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Trace track for serving-layer events (admission, waits, requests).
+const SERVE_TRACK: &str = "serve";
+/// Queue id of the first per-tenant I/O queue pair. Qid 0 is the admin
+/// queue and qid 1 is the legacy shared queue the solo drivers use.
+const FIRST_TENANT_QID: u16 = 2;
+/// Decorrelates the app-picking stream from the arrival-time stream so
+/// both can share one user-facing seed.
+const APP_PICK_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// What the admission queue does with a request that finds it full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServePolicy {
+    /// Drop the request (counted as shed; it never runs).
+    Shed,
+    /// Serve it immediately on the host path, bypassing the queue — the
+    /// drive is saturated but the host may have idle cores.
+    HostFallback,
+}
+
+impl ServePolicy {
+    /// Parses the CLI spelling (`shed` / `fallback`).
+    pub fn parse(s: &str) -> Option<ServePolicy> {
+        match s {
+            "shed" => Some(ServePolicy::Shed),
+            "fallback" => Some(ServePolicy::HostFallback),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ServePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ServePolicy::Shed => "shed",
+            ServePolicy::HostFallback => "fallback",
+        })
+    }
+}
+
+/// Configuration of one serve run.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Target arrival rate, requests per simulated second.
+    pub rps: f64,
+    /// Length of the arrival window, simulated seconds (requests already
+    /// admitted when the window closes are still served).
+    pub duration_s: f64,
+    /// Admission-queue depth: requests beyond this many waiting are shed
+    /// or host-served per [`ServePolicy`].
+    pub depth: usize,
+    /// Most same-app requests one dispatch coalesces.
+    pub batch_max: usize,
+    /// Depth of each tenant's NVMe submission queue (bounds how many
+    /// commands one doorbell write can cover).
+    pub sq_depth: usize,
+    /// Engine serving the requests.
+    pub mode: Mode,
+    /// Overflow policy.
+    pub policy: ServePolicy,
+    /// Seed for the arrival schedule and app picks.
+    pub seed: u64,
+}
+
+impl ServeConfig {
+    /// A config at the given load with the defaults the bench binary uses.
+    pub fn new(rps: f64, duration_s: f64) -> Self {
+        ServeConfig {
+            rps,
+            duration_s,
+            depth: 64,
+            batch_max: 8,
+            sq_depth: 64,
+            mode: Mode::Morpheus,
+            policy: ServePolicy::Shed,
+            seed: 42,
+        }
+    }
+}
+
+/// Everything measured during one serve run.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Engine that served the requests.
+    pub mode: Mode,
+    /// Overflow policy in force.
+    pub policy: ServePolicy,
+    /// Target arrival rate, requests/s.
+    pub target_rps: f64,
+    /// Arrival-window length, seconds.
+    pub duration_s: f64,
+    /// Requests the arrival process offered.
+    pub offered: u64,
+    /// Requests that entered the admission queue.
+    pub admitted: u64,
+    /// Requests fully served (admitted + overflow host-fallbacks).
+    pub completed: u64,
+    /// Requests dropped by [`ServePolicy::Shed`].
+    pub shed: u64,
+    /// Requests served on the host because the queue was full
+    /// ([`ServePolicy::HostFallback`]).
+    pub overflow_fallbacks: u64,
+    /// Admitted Morpheus requests re-dispatched to the host path after a
+    /// fault (core crash, reissue budget, uncorrectable media).
+    pub fault_redispatches: u64,
+    /// Requests that failed outright (reissue budget spent on the host
+    /// path, which has no further fallback).
+    pub failed: u64,
+    /// Dispatched batches.
+    pub batches: u64,
+    /// NVMe commands driven through the per-tenant queues.
+    pub commands: u64,
+    /// Tail-doorbell MMIOs across all tenant queues (batching makes this
+    /// far smaller than `commands`).
+    pub doorbell_writes: u64,
+    /// Time until the last served request finished, seconds.
+    pub makespan_s: f64,
+    /// Completed requests per second of makespan.
+    pub sustained_rps: f64,
+    /// Object throughput over the makespan, MB/s.
+    pub aggregate_mbs: f64,
+    /// Records deserialized across all completed requests.
+    pub records: u64,
+    /// Order-sensitive fold of per-request object checksums.
+    pub checksum: u64,
+    /// Arrival → service-start latency, nanoseconds.
+    pub queue_wait_ns: Histogram,
+    /// Service-start → completion latency, nanoseconds.
+    pub service_ns: Histogram,
+    /// Arrival → completion latency, nanoseconds.
+    pub e2e_ns: Histogram,
+    /// Injected faults and recoveries (all zero without a fault plan).
+    pub faults: FaultCounters,
+    /// Extra measurements (latency quantiles, core utilization; sorted).
+    pub metrics: Metrics,
+}
+
+impl fmt::Display for ServeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "mode={} policy={} target_rps={:.1} duration={:.4}s",
+            self.mode, self.policy, self.target_rps, self.duration_s
+        )?;
+        writeln!(
+            f,
+            "offered={} admitted={} completed={} shed={} overflow_fallbacks={} \
+             fault_redispatches={} failed={}",
+            self.offered,
+            self.admitted,
+            self.completed,
+            self.shed,
+            self.overflow_fallbacks,
+            self.fault_redispatches,
+            self.failed
+        )?;
+        writeln!(
+            f,
+            "batches={} commands={} doorbells={}",
+            self.batches, self.commands, self.doorbell_writes
+        )?;
+        writeln!(
+            f,
+            "makespan={:.6}s sustained_rps={:.1} aggregate_mbs={:.3} records={} checksum={:016x}",
+            self.makespan_s, self.sustained_rps, self.aggregate_mbs, self.records, self.checksum
+        )?;
+        writeln!(f, "queue_wait_ns {:?}", self.queue_wait_ns)?;
+        writeln!(f, "service_ns    {:?}", self.service_ns)?;
+        write!(f, "e2e_ns        {:?}", self.e2e_ns)
+    }
+}
+
+/// One offered request.
+#[derive(Debug, Clone, Copy)]
+struct Request {
+    arrival: SimTime,
+    app: usize,
+}
+
+/// A command plus the completion the device will post for it, staged per
+/// batch and then pumped through the tenant's queue pair.
+type WireCmd = (NvmeCommand, StatusCode, u32);
+
+/// Mutable run state threaded through the dispatcher.
+struct ServeState {
+    /// Per-app FIFO of admitted, not-yet-dispatched requests.
+    pending: Vec<VecDeque<Request>>,
+    /// When each app's serving lane frees up (per-app FIFO service).
+    next_free: Vec<SimTime>,
+    /// Requests currently waiting across all apps.
+    queued: usize,
+    rep: ServeReport,
+    obj_bytes: u64,
+    makespan: SimTime,
+}
+
+/// Immutable-ish dispatch context (the admin controller owns the queues).
+struct ServeCtx<'a> {
+    cfg: &'a ServeConfig,
+    apps: &'a [AppSpec],
+    bar: Option<BarWindow>,
+    admin: AdminController,
+}
+
+/// Why a Morpheus-path request was abandoned mid-service.
+enum ServeAbort {
+    /// Unrecoverable: surface to the caller.
+    Fatal(RunError),
+    /// Recoverable by re-dispatching the request to the host path.
+    Redispatch {
+        at: SimTime,
+        iid: u32,
+        status: StatusCode,
+        cause: String,
+    },
+}
+
+impl From<RunError> for ServeAbort {
+    fn from(e: RunError) -> Self {
+        ServeAbort::Fatal(e)
+    }
+}
+
+impl System {
+    /// Runs an open-loop serving experiment: Poisson arrivals at `cfg.rps`
+    /// for `cfg.duration_s` simulated seconds each pick one of `apps`
+    /// uniformly and are deserialized under `cfg.mode`, with admission,
+    /// same-app batching, and per-app FIFO dispatch. Unlike
+    /// [`run_deserialize_many`](System::run_deserialize_many), P2P mode is
+    /// accepted here: serving measures deserialization and delivery only,
+    /// so objects simply land in GPU memory instead of host DRAM.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an empty app list ([`RunError::NoTenants`]), unknown
+    /// files, parse failures, or fatal firmware errors. Injected faults do
+    /// not fail the run: Morpheus requests re-dispatch to the host path,
+    /// and host-path timeouts count the request as failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-NVMe storage configuration or a non-positive rate,
+    /// duration, depth, or batch size (config bugs, not run outcomes).
+    pub fn serve(&mut self, apps: &[AppSpec], cfg: &ServeConfig) -> Result<ServeReport, RunError> {
+        if apps.is_empty() {
+            return Err(RunError::NoTenants);
+        }
+        assert!(
+            self.params.storage == StorageKind::NvmeSsd,
+            "serving models the NVMe path"
+        );
+        assert!(cfg.rps.is_finite() && cfg.rps > 0.0, "rps must be positive");
+        assert!(
+            cfg.duration_s.is_finite() && cfg.duration_s > 0.0,
+            "duration must be positive"
+        );
+        assert!(cfg.depth >= 1, "admission depth must be at least 1");
+        assert!(cfg.batch_max >= 1, "batch size must be at least 1");
+        self.reset_timing();
+        let bar = match cfg.mode {
+            Mode::MorpheusP2P => Some(self.map_gpu_bar()),
+            _ => None,
+        };
+
+        // One NVMe queue pair per tenant app, created through the admin
+        // queue exactly as a driver would.
+        let mut admin = AdminController::new(self.mssd.identify(), apps.len() as u16 + 1);
+        for a in 0..apps.len() {
+            let sc = admin.create_io_queue(FIRST_TENANT_QID + a as u16, cfg.sq_depth);
+            assert_eq!(sc, StatusCode::Success, "tenant queue creation failed");
+        }
+
+        // The offered load: seeded arrivals, seeded app picks.
+        let horizon = SimTime::ZERO + SimDuration::from_secs_f64(cfg.duration_s);
+        let mut pick = SplitMix64::new(cfg.seed ^ APP_PICK_SALT);
+        let mut reqs: Vec<Request> = Vec::new();
+        for t in ArrivalProcess::new(cfg.seed, cfg.rps) {
+            if t >= horizon {
+                break;
+            }
+            reqs.push(Request {
+                arrival: t,
+                app: pick.next_below(apps.len() as u64) as usize,
+            });
+        }
+
+        let mut st = ServeState {
+            pending: vec![VecDeque::new(); apps.len()],
+            next_free: vec![SimTime::ZERO; apps.len()],
+            queued: 0,
+            rep: ServeReport {
+                mode: cfg.mode,
+                policy: cfg.policy,
+                target_rps: cfg.rps,
+                duration_s: cfg.duration_s,
+                offered: reqs.len() as u64,
+                admitted: 0,
+                completed: 0,
+                shed: 0,
+                overflow_fallbacks: 0,
+                fault_redispatches: 0,
+                failed: 0,
+                batches: 0,
+                commands: 0,
+                doorbell_writes: 0,
+                makespan_s: 0.0,
+                sustained_rps: 0.0,
+                aggregate_mbs: 0.0,
+                records: 0,
+                checksum: 0,
+                queue_wait_ns: Histogram::new(),
+                service_ns: Histogram::new(),
+                e2e_ns: Histogram::new(),
+                faults: FaultCounters::default(),
+                metrics: Metrics::new(),
+            },
+            obj_bytes: 0,
+            makespan: SimTime::ZERO,
+        };
+        let mut ctx = ServeCtx {
+            cfg,
+            apps,
+            bar,
+            admin,
+        };
+
+        for r in reqs {
+            // Serve everything whose dispatch time has passed, so the
+            // queue length this arrival sees is current.
+            self.drain_due(&mut st, &mut ctx, r.arrival)?;
+            if st.queued >= cfg.depth {
+                match cfg.policy {
+                    ServePolicy::Shed => {
+                        st.rep.shed += 1;
+                        let tracer = self.tracer.clone();
+                        tracer.instant(TraceLayer::Host, SERVE_TRACK, "shed", r.arrival);
+                    }
+                    ServePolicy::HostFallback => {
+                        st.rep.overflow_fallbacks += 1;
+                        let tracer = self.tracer.clone();
+                        tracer.instant(TraceLayer::Host, SERVE_TRACK, "admit-overflow", r.arrival);
+                        let mut wire: Vec<WireCmd> = Vec::new();
+                        self.host_service(&mut st, &ctx.apps[r.app], r, r.arrival, &mut wire)?;
+                        self.pump_wire(&mut st, &mut ctx, r.app, &wire);
+                    }
+                }
+            } else {
+                st.pending[r.app].push_back(r);
+                st.queued += 1;
+                st.rep.admitted += 1;
+            }
+        }
+        // The arrival window closed; serve out the queue.
+        self.drain_due(&mut st, &mut ctx, SimTime::from_nanos(u64::MAX))?;
+        debug_assert_eq!(st.queued, 0);
+
+        // Totals and derived rates.
+        st.rep.doorbell_writes = (0..apps.len())
+            .map(|a| {
+                ctx.admin
+                    .io_queue(FIRST_TENANT_QID + a as u16)
+                    .expect("queue created above")
+                    .sq
+                    .doorbell_writes()
+            })
+            .sum();
+        st.rep.makespan_s = st.makespan.as_secs_f64();
+        st.rep.sustained_rps = if st.rep.makespan_s > 0.0 {
+            st.rep.completed as f64 / st.rep.makespan_s
+        } else {
+            0.0
+        };
+        st.rep.aggregate_mbs = mb_per_sec(st.obj_bytes, st.rep.makespan_s);
+        st.rep.faults = self.collect_fault_counters();
+        let mut metrics = Metrics::new();
+        metrics.set(
+            "ssd_core_utilization",
+            self.mssd.dev.cores().utilization(st.makespan),
+        );
+        metrics.set(
+            "ssd_parse_core_busy_s",
+            self.mssd.parse_core_busy().as_secs_f64(),
+        );
+        metrics.set("host_cpu_busy_s", self.cpu_cores.busy().as_secs_f64());
+        st.rep.queue_wait_ns.export("queue_wait_ns", &mut metrics);
+        st.rep.service_ns.export("service_ns", &mut metrics);
+        st.rep.e2e_ns.export("e2e_ns", &mut metrics);
+        st.rep.metrics = metrics;
+        Ok(st.rep)
+    }
+
+    /// Dispatches every batch whose dispatch time is at or before `up_to`,
+    /// earliest first (ties break on the lowest app index). A batch's
+    /// dispatch time is when its app's lane frees up or its head request
+    /// arrives, whichever is later; dispatch coalesces up to
+    /// `batch_max` same-app requests that have arrived by then.
+    fn drain_due(
+        &mut self,
+        st: &mut ServeState,
+        ctx: &mut ServeCtx<'_>,
+        up_to: SimTime,
+    ) -> Result<(), RunError> {
+        loop {
+            let mut best: Option<(SimTime, usize)> = None;
+            for a in 0..ctx.apps.len() {
+                if let Some(front) = st.pending[a].front() {
+                    let d = st.next_free[a].max(front.arrival);
+                    let better = match best {
+                        Some((bd, _)) => d < bd,
+                        None => true,
+                    };
+                    if better {
+                        best = Some((d, a));
+                    }
+                }
+            }
+            let Some((d, a)) = best else {
+                return Ok(());
+            };
+            if d > up_to {
+                return Ok(());
+            }
+            let mut batch = Vec::new();
+            while batch.len() < ctx.cfg.batch_max {
+                match st.pending[a].front() {
+                    Some(r) if r.arrival <= d => {
+                        batch.push(*r);
+                        st.pending[a].pop_front();
+                        st.queued -= 1;
+                    }
+                    _ => break,
+                }
+            }
+            self.serve_batch(st, ctx, a, &batch, d)?;
+        }
+    }
+
+    /// Serves one same-app batch dispatched at `at`: requests run FIFO on
+    /// the app's lane, their commands accumulate into one wire burst, and
+    /// the burst is pumped through the app's submission queue with
+    /// coalesced doorbells.
+    fn serve_batch(
+        &mut self,
+        st: &mut ServeState,
+        ctx: &mut ServeCtx<'_>,
+        app: usize,
+        batch: &[Request],
+        at: SimTime,
+    ) -> Result<(), RunError> {
+        st.rep.batches += 1;
+        let spec = &ctx.apps[app];
+        let mut wire: Vec<WireCmd> = Vec::new();
+        let mut start = at;
+        for r in batch {
+            let end = match ctx.cfg.mode {
+                Mode::Conventional => self.host_service(st, spec, *r, start, &mut wire)?,
+                Mode::Morpheus | Mode::MorpheusP2P => {
+                    self.morpheus_service(st, spec, *r, start, ctx.bar, &mut wire)?
+                }
+            };
+            start = start.max(end);
+        }
+        st.next_free[app] = start;
+        self.pump_wire(st, ctx, app, &wire);
+        Ok(())
+    }
+
+    /// Serves one request on the host path (conventional mode, overflow
+    /// fallback, and fault re-dispatch all land here). Returns when the
+    /// request finished; a spent reissue budget fails just this request.
+    fn host_service(
+        &mut self,
+        st: &mut ServeState,
+        spec: &AppSpec,
+        r: Request,
+        start: SimTime,
+        wire: &mut Vec<WireCmd>,
+    ) -> Result<SimTime, RunError> {
+        // One command-loss roll per request; this path has nothing deeper
+        // to fall back to, so an exhausted budget is a clean per-request
+        // failure rather than a run failure.
+        let floor = match self.issue_with_timeouts(start, start) {
+            Ok(f) => f,
+            Err((at, _attempts)) => {
+                st.rep.failed += 1;
+                let tracer = self.tracer.clone();
+                tracer.instant(TraceLayer::Host, SERVE_TRACK, "request-failed", at);
+                st.makespan = st.makespan.max(at);
+                return Ok(at);
+            }
+        };
+        let dram_before = self.dram.allocated();
+        let mut t = self.conventional_tenant(spec, floor)?;
+        while !t.finished_chunks() {
+            if let TenantState::Conventional {
+                chunks,
+                next,
+                buf_addr,
+                ..
+            } = &t
+            {
+                let c = chunks[*next];
+                let cid = self.alloc_cid();
+                wire.push((
+                    NvmeCommand::read(cid, 1, c.slba, c.blocks, *buf_addr),
+                    StatusCode::Success,
+                    0,
+                ));
+            }
+            self.step_tenant(&mut t)?;
+        }
+        let (_name, _mode, end, objects) = self.finish_tenant(&mut t)?;
+        // Serving is steady-state: the request's buffers are returned once
+        // its objects are handed to the application.
+        let freed = self.dram.allocated().saturating_sub(dram_before);
+        self.dram.free(freed);
+        self.record_done(st, r, start, end, &objects);
+        Ok(end)
+    }
+
+    /// Serves one request on the drive. Faults re-dispatch to the host
+    /// path via the same degradation contract as the solo driver: reap the
+    /// failed stream with its error status, count the fallback, rerun on
+    /// the host from the detection time.
+    fn morpheus_service(
+        &mut self,
+        st: &mut ServeState,
+        spec: &AppSpec,
+        r: Request,
+        start: SimTime,
+        bar: Option<BarWindow>,
+        wire: &mut Vec<WireCmd>,
+    ) -> Result<SimTime, RunError> {
+        let dram_before = self.dram.allocated();
+        match self.try_morpheus_service(spec, r.app, start, bar, wire) {
+            Ok((end, objects)) => {
+                let freed = self.dram.allocated().saturating_sub(dram_before);
+                self.dram.free(freed);
+                self.record_done(st, r, start, end, &objects);
+                Ok(end)
+            }
+            Err(ServeAbort::Fatal(e)) => Err(e),
+            Err(ServeAbort::Redispatch {
+                at,
+                iid,
+                status,
+                cause,
+            }) => {
+                st.rep.fault_redispatches += 1;
+                self.mssd.abort_instance(iid);
+                let cid = self.alloc_cid();
+                wire.push((
+                    MorpheusCommand::Deinit { instance_id: iid }.into_command(cid, 1),
+                    status,
+                    0,
+                ));
+                let tracer = self.tracer.clone();
+                tracer.instant(TraceLayer::Host, SERVE_TRACK, "host-fallback", at);
+                if let Some(fi) = self.faults.as_mut() {
+                    fi.counters.host_fallbacks += 1;
+                    fi.fallback_cause = Some(cause);
+                }
+                // Return any partial output the aborted stream delivered.
+                let freed = self.dram.allocated().saturating_sub(dram_before);
+                self.dram.free(freed);
+                // Latency accounting keeps the original service start: the
+                // time lost to the fault is part of this request's story.
+                let end = self.host_service(st, spec, r, at, wire)?;
+                Ok(end.max(start))
+            }
+        }
+    }
+
+    /// The drive-side service of one request: MINIT → MREAD per chunk →
+    /// MDEINIT, with the same three fault-injection points as the solo
+    /// driver around every command.
+    fn try_morpheus_service(
+        &mut self,
+        spec: &AppSpec,
+        app: usize,
+        start: SimTime,
+        bar: Option<BarWindow>,
+        wire: &mut Vec<WireCmd>,
+    ) -> Result<(SimTime, ParsedColumns), ServeAbort> {
+        let ncores = self.mssd.dev.cores().cores();
+        // Stable affinity: app k's instances always pin to core k % n, so
+        // a tenant's requests queue behind each other, not behind
+        // strangers.
+        let iid = self.alloc_instance_pinned(app % ncores, ncores);
+        let file_len = self
+            .fs
+            .open(&spec.input)
+            .map_err(|_| ServeAbort::Fatal(RunError::UnknownFile(spec.input.clone())))?
+            .len;
+
+        // MINIT may be lost on the wire or find its core stalled/crashed.
+        let floor = self
+            .issue_with_timeouts(start, start)
+            .map_err(|(at, attempts)| ServeAbort::Redispatch {
+                at,
+                iid,
+                status: StatusCode::CommandTimeout,
+                cause: format!("MINIT lost {attempts} times; reissue budget spent"),
+            })?;
+        let floor = self.inject_core_stall(floor);
+        if let Some(at) = self.inject_core_crash(floor) {
+            return Err(ServeAbort::Redispatch {
+                at,
+                iid,
+                status: StatusCode::CoreFault,
+                cause: "embedded core crashed during MINIT".into(),
+            });
+        }
+        let cid = self.alloc_cid();
+        let code_len = DeserializeApp::new(&spec.name, spec.schema.clone()).code_bytes();
+        wire.push((
+            MorpheusCommand::Init {
+                instance_id: iid,
+                code_ptr: 0x4000,
+                code_len,
+                arg: file_len as u32,
+            }
+            .into_command(cid, 1),
+            StatusCode::Success,
+            0,
+        ));
+        let mut t = self
+            .morpheus_tenant(spec, iid, floor, bar)
+            .map_err(ServeAbort::Fatal)?;
+
+        while !t.finished_chunks() {
+            let (ready0, c) = match &t {
+                TenantState::Morpheus {
+                    ready,
+                    chunks,
+                    next,
+                    ..
+                } => (*ready, chunks[*next]),
+                TenantState::Conventional { .. } => unreachable!("constructed as morpheus"),
+            };
+            let floor = self
+                .issue_with_timeouts(ready0, ready0)
+                .map_err(|(at, attempts)| ServeAbort::Redispatch {
+                    at,
+                    iid,
+                    status: StatusCode::CommandTimeout,
+                    cause: format!("MREAD lost {attempts} times; reissue budget spent"),
+                })?;
+            let floor = self.inject_core_stall(floor);
+            if let Some(at) = self.inject_core_crash(floor) {
+                return Err(ServeAbort::Redispatch {
+                    at,
+                    iid,
+                    status: StatusCode::CoreFault,
+                    cause: "embedded core crashed during MREAD".into(),
+                });
+            }
+            if let TenantState::Morpheus { ready, .. } = &mut t {
+                *ready = floor;
+            }
+            let cid = self.alloc_cid();
+            wire.push((
+                MorpheusCommand::Read {
+                    instance_id: iid,
+                    slba: c.slba,
+                    blocks: c.blocks,
+                    dma_addr: 0x2000,
+                }
+                .into_command(cid, 1),
+                StatusCode::Success,
+                0,
+            ));
+            match self.step_tenant(&mut t) {
+                Ok(()) => {}
+                Err(RunError::Morpheus(e)) if e.status() == StatusCode::MediaUncorrectable => {
+                    return Err(ServeAbort::Redispatch {
+                        at: floor,
+                        iid,
+                        status: StatusCode::MediaUncorrectable,
+                        cause: morpheus_simcore::render_error_chain(&e),
+                    });
+                }
+                Err(e) => return Err(ServeAbort::Fatal(e)),
+            }
+        }
+
+        let last0 = match &t {
+            TenantState::Morpheus { last_end, .. } => *last_end,
+            TenantState::Conventional { .. } => unreachable!("constructed as morpheus"),
+        };
+        let floor = self
+            .issue_with_timeouts(last0, last0)
+            .map_err(|(at, attempts)| ServeAbort::Redispatch {
+                at,
+                iid,
+                status: StatusCode::CommandTimeout,
+                cause: format!("MDEINIT lost {attempts} times; reissue budget spent"),
+            })?;
+        let floor = self.inject_core_stall(floor);
+        if let Some(at) = self.inject_core_crash(floor) {
+            return Err(ServeAbort::Redispatch {
+                at,
+                iid,
+                status: StatusCode::CoreFault,
+                cause: "embedded core crashed during MDEINIT".into(),
+            });
+        }
+        if let TenantState::Morpheus { last_end, .. } = &mut t {
+            *last_end = floor;
+        }
+        let (_name, _mode, end, objects) = match self.finish_tenant(&mut t) {
+            Ok(v) => v,
+            Err(RunError::Morpheus(e)) if e.status() == StatusCode::MediaUncorrectable => {
+                return Err(ServeAbort::Redispatch {
+                    at: floor,
+                    iid,
+                    status: StatusCode::MediaUncorrectable,
+                    cause: morpheus_simcore::render_error_chain(&e),
+                });
+            }
+            Err(e) => return Err(ServeAbort::Fatal(e)),
+        };
+        let cid = self.alloc_cid();
+        wire.push((
+            MorpheusCommand::Deinit { instance_id: iid }.into_command(cid, 1),
+            StatusCode::Success,
+            objects.records as u32,
+        ));
+        Ok((end, objects))
+    }
+
+    /// Books one completed request: counters, latency histograms, trace.
+    fn record_done(
+        &mut self,
+        st: &mut ServeState,
+        r: Request,
+        service_start: SimTime,
+        end: SimTime,
+        objects: &ParsedColumns,
+    ) {
+        st.rep.completed += 1;
+        st.rep.records += objects.records;
+        st.rep.checksum = st.rep.checksum.rotate_left(1) ^ objects.checksum();
+        st.obj_bytes += objects.binary_bytes();
+        let wait = service_start.saturating_duration_since(r.arrival);
+        let service = end.saturating_duration_since(service_start);
+        let e2e = end.saturating_duration_since(r.arrival);
+        st.rep.queue_wait_ns.record(wait.as_nanos());
+        st.rep.service_ns.record(service.as_nanos());
+        st.rep.e2e_ns.record(e2e.as_nanos());
+        st.makespan = st.makespan.max(end);
+        let tracer = self.tracer.clone();
+        tracer.span(
+            TraceLayer::Host,
+            SERVE_TRACK,
+            "queue-wait",
+            r.arrival,
+            service_start,
+        );
+        tracer.span_bytes(
+            TraceLayer::Host,
+            SERVE_TRACK,
+            "request",
+            service_start,
+            end,
+            objects.binary_bytes(),
+        );
+    }
+
+    /// Pushes one batch's commands through the tenant's own submission
+    /// queue in doorbell-coalesced waves: each wave fills the free ring
+    /// slots with a single tail-doorbell MMIO
+    /// ([`SubmissionQueue::submit_batch`](morpheus_nvme::SubmissionQueue::submit_batch)),
+    /// then the device drains the ring, the codec is verified byte-exact,
+    /// and completions are posted and reaped — releasing each CID.
+    fn pump_wire(
+        &mut self,
+        st: &mut ServeState,
+        ctx: &mut ServeCtx<'_>,
+        app: usize,
+        wire: &[WireCmd],
+    ) {
+        let qp = ctx
+            .admin
+            .io_queue(FIRST_TENANT_QID + app as u16)
+            .expect("queue created at serve start");
+        let mut i = 0;
+        while i < wire.len() {
+            let wave = ctx.cfg.sq_depth.min(wire.len() - i);
+            let cmds: Vec<NvmeCommand> = wire[i..i + wave].iter().map(|(c, _, _)| *c).collect();
+            qp.sq
+                .submit_batch(&cmds)
+                .expect("wave sized to the ring depth");
+            for (cmd, status, result) in &wire[i..i + wave] {
+                let popped = qp.sq.pop().expect("just submitted");
+                let bytes = popped.encode();
+                let decoded = NvmeCommand::decode(&bytes).expect("codec round-trips");
+                assert_eq!(decoded, *cmd, "wire corruption");
+                if decoded.opcode.is_morpheus() {
+                    MorpheusCommand::parse(&decoded).expect("morpheus command parses");
+                }
+                qp.cq
+                    .post(decoded.cid, *status, *result)
+                    .expect("host reaps promptly");
+                let e = qp.cq.reap().expect("completion just posted");
+                self.release_cid(e.cid);
+            }
+            st.rep.commands += wave as u64;
+            i += wave;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SystemParams;
+    use morpheus_format::{FieldKind, Schema, TextWriter};
+    use morpheus_simcore::FaultPlan;
+
+    fn edge_schema() -> Schema {
+        Schema::new(vec![FieldKind::U32, FieldKind::U32])
+    }
+
+    fn edge_text(n: u32, salt: u64) -> Vec<u8> {
+        let mut w = TextWriter::new();
+        for i in 0..n as u64 {
+            w.write_u64((i * 7 + salt) % 100_000);
+            w.sep();
+            w.write_u64((i * 13 + salt) % 100_000);
+            w.newline();
+        }
+        w.into_bytes()
+    }
+
+    fn serving_system(napps: usize, records: u32) -> (System, Vec<AppSpec>) {
+        let mut sys = System::new(SystemParams::paper_testbed());
+        let mut specs = Vec::new();
+        for i in 0..napps {
+            let name = format!("svc{i}");
+            let file = format!("{name}.txt");
+            sys.create_input_file(&file, &edge_text(records, i as u64))
+                .unwrap();
+            specs.push(AppSpec::cpu_app(&name, &file, edge_schema(), 1, 50.0));
+        }
+        (sys, specs)
+    }
+
+    fn quick_cfg(mode: Mode) -> ServeConfig {
+        let mut cfg = ServeConfig::new(2000.0, 0.02);
+        cfg.mode = mode;
+        cfg
+    }
+
+    #[test]
+    fn serve_requires_apps() {
+        let (mut sys, _) = serving_system(0, 10);
+        assert!(matches!(
+            sys.serve(&[], &ServeConfig::new(100.0, 0.01)),
+            Err(RunError::NoTenants)
+        ));
+    }
+
+    #[test]
+    fn serve_accounts_every_offered_request() {
+        let (mut sys, specs) = serving_system(3, 2_000);
+        for policy in [ServePolicy::Shed, ServePolicy::HostFallback] {
+            let mut cfg = quick_cfg(Mode::Morpheus);
+            cfg.policy = policy;
+            cfg.depth = 2; // force overflow
+            let rep = sys.serve(&specs, &cfg).unwrap();
+            assert!(rep.offered > 0);
+            assert_eq!(
+                rep.offered,
+                rep.admitted + rep.shed + rep.overflow_fallbacks,
+                "admission must partition offered load ({policy})"
+            );
+            assert_eq!(
+                rep.completed + rep.shed + rep.failed,
+                rep.offered,
+                "every request ends served, shed, or failed ({policy})"
+            );
+            assert_eq!(rep.e2e_ns.count(), rep.completed);
+        }
+    }
+
+    #[test]
+    fn serve_is_deterministic_across_repeats() {
+        let (mut sys, specs) = serving_system(2, 1_000);
+        let cfg = quick_cfg(Mode::Morpheus);
+        let a = format!("{}", sys.serve(&specs, &cfg).unwrap());
+        let b = format!("{}", sys.serve(&specs, &cfg).unwrap());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batching_coalesces_doorbells() {
+        let (mut sys, specs) = serving_system(2, 1_000);
+        // Saturating load so batches actually form.
+        let mut cfg = quick_cfg(Mode::Morpheus);
+        cfg.rps = 50_000.0;
+        let rep = sys.serve(&specs, &cfg).unwrap();
+        assert!(rep.batches > 0);
+        assert!(
+            rep.doorbell_writes < rep.commands,
+            "batched submission must save MMIOs: {} doorbells for {} commands",
+            rep.doorbell_writes,
+            rep.commands
+        );
+    }
+
+    #[test]
+    fn faulty_serve_degrades_instead_of_failing() {
+        let (mut sys, specs) = serving_system(2, 1_000);
+        sys.set_fault_plan(FaultPlan::parse("seed=9,crash=0.2,stall=0.1").unwrap());
+        let cfg = quick_cfg(Mode::Morpheus);
+        let rep = sys.serve(&specs, &cfg).unwrap();
+        assert!(
+            rep.fault_redispatches > 0,
+            "a 20% crash rate must hit some request"
+        );
+        assert_eq!(rep.completed + rep.shed + rep.failed, rep.offered);
+        assert!(rep.faults.core_crashes > 0);
+        sys.set_fault_plan(FaultPlan::none());
+    }
+
+    #[test]
+    fn p2p_serving_lands_objects_in_gpu_memory() {
+        let (mut sys, specs) = serving_system(2, 1_000);
+        let host = sys.serve(&specs, &quick_cfg(Mode::Morpheus)).unwrap();
+        let p2p = sys.serve(&specs, &quick_cfg(Mode::MorpheusP2P)).unwrap();
+        assert_eq!(host.checksum, p2p.checksum, "same objects either way");
+        assert!(p2p.completed > 0);
+    }
+}

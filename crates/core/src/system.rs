@@ -5,7 +5,7 @@ use crate::{MorpheusSsd, SystemParams};
 use morpheus_flash::EccModel;
 use morpheus_gpu::Gpu;
 use morpheus_host::{Cpu, FileMeta, FsError, HostDram, MemBus, OsModel, SimFs};
-use morpheus_nvme::{LBA_BYTES, MAX_IO_BLOCKS};
+use morpheus_nvme::{CompletionEntry, NvmeCommand, StatusCode, LBA_BYTES, MAX_IO_BLOCKS};
 use morpheus_pcie::{BarWindow, DeviceId, Fabric};
 use morpheus_simcore::{Bandwidth, FaultCounters, FaultPlan, Histogram, Timeline, Tracer};
 use morpheus_ssd::{Ssd, SsdError};
@@ -64,6 +64,10 @@ pub struct System {
     pub(crate) gpu_bar: Option<BarWindow>,
     pub(crate) next_instance: u32,
     pub(crate) next_cid: u16,
+    /// CIDs handed out but not yet completed. A CID is only unique among
+    /// commands in flight (NVMe 1.2 §4.2), so the allocator must skip
+    /// these when the 16-bit counter wraps under sustained load.
+    pub(crate) in_flight_cids: std::collections::HashSet<u16>,
     pub(crate) tracer: Tracer,
     pub(crate) nvme_lat: Histogram,
     /// The installed fault plan (inactive by default).
@@ -108,6 +112,7 @@ impl System {
             gpu_bar: None,
             next_instance: 1,
             next_cid: 0,
+            in_flight_cids: std::collections::HashSet::new(),
             tracer: Tracer::disabled(),
             nvme_lat: Histogram::new(),
             fault_plan: FaultPlan::none(),
@@ -347,10 +352,54 @@ impl System {
         id
     }
 
+    /// Allocates the next instance ID the firmware will pin to `core`
+    /// (MINIT places instances at `id % cores`), giving callers stable
+    /// per-tenant core affinity.
+    pub(crate) fn alloc_instance_pinned(&mut self, core: usize, cores: usize) -> u32 {
+        debug_assert!(core < cores, "core index out of range");
+        while self.next_instance as usize % cores != core {
+            self.next_instance += 1;
+        }
+        self.alloc_instance()
+    }
+
+    /// Allocates a command identifier that is unique among commands in
+    /// flight, wrapping past CIDs still awaiting completion. Callers must
+    /// pair every allocation with [`release_cid`](System::release_cid)
+    /// once the completion is reaped.
     pub(crate) fn alloc_cid(&mut self) -> u16 {
-        let id = self.next_cid;
-        self.next_cid = self.next_cid.wrapping_add(1);
-        id
+        assert!(
+            self.in_flight_cids.len() < usize::from(u16::MAX) + 1,
+            "all 65536 command identifiers are in flight"
+        );
+        loop {
+            let id = self.next_cid;
+            self.next_cid = self.next_cid.wrapping_add(1);
+            if self.in_flight_cids.insert(id) {
+                return id;
+            }
+        }
+    }
+
+    /// Returns a command identifier to the pool after its completion was
+    /// reaped.
+    pub(crate) fn release_cid(&mut self, cid: u16) {
+        self.in_flight_cids.remove(&cid);
+    }
+
+    /// Drives one command through the shared I/O queue's full wire
+    /// protocol (encode → decode → completion) and releases its CID for
+    /// reuse once the completion is reaped, mirroring a real driver's CID
+    /// lifecycle.
+    pub(crate) fn round_trip(
+        &mut self,
+        cmd: NvmeCommand,
+        status: StatusCode,
+        result: u32,
+    ) -> CompletionEntry {
+        let e = self.mssd.protocol_round_trip(cmd, status, result);
+        self.release_cid(e.cid);
+        e
     }
 }
 
@@ -418,5 +467,38 @@ mod tests {
         let mut sys = small_system();
         assert_ne!(sys.alloc_instance(), sys.alloc_instance());
         assert_ne!(sys.alloc_cid(), sys.alloc_cid());
+    }
+
+    #[test]
+    fn pinned_instances_land_on_requested_core() {
+        let mut sys = small_system();
+        for core in [2usize, 0, 3, 3, 1] {
+            let iid = sys.alloc_instance_pinned(core, 4);
+            assert_eq!(iid as usize % 4, core);
+        }
+    }
+
+    #[test]
+    fn cid_allocation_survives_u16_exhaustion() {
+        // Regression: sustained serving issues far more than 65 536
+        // commands; the allocator must wrap without colliding with CIDs
+        // still in flight.
+        let mut sys = small_system();
+        let held: Vec<u16> = (0..8).map(|_| sys.alloc_cid()).collect();
+        let held_set: std::collections::HashSet<u16> = held.iter().copied().collect();
+        for _ in 0..70_000u32 {
+            let cid = sys.alloc_cid();
+            assert!(
+                !held_set.contains(&cid),
+                "fresh CID {cid} collides with an in-flight command"
+            );
+            let cmd = NvmeCommand::new(morpheus_nvme::IoOpcode::Flush, cid, 1);
+            let e = sys.round_trip(cmd, StatusCode::Success, 0);
+            assert_eq!(e.cid, cid);
+        }
+        // The long-held commands complete last; their CIDs stayed theirs.
+        for cid in held {
+            sys.release_cid(cid);
+        }
     }
 }

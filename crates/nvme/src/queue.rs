@@ -68,6 +68,30 @@ impl SubmissionQueue {
         Ok(())
     }
 
+    /// Host side: enqueue a burst of commands with a single tail-doorbell
+    /// write, as coalescing drivers do — the tail moves once past the whole
+    /// burst, so the MMIO cost is paid per burst rather than per command.
+    ///
+    /// The burst is all-or-nothing: either every command fits in the ring
+    /// and is enqueued, or the ring is left untouched. An empty burst is a
+    /// no-op and does not ring the doorbell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueError::Full`] when the ring cannot hold the entire
+    /// burst; no command is enqueued in that case.
+    pub fn submit_batch(&mut self, cmds: &[NvmeCommand]) -> Result<(), QueueError> {
+        if cmds.is_empty() {
+            return Ok(());
+        }
+        if self.entries.len() + cmds.len() > self.depth {
+            return Err(QueueError::Full);
+        }
+        self.entries.extend(cmds.iter().copied());
+        self.doorbell_writes += 1;
+        Ok(())
+    }
+
     /// Device side: consume the oldest command, if any.
     pub fn pop(&mut self) -> Option<NvmeCommand> {
         self.entries.pop_front()
@@ -224,6 +248,48 @@ mod tests {
         assert_eq!(sq.pop().unwrap().cid, 2);
         assert!(sq.pop().is_none());
         assert_eq!(sq.doorbell_writes(), 2);
+    }
+
+    #[test]
+    fn batch_submit_rings_doorbell_once_per_burst() {
+        // A burst of 8 costs one MMIO; the same 8 commands submitted
+        // singly cost 8.
+        let burst: Vec<NvmeCommand> = (0..8).map(cmd).collect();
+        let mut batched = SubmissionQueue::new(16);
+        batched.submit_batch(&burst).unwrap();
+        assert_eq!(batched.doorbell_writes(), 1);
+        let mut single = SubmissionQueue::new(16);
+        for c in &burst {
+            single.submit(*c).unwrap();
+        }
+        assert_eq!(single.doorbell_writes(), 8);
+        // FIFO order is identical either way.
+        for want in 0..8u16 {
+            assert_eq!(batched.pop().unwrap().cid, want);
+            assert_eq!(single.pop().unwrap().cid, want);
+        }
+    }
+
+    #[test]
+    fn batch_submit_is_all_or_nothing() {
+        let mut sq = SubmissionQueue::new(4);
+        sq.submit(cmd(0)).unwrap();
+        let burst: Vec<NvmeCommand> = (1..=4).map(cmd).collect();
+        assert_eq!(sq.submit_batch(&burst).unwrap_err(), QueueError::Full);
+        // The failed burst left the ring untouched and rang no doorbell.
+        assert_eq!(sq.len(), 1);
+        assert_eq!(sq.doorbell_writes(), 1);
+        sq.submit_batch(&burst[..3]).unwrap();
+        assert_eq!(sq.len(), 4);
+        assert_eq!(sq.doorbell_writes(), 2);
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let mut sq = SubmissionQueue::new(2);
+        sq.submit_batch(&[]).unwrap();
+        assert!(sq.is_empty());
+        assert_eq!(sq.doorbell_writes(), 0);
     }
 
     #[test]

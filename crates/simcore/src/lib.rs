@@ -16,6 +16,8 @@
 //! * [`Metrics`] — a small ordered metric bag used by reports.
 //! * [`SplitMix64`] — a tiny deterministic PRNG so lower-level crates do not
 //!   need the `rand` dependency.
+//! * [`ArrivalProcess`] — a seeded Poisson stream of request timestamps for
+//!   open-loop serving experiments.
 //! * [`FaultPlan`] / [`FaultDice`] / [`FaultCounters`] — the seeded,
 //!   deterministic fault-injection plane (see `docs/FAULT_MODEL.md`).
 //!
@@ -37,6 +39,7 @@
 
 #![deny(missing_docs)]
 
+mod arrivals;
 mod energy;
 mod faults;
 mod gantt;
@@ -47,6 +50,7 @@ mod time;
 mod timeline;
 mod trace;
 
+pub use arrivals::ArrivalProcess;
 pub use energy::{EnergyReport, PowerModel, Rail, RailId};
 pub use faults::{render_error_chain, FaultCounters, FaultDice, FaultPlan};
 pub use gantt::render_gantt;

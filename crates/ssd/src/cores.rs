@@ -99,6 +99,19 @@ impl EmbeddedCorePool {
         self.cores.iter().map(Timeline::busy).sum()
     }
 
+    /// Mean pool utilization over the window `[0, until]`: total busy time
+    /// divided by the window across all cores. Serving reports use this to
+    /// show how loaded the drive's cores were over a run. Zero-length
+    /// windows yield `0.0`.
+    pub fn utilization(&self, until: SimTime) -> f64 {
+        let window = until.as_secs_f64() * self.cores.len() as f64;
+        if window > 0.0 {
+            (self.busy().as_secs_f64() / window).min(1.0)
+        } else {
+            0.0
+        }
+    }
+
     /// Latest time any core frees up.
     pub fn horizon(&self) -> SimTime {
         self.cores
@@ -143,6 +156,15 @@ mod tests {
         pool.exec(SimTime::ZERO, 1e9);
         pool.exec(SimTime::ZERO, 1e9);
         assert_eq!(pool.busy().as_secs_f64(), 2.0);
+    }
+
+    #[test]
+    fn utilization_is_busy_over_window() {
+        let mut pool = EmbeddedCorePool::new(2, 1e9);
+        pool.exec(SimTime::ZERO, 1e9); // one core busy for 1s of a 2s window
+        let until = SimTime::ZERO + SimDuration::from_secs(2);
+        assert!((pool.utilization(until) - 0.25).abs() < 1e-9);
+        assert_eq!(pool.utilization(SimTime::ZERO), 0.0);
     }
 
     #[test]
