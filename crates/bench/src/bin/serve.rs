@@ -12,7 +12,8 @@
 //! seeded system, so output is byte-identical across repeats and `--jobs`.
 
 use morpheus::{
-    AppSpec, Mode, RunError, ServeConfig, ServePolicy, ServeReport, System, SystemParams,
+    AppSpec, CacheConfig, CachePolicy, Mode, RunError, ServeConfig, ServePolicy, ServeReport,
+    System, SystemParams,
 };
 use morpheus_bench::{print_table, run_parallel, Harness};
 use morpheus_format::{FieldKind, Schema, TextWriter};
@@ -22,7 +23,8 @@ const USAGE: &str =
     "usage: serve [--rps LIST] [--duration S] [--depth N] [--batch N] [--sq-depth N]
              [--policy shed|fallback] [--mode all|conventional|morpheus|morpheus+p2p]
              [--apps N] [--bytes N] [--trace-out <path>]
-             [--seed N] [--jobs N] [--faults SPEC]";
+             [--skew F] [--cache-mb N] [--cache-host-mb N] [--cache-policy tinylfu|lru]
+             [--csv] [--seed N] [--jobs N] [--faults SPEC]";
 
 /// One parsed invocation.
 #[derive(Debug)]
@@ -37,7 +39,25 @@ struct Cli {
     apps: usize,
     bytes: u64,
     trace_out: Option<String>,
+    skew: f64,
+    cache_mb: u64,
+    cache_host_mb: u64,
+    cache_policy: CachePolicy,
+    csv: bool,
     harness: Harness,
+}
+
+impl Cli {
+    /// The object-cache configuration this invocation asked for (inert
+    /// when both capacities are zero — exactly cache-off).
+    fn cache_config(&self) -> CacheConfig {
+        CacheConfig {
+            dram_bytes: self.cache_mb << 20,
+            host_bytes: self.cache_host_mb << 20,
+            policy: self.cache_policy,
+            seed: self.harness.seed,
+        }
+    }
 }
 
 /// The flag grammar, separated from process state so tests can drive it.
@@ -68,6 +88,11 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         apps: 3,
         bytes: 64 * 1024,
         trace_out: None,
+        skew: 0.0,
+        cache_mb: 0,
+        cache_host_mb: 0,
+        cache_policy: CachePolicy::TinyLfu,
+        csv: false,
         harness: Harness::default(),
     };
     let mut harness_args: Vec<String> = Vec::new();
@@ -128,6 +153,34 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                 };
             }
             "--trace-out" => cli.trace_out = Some(value("--trace-out", &mut it)?.clone()),
+            "--skew" => {
+                let v = value("--skew", &mut it)?;
+                let s: f64 = v
+                    .parse()
+                    .map_err(|_| format!("--skew expects a number, got {v:?}"))?;
+                if !s.is_finite() || s < 0.0 {
+                    return Err("--skew must be finite and non-negative".into());
+                }
+                cli.skew = s;
+            }
+            "--cache-mb" => {
+                let v = value("--cache-mb", &mut it)?;
+                cli.cache_mb = v
+                    .parse()
+                    .map_err(|_| format!("--cache-mb expects a byte count in MB, got {v:?}"))?;
+            }
+            "--cache-host-mb" => {
+                let v = value("--cache-host-mb", &mut it)?;
+                cli.cache_host_mb = v.parse().map_err(|_| {
+                    format!("--cache-host-mb expects a byte count in MB, got {v:?}")
+                })?;
+            }
+            "--cache-policy" => {
+                let v = value("--cache-policy", &mut it)?;
+                cli.cache_policy = CachePolicy::parse(v)
+                    .ok_or_else(|| format!("--cache-policy expects tinylfu|lru, got {v:?}"))?;
+            }
+            "--csv" => cli.csv = true,
             // Harness flags: re-validated by the shared grammar so
             // `--faults bogus` fails exactly as in every figure binary.
             "--seed" | "--jobs" | "--faults" => {
@@ -141,6 +194,9 @@ fn parse(args: &[String]) -> Result<Cli, String> {
     cli.harness = Harness::parse(&harness_args, &[]).map_err(|e| e.0)?;
     if cli.trace_out.is_some() && (cli.modes.len() > 1 || cli.rps.len() > 1) {
         return Err("--trace-out needs a single cell: one --mode and one --rps".into());
+    }
+    if cli.csv && cli.trace_out.is_some() {
+        return Err("--csv and --trace-out are mutually exclusive (CSV owns stdout)".into());
     }
     Ok(cli)
 }
@@ -173,12 +229,16 @@ fn build_system(cli: &Cli) -> (System, Vec<AppSpec>) {
     (sys, specs)
 }
 
-/// Runs one (mode, rps) cell on its own fresh system.
+/// Runs one (mode, rps) cell on its own fresh system. The cell builds its
+/// cache fresh too, so the grid stays byte-identical across `--jobs`
+/// fan-outs; cache-on cells therefore measure the within-run (cold-start
+/// plus steady-state) hit economy.
 fn run_cell(cli: &Cli, mode: Mode, rps: f64) -> Result<(ServeReport, Option<String>), RunError> {
     let (mut sys, specs) = build_system(cli);
     if cli.trace_out.is_some() {
         sys.set_tracer(Tracer::enabled());
     }
+    sys.set_object_cache(cli.cache_config());
     let cfg = ServeConfig {
         rps,
         duration_s: cli.duration_s,
@@ -188,6 +248,7 @@ fn run_cell(cli: &Cli, mode: Mode, rps: f64) -> Result<(ServeReport, Option<Stri
         mode,
         policy: cli.policy,
         seed: cli.harness.seed,
+        skew: cli.skew,
     };
     let rep = sys.serve(&specs, &cfg)?;
     let trace = cli
@@ -214,12 +275,25 @@ fn main() {
         run_cell(&cli, *mode, *rps)
     });
 
-    println!(
-        "serve: {} apps x ~{} bytes, duration {}s, depth {}, batch <= {}, policy {}, seed {}",
-        cli.apps, cli.bytes, cli.duration_s, cli.depth, cli.batch, cli.policy, cli.harness.seed
-    );
+    let cache_on = cli.cache_config().is_enabled();
+    if !cli.csv {
+        // The historical banner is extended only when the new knobs are in
+        // play, so pre-cache invocations stay byte-identical.
+        let mut banner = format!(
+            "serve: {} apps x ~{} bytes, duration {}s, depth {}, batch <= {}, policy {}, seed {}",
+            cli.apps, cli.bytes, cli.duration_s, cli.depth, cli.batch, cli.policy, cli.harness.seed
+        );
+        if cli.skew > 0.0 || cache_on {
+            banner.push_str(&format!(
+                ", skew {}, cache {}+{}MB {}",
+                cli.skew, cli.cache_mb, cli.cache_host_mb, cli.cache_policy
+            ));
+        }
+        println!("{banner}");
+    }
     let mut rows = Vec::new();
     let mut fault_lines = Vec::new();
+    let mut cache_lines = Vec::new();
     let mut trace_json = None;
     for ((mode, rps), cell) in grid.iter().zip(cells) {
         let (rep, trace) = match cell {
@@ -235,7 +309,7 @@ fn main() {
         if trace.is_some() {
             trace_json = trace;
         }
-        rows.push(vec![
+        let mut row = vec![
             mode.to_string(),
             format!("{rps:.0}"),
             rep.offered.to_string(),
@@ -252,19 +326,39 @@ fn main() {
             rep.commands.to_string(),
             rep.doorbell_writes.to_string(),
             format!("{:.3}", rep.metrics.get("ssd_core_utilization")),
-        ]);
+        ];
+        if cache_on {
+            let c = rep.cache.unwrap_or_default();
+            row.push(format!("{:.3}", c.hit_rate()));
+        }
+        rows.push(row);
         if cli.harness.faults.is_some() {
             fault_lines.push(format!("faults ({mode} @ {rps:.0} rps): {}", rep.faults));
         }
+        if let Some(c) = rep.cache {
+            cache_lines.push(format!("cache ({mode} @ {rps:.0} rps): {c}"));
+        }
     }
-    print_table(
-        &[
-            "mode", "rps", "offered", "done", "shed", "fb", "redisp", "fail", "p50us", "p95us",
-            "p99us", "sust_rps", "mb_s", "cmds", "dbell", "ssd_util",
-        ],
-        &rows,
-    );
+    let mut header = vec![
+        "mode", "rps", "offered", "done", "shed", "fb", "redisp", "fail", "p50us", "p95us",
+        "p99us", "sust_rps", "mb_s", "cmds", "dbell", "ssd_util",
+    ];
+    if cache_on {
+        header.push("hit_rate");
+    }
+    if cli.csv {
+        // CSV owns stdout: exactly one header line plus one line per cell.
+        println!("{}", header.join(","));
+        for row in &rows {
+            println!("{}", row.join(","));
+        }
+        return;
+    }
+    print_table(&header, &rows);
     for line in fault_lines {
+        println!("{line}");
+    }
+    for line in cache_lines {
         println!("{line}");
     }
     if let (Some(path), Some(json)) = (&cli.trace_out, trace_json) {
@@ -291,6 +385,11 @@ mod tests {
         assert_eq!(cli.rps.len(), 6);
         assert_eq!(cli.policy, ServePolicy::Shed);
         assert_eq!((cli.depth, cli.batch, cli.sq_depth), (64, 8, 64));
+        assert_eq!(cli.skew, 0.0);
+        assert_eq!((cli.cache_mb, cli.cache_host_mb), (0, 0));
+        assert_eq!(cli.cache_policy, CachePolicy::TinyLfu);
+        assert!(!cli.csv);
+        assert!(!cli.cache_config().is_enabled(), "defaults are cache-off");
     }
 
     #[test]
@@ -314,6 +413,15 @@ mod tests {
             "2",
             "--bytes",
             "4096",
+            "--skew",
+            "1.1",
+            "--cache-mb",
+            "256",
+            "--cache-host-mb",
+            "512",
+            "--cache-policy",
+            "lru",
+            "--csv",
             "--seed",
             "7",
             "--jobs",
@@ -327,8 +435,16 @@ mod tests {
         assert_eq!(cli.policy, ServePolicy::HostFallback);
         assert_eq!(cli.modes, vec![Mode::Morpheus]);
         assert_eq!((cli.apps, cli.bytes), (2, 4096));
+        assert_eq!(cli.skew, 1.1);
+        assert_eq!((cli.cache_mb, cli.cache_host_mb), (256, 512));
+        assert_eq!(cli.cache_policy, CachePolicy::Lru);
+        assert!(cli.csv);
         assert_eq!((cli.harness.seed, cli.harness.jobs), (7, 4));
         assert_eq!(cli.harness.faults.expect("plan").core_crash, 0.5);
+        let cc = cli.cache_config();
+        assert_eq!(cc.dram_bytes, 256 << 20);
+        assert_eq!(cc.host_bytes, 512 << 20);
+        assert_eq!(cc.seed, 7);
     }
 
     #[test]
@@ -348,20 +464,45 @@ mod tests {
     #[test]
     fn parse_rejects_bad_input() {
         for bad in [
-            vec!["--rps"],             // missing value
-            vec!["--rps", "0"],        // non-positive rate
-            vec!["--rps", "100,abc"],  // malformed entry
-            vec!["--duration", "-1"],  // negative
-            vec!["--depth", "0"],      // zero depth
-            vec!["--batch", "x"],      // malformed
-            vec!["--policy", "drop"],  // unknown policy
-            vec!["--mode", "turbo"],   // unknown mode
-            vec!["--apps", "0"],       // zero tenants
-            vec!["--sacle", "64"],     // typo flag
-            vec!["--faults", "bogus"], // bad fault spec
-            vec!["--jobs", "0"],       // harness re-check
+            vec!["--rps"],                 // missing value
+            vec!["--rps", "0"],            // non-positive rate
+            vec!["--rps", "100,abc"],      // malformed entry
+            vec!["--duration", "-1"],      // negative
+            vec!["--depth", "0"],          // zero depth
+            vec!["--batch", "x"],          // malformed
+            vec!["--policy", "drop"],      // unknown policy
+            vec!["--mode", "turbo"],       // unknown mode
+            vec!["--apps", "0"],           // zero tenants
+            vec!["--sacle", "64"],         // typo flag
+            vec!["--faults", "bogus"],     // bad fault spec
+            vec!["--jobs", "0"],           // harness re-check
+            vec!["--skew"],                // missing value
+            vec!["--skew", "-0.5"],        // negative skew
+            vec!["--skew", "inf"],         // non-finite skew
+            vec!["--skew", "hot"],         // malformed skew
+            vec!["--cache-mb", "many"],    // malformed capacity
+            vec!["--cache-mb", "-1"],      // negative capacity
+            vec!["--cache-host-mb", "x"],  // malformed spill capacity
+            vec!["--cache-policy", "arc"], // unknown cache policy
+            vec!["--cache-policy"],        // missing value
+            vec!["--csv", "x"],            // --csv takes no value
         ] {
             assert!(parse(&argv(&bad)).is_err(), "should reject {bad:?}");
         }
+    }
+
+    #[test]
+    fn csv_and_trace_out_are_mutually_exclusive() {
+        assert!(parse(&argv(&[
+            "--csv",
+            "--trace-out",
+            "t.json",
+            "--mode",
+            "morpheus",
+            "--rps",
+            "100"
+        ]))
+        .is_err());
+        assert!(parse(&argv(&["--csv"])).is_ok());
     }
 }

@@ -972,6 +972,15 @@ impl System {
             .dev
             .read_latency()
             .export("flash_read_lat_ns", &mut metrics);
+        // Object-cache lifetime counters (only when a cache is installed,
+        // so cache-off reports keep their exact pre-cache metric set).
+        if let Some(s) = self.object_cache.as_ref().map(|c| c.stats()) {
+            metrics.set("cache_hits", s.hits as f64);
+            metrics.set("cache_misses", s.misses as f64);
+            metrics.set("cache_hit_rate", s.hit_rate());
+            metrics.set("cache_dram_kb", (s.dram_bytes / 1024) as f64);
+            metrics.set("cache_host_kb", (s.host_bytes / 1024) as f64);
+        }
 
         let report = RunReport {
             app: spec.name.clone(),

@@ -257,6 +257,23 @@ impl MorpheusSsd {
         self.instances.len()
     }
 
+    /// Reserves `bytes` of controller DRAM for the deserialized-object
+    /// cache, through the same `alloc_dram` accounting MINIT uses for
+    /// instance state — the cache tier and StorageApp instances compete
+    /// for the one real 2 GB part. Returns false (reserving nothing) when
+    /// the budget does not fit alongside existing reservations. The
+    /// reservation survives [`reset_timing`](MorpheusSsd::reset_timing),
+    /// like a firmware-static DRAM partition.
+    pub fn reserve_object_cache(&mut self, bytes: u64) -> bool {
+        self.dev.alloc_dram(bytes).is_some()
+    }
+
+    /// Returns an object-cache reservation made with
+    /// [`reserve_object_cache`](MorpheusSsd::reserve_object_cache).
+    pub fn release_object_cache(&mut self, bytes: u64) {
+        self.dev.free_dram(bytes);
+    }
+
     /// Serves Identify Controller: the standard fields plus the
     /// vendor-specific Morpheus capability block the host runtime uses to
     /// discover StorageApp support.

@@ -19,7 +19,12 @@
 //! * **open-loop serving** — [`System::serve`] pushes a seeded arrival
 //!   stream through admission, same-app batching, and per-tenant NVMe
 //!   queues to find each mode's latency-vs-RPS knee ([`ServeConfig`],
-//!   [`ServeReport`]).
+//!   [`ServeReport`]);
+//! * the **object cache** — a tiered deserialized-object cache in
+//!   controller DRAM with a host-memory spill tier
+//!   ([`System::set_object_cache`], [`CacheConfig`], [`ObjectCache`]):
+//!   under Zipfian serve traffic a hit skips flash, parsing, and the
+//!   embedded cores, paying only PCIe delivery (`docs/CACHE.md`).
 //!
 //! Deserialization is functionally real end to end: bytes live in simulated
 //! flash behind a real FTL, StorageApps parse them with the same parser the
@@ -48,6 +53,7 @@
 #![warn(missing_docs)]
 
 mod apps;
+mod cache;
 mod concurrent;
 mod exec;
 mod faults;
@@ -61,6 +67,10 @@ mod storage_app;
 mod system;
 
 pub use apps::{BinaryDeserializeApp, SerializeApp};
+pub use cache::{
+    format_digest, CacheConfig, CacheEvent, CacheHit, CachePolicy, CacheStats, CacheTier,
+    ObjectCache,
+};
 pub use concurrent::{ConcurrentReport, TenantReport};
 pub use exec::{AppSpec, GpuKernelPerRecord, InputFormat, ParallelModel, RunError, RunOutcome};
 pub use firmware::{MorpheusError, MorpheusSsd, MreadOutcome, MwriteOutcome};

@@ -65,6 +65,9 @@ impl System {
         if mode == Mode::MorpheusP2P {
             return Err(RunError::NotGpuApp(output.to_string()));
         }
+        // Writing `output` (the MWRITE path) mutates the file: any cached
+        // objects parsed from a previous incarnation of it must go.
+        self.invalidate_cached_objects(output);
         self.reset_timing();
         let obj_bytes = objects.binary_bytes();
         // Worst-case text size bounds the file allocation; the file is

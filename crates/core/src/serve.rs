@@ -13,21 +13,27 @@
 //! rolls, and dispatch order derive from seeds, so a serve run is
 //! byte-identical across repeats and across bench `--jobs` values.
 
+use crate::cache::{self, CacheEvent, CacheHit, CacheStats, CacheTier};
 use crate::concurrent::TenantState;
 use crate::exec::{AppSpec, RunError};
 use crate::report::{mb_per_sec, Mode};
 use crate::{DeserializeApp, StorageApp, StorageKind, System};
 use morpheus_format::ParsedColumns;
+use morpheus_host::CodeClass;
 use morpheus_nvme::{AdminController, MorpheusCommand, NvmeCommand, StatusCode};
-use morpheus_pcie::BarWindow;
+use morpheus_pcie::{BarWindow, DmaDir};
 use morpheus_simcore::{
-    ArrivalProcess, FaultCounters, Histogram, Metrics, SimDuration, SimTime, SplitMix64, TraceLayer,
+    ArrivalProcess, FaultCounters, Histogram, Metrics, SimDuration, SimTime, SplitMix64,
+    TraceLayer, Zipfian,
 };
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::Arc;
 
 /// Trace track for serving-layer events (admission, waits, requests).
 const SERVE_TRACK: &str = "serve";
+/// Trace track for object-cache events (hits, misses, admission churn).
+const CACHE_TRACK: &str = "cache";
 /// Queue id of the first per-tenant I/O queue pair. Qid 0 is the admin
 /// queue and qid 1 is the legacy shared queue the solo drivers use.
 const FIRST_TENANT_QID: u16 = 2;
@@ -87,6 +93,12 @@ pub struct ServeConfig {
     pub policy: ServePolicy,
     /// Seed for the arrival schedule and app picks.
     pub seed: u64,
+    /// Zipfian exponent of the app-popularity distribution. `0.0` (the
+    /// default) keeps the historical uniform pick stream byte-for-byte;
+    /// any positive value draws app indices from a seeded [`Zipfian`]
+    /// (rank 0 = most popular), which is what makes the object cache
+    /// earn hits.
+    pub skew: f64,
 }
 
 impl ServeConfig {
@@ -101,6 +113,7 @@ impl ServeConfig {
             mode: Mode::Morpheus,
             policy: ServePolicy::Shed,
             seed: 42,
+            skew: 0.0,
         }
     }
 }
@@ -150,6 +163,12 @@ pub struct ServeReport {
     pub records: u64,
     /// Order-sensitive fold of per-request object checksums.
     pub checksum: u64,
+    /// Order-insensitive (commutative) fold of the same per-request
+    /// checksums. Dispatch order legitimately shifts when service times
+    /// change (a cache turns misses into fast hits), so this is the field
+    /// correctness tests compare across cache-on/cache-off runs. Not
+    /// printed by `Display` — pre-cache report text stays byte-identical.
+    pub checksum_unordered: u64,
     /// Arrival → service-start latency, nanoseconds.
     pub queue_wait_ns: Histogram,
     /// Service-start → completion latency, nanoseconds.
@@ -158,6 +177,9 @@ pub struct ServeReport {
     pub e2e_ns: Histogram,
     /// Injected faults and recoveries (all zero without a fault plan).
     pub faults: FaultCounters,
+    /// Object-cache counters for this run (`None` when no cache is
+    /// installed, so cache-off reports render exactly as before).
+    pub cache: Option<CacheStats>,
     /// Extra measurements (latency quantiles, core utilization; sorted).
     pub metrics: Metrics,
 }
@@ -193,7 +215,11 @@ impl fmt::Display for ServeReport {
         )?;
         writeln!(f, "queue_wait_ns {:?}", self.queue_wait_ns)?;
         writeln!(f, "service_ns    {:?}", self.service_ns)?;
-        write!(f, "e2e_ns        {:?}", self.e2e_ns)
+        write!(f, "e2e_ns        {:?}", self.e2e_ns)?;
+        if let Some(c) = &self.cache {
+            write!(f, "\ncache         {c}")?;
+        }
+        Ok(())
     }
 }
 
@@ -227,6 +253,15 @@ struct ServeCtx<'a> {
     apps: &'a [AppSpec],
     bar: Option<BarWindow>,
     admin: AdminController,
+    /// Per-app format digests (part of the cache key), computed once.
+    digests: Vec<u64>,
+}
+
+/// One tenant's spec plus its precomputed format digest (the cache key
+/// half that doesn't depend on the request).
+struct Tenant<'a> {
+    spec: &'a AppSpec,
+    digest: u64,
 }
 
 /// Why a Morpheus-path request was abandoned mid-service.
@@ -283,6 +318,10 @@ impl System {
         );
         assert!(cfg.depth >= 1, "admission depth must be at least 1");
         assert!(cfg.batch_max >= 1, "batch size must be at least 1");
+        assert!(
+            cfg.skew.is_finite() && cfg.skew >= 0.0,
+            "skew must be finite and non-negative"
+        );
         self.reset_timing();
         let bar = match cfg.mode {
             Mode::MorpheusP2P => Some(self.map_gpu_bar()),
@@ -297,18 +336,23 @@ impl System {
             assert_eq!(sc, StatusCode::Success, "tenant queue creation failed");
         }
 
-        // The offered load: seeded arrivals, seeded app picks.
+        // The offered load: seeded arrivals, seeded app picks. Skew 0
+        // keeps the historical uniform `next_below` stream so pre-skew
+        // runs stay byte-identical; positive skew draws Zipfian ranks
+        // from the same pick stream (one uniform draw per request).
         let horizon = SimTime::ZERO + SimDuration::from_secs_f64(cfg.duration_s);
+        let zipf = (cfg.skew > 0.0).then(|| Zipfian::new(apps.len(), cfg.skew));
         let mut pick = SplitMix64::new(cfg.seed ^ APP_PICK_SALT);
         let mut reqs: Vec<Request> = Vec::new();
         for t in ArrivalProcess::new(cfg.seed, cfg.rps) {
             if t >= horizon {
                 break;
             }
-            reqs.push(Request {
-                arrival: t,
-                app: pick.next_below(apps.len() as u64) as usize,
-            });
+            let app = match &zipf {
+                Some(z) => z.sample(&mut pick),
+                None => pick.next_below(apps.len() as u64) as usize,
+            };
+            reqs.push(Request { arrival: t, app });
         }
 
         let mut st = ServeState {
@@ -335,20 +379,28 @@ impl System {
                 aggregate_mbs: 0.0,
                 records: 0,
                 checksum: 0,
+                checksum_unordered: 0,
                 queue_wait_ns: Histogram::new(),
                 service_ns: Histogram::new(),
                 e2e_ns: Histogram::new(),
                 faults: FaultCounters::default(),
+                cache: None,
                 metrics: Metrics::new(),
             },
             obj_bytes: 0,
             makespan: SimTime::ZERO,
         };
+        // Per-run cache view: counters are lifetime totals (the cache
+        // survives across runs so warmed state carries over), so the
+        // report subtracts this snapshot.
+        let cache_base = self.object_cache.as_ref().map(|c| c.stats());
+        let digests: Vec<u64> = apps.iter().map(cache::format_digest).collect();
         let mut ctx = ServeCtx {
             cfg,
             apps,
             bar,
             admin,
+            digests,
         };
 
         for r in reqs {
@@ -412,6 +464,17 @@ impl System {
         st.rep.queue_wait_ns.export("queue_wait_ns", &mut metrics);
         st.rep.service_ns.export("service_ns", &mut metrics);
         st.rep.e2e_ns.export("e2e_ns", &mut metrics);
+        if let (Some(c), Some(base)) = (self.object_cache.as_ref(), cache_base) {
+            let run = c.stats().since(&base);
+            metrics.set("cache_hits", run.hits as f64);
+            metrics.set("cache_misses", run.misses as f64);
+            metrics.set("cache_hit_rate", run.hit_rate());
+            metrics.set("cache_evictions", run.evictions as f64);
+            metrics.set("cache_invalidations", run.invalidations as f64);
+            metrics.set("cache_dram_kb", (run.dram_bytes / 1024) as f64);
+            metrics.set("cache_host_kb", (run.host_bytes / 1024) as f64);
+            st.rep.cache = Some(run);
+        }
         st.rep.metrics = metrics;
         Ok(st.rep)
     }
@@ -482,7 +545,11 @@ impl System {
             let end = match ctx.cfg.mode {
                 Mode::Conventional => self.host_service(st, spec, *r, start, &mut wire)?,
                 Mode::Morpheus | Mode::MorpheusP2P => {
-                    self.morpheus_service(st, spec, *r, start, ctx.bar, &mut wire)?
+                    let tenant = Tenant {
+                        spec,
+                        digest: ctx.digests[app],
+                    };
+                    self.morpheus_service(st, &tenant, *r, start, ctx.bar, &mut wire)?
                 }
             };
             start = start.max(end);
@@ -549,21 +616,55 @@ impl System {
     /// path via the same degradation contract as the solo driver: reap the
     /// failed stream with its error status, count the fallback, rerun on
     /// the host from the detection time.
+    ///
+    /// With an object cache installed the request probes it first: a hit
+    /// skips the admission wire, flash I/O, parsing, and the embedded
+    /// core entirely, paying only delivery
+    /// ([`cache_delivery`](System::cache_delivery)); a drive-parsed miss
+    /// offers its objects for admission. Host-path services (conventional
+    /// mode, overflow, fault re-dispatch) never touch the cache — it is a
+    /// drive-owned structure fed by drive-parsed completions.
     fn morpheus_service(
         &mut self,
         st: &mut ServeState,
-        spec: &AppSpec,
+        tenant: &Tenant<'_>,
         r: Request,
         start: SimTime,
         bar: Option<BarWindow>,
         wire: &mut Vec<WireCmd>,
     ) -> Result<SimTime, RunError> {
+        let (spec, digest) = (tenant.spec, tenant.digest);
+        if let Some(c) = self.object_cache.as_mut() {
+            let probed = c.lookup(&spec.name, &spec.input, digest);
+            let tracer = self.tracer.clone();
+            match probed {
+                Some(hit) => {
+                    let what = match hit.tier {
+                        CacheTier::Dram => "hit-dram",
+                        CacheTier::Host => "hit-host",
+                    };
+                    tracer.instant(TraceLayer::Ssd, CACHE_TRACK, what, start);
+                    self.emit_cache_events(start);
+                    let dram_before = self.dram.allocated();
+                    let end = self.cache_delivery(&hit, start, bar)?;
+                    let freed = self.dram.allocated().saturating_sub(dram_before);
+                    self.dram.free(freed);
+                    self.record_done(st, r, start, end, &hit.objects);
+                    return Ok(end);
+                }
+                None => tracer.instant(TraceLayer::Ssd, CACHE_TRACK, "miss", start),
+            }
+        }
         let dram_before = self.dram.allocated();
         match self.try_morpheus_service(spec, r.app, start, bar, wire) {
             Ok((end, objects)) => {
                 let freed = self.dram.allocated().saturating_sub(dram_before);
                 self.dram.free(freed);
                 self.record_done(st, r, start, end, &objects);
+                if let Some(c) = self.object_cache.as_mut() {
+                    c.admit(&spec.name, &spec.input, digest, Arc::new(objects));
+                    self.emit_cache_events(end);
+                }
                 Ok(end)
             }
             Err(ServeAbort::Fatal(e)) => Err(e),
@@ -768,6 +869,7 @@ impl System {
         st.rep.completed += 1;
         st.rep.records += objects.records;
         st.rep.checksum = st.rep.checksum.rotate_left(1) ^ objects.checksum();
+        st.rep.checksum_unordered = st.rep.checksum_unordered.wrapping_add(objects.checksum());
         st.obj_bytes += objects.binary_bytes();
         let wait = service_start.saturating_duration_since(r.arrival);
         let service = end.saturating_duration_since(service_start);
@@ -792,6 +894,86 @@ impl System {
             end,
             objects.binary_bytes(),
         );
+    }
+
+    /// Times the delivery of a cache hit — the only cost a hit pays. A
+    /// DRAM-tier hit is pushed by the controller over PCIe into host DRAM
+    /// (or straight into the GPU BAR in P2P mode), exactly like the parse
+    /// path's output leg. A host-tier hit is a host-memory copy, or in
+    /// P2P mode a DMA the GPU pulls from host memory. Either way the OS
+    /// books one command-completion wakeup on a host core. No flash read,
+    /// no parse, no embedded-core occupancy.
+    fn cache_delivery(
+        &mut self,
+        hit: &CacheHit,
+        start: SimTime,
+        bar: Option<BarWindow>,
+    ) -> Result<SimTime, RunError> {
+        let n = hit.bytes;
+        let addr = match bar {
+            Some(w) => {
+                let buf = self.gpu.alloc(n).ok_or(RunError::OutOfGpuMemory)?;
+                w.base + buf.offset
+            }
+            None => self.dram.alloc(n).ok_or(RunError::OutOfHostMemory)?,
+        };
+        let done = match hit.tier {
+            CacheTier::Dram => {
+                let dma = self
+                    .fabric
+                    .dma(self.ssd_dev, DmaDir::Write, addr, n, start)?;
+                if bar.is_none() {
+                    self.membus.transfer(dma.start, n);
+                }
+                dma.end
+            }
+            CacheTier::Host => match bar {
+                // The GPU pulls the object out of host memory (address 0
+                // routes to host DRAM, where the spill tier lives).
+                Some(_) => {
+                    self.fabric
+                        .dma(self.gpu_dev, DmaDir::Read, 0, n, start)?
+                        .end
+                }
+                None => self.membus.transfer(start, n).end,
+            },
+        };
+        let c = self.os.command_completion();
+        let iv = self
+            .cpu_cores
+            .acquire(done, self.cpu.duration(c.instructions, CodeClass::OsKernel));
+        Ok(iv.end)
+    }
+
+    /// Drains the cache's state-change log into `cache`-track trace
+    /// instants anchored at `at` (zero-cost when tracing is disabled).
+    fn emit_cache_events(&mut self, at: SimTime) {
+        let Some(c) = self.object_cache.as_mut() else {
+            return;
+        };
+        let events = c.take_events();
+        if events.is_empty() {
+            return;
+        }
+        let tracer = self.tracer.clone();
+        for ev in events {
+            let what = match ev {
+                CacheEvent::Admitted {
+                    tier: CacheTier::Dram,
+                    ..
+                } => "admit-dram",
+                CacheEvent::Admitted {
+                    tier: CacheTier::Host,
+                    ..
+                } => "admit-host",
+                CacheEvent::Rejected { .. } => "reject",
+                CacheEvent::Spilled { .. } => "spill",
+                CacheEvent::Evicted { .. } => "evict",
+                CacheEvent::Promoted { .. } => "promote",
+                CacheEvent::Invalidated { .. } => "invalidate",
+            };
+            tracer.instant(TraceLayer::Ssd, CACHE_TRACK, what, at);
+        }
     }
 
     /// Pushes one batch's commands through the tenant's own submission
@@ -958,5 +1140,137 @@ mod tests {
         let p2p = sys.serve(&specs, &quick_cfg(Mode::MorpheusP2P)).unwrap();
         assert_eq!(host.checksum, p2p.checksum, "same objects either way");
         assert!(p2p.completed > 0);
+    }
+
+    #[test]
+    fn cache_hits_preserve_objects_and_skip_parse_work() {
+        let (mut sys, specs) = serving_system(3, 1_000);
+        let mut cfg = quick_cfg(Mode::Morpheus);
+        cfg.policy = ServePolicy::HostFallback; // every offered request completes
+        let off = sys.serve(&specs, &cfg).unwrap();
+        assert!(off.cache.is_none(), "no cache installed yet");
+        sys.set_object_cache(crate::CacheConfig::new(256 << 20));
+        let warm = sys.serve(&specs, &cfg).unwrap();
+        let hot = sys.serve(&specs, &cfg).unwrap();
+        let wc = warm.cache.expect("cache report present");
+        let hc = hot.cache.expect("cache report present");
+        assert!(
+            wc.misses > 0 && wc.admitted > 0,
+            "first run populates: {wc}"
+        );
+        assert!(hc.hit_rate() > 0.9, "steady state is nearly all hits: {hc}");
+        assert_eq!(hot.completed, off.completed);
+        assert_eq!(hot.records, off.records);
+        assert_eq!(
+            hot.checksum_unordered, off.checksum_unordered,
+            "cached objects are bit-identical to freshly parsed ones"
+        );
+        assert!(
+            hot.commands < off.commands,
+            "hits must skip the NVMe wire: {} vs {}",
+            hot.commands,
+            off.commands
+        );
+        let off_parse = off.metrics.get("ssd_parse_core_busy_s");
+        let hot_parse = hot.metrics.get("ssd_parse_core_busy_s");
+        assert!(
+            hot_parse < off_parse,
+            "hits must skip embedded-core parsing: {hot_parse} vs {off_parse}"
+        );
+        sys.clear_object_cache();
+    }
+
+    #[test]
+    fn zero_capacity_cache_is_byte_identical_to_cache_off() {
+        let (mut sys, specs) = serving_system(2, 500);
+        let cfg = quick_cfg(Mode::Morpheus);
+        let off = format!("{}", sys.serve(&specs, &cfg).unwrap());
+        sys.set_object_cache(crate::CacheConfig::new(0));
+        assert!(sys.object_cache_stats().is_none(), "zero capacity is inert");
+        let on = format!("{}", sys.serve(&specs, &cfg).unwrap());
+        assert_eq!(off, on, "capacity-0 install must not change the report");
+    }
+
+    #[test]
+    fn skewed_picks_are_deterministic_and_feed_the_cache() {
+        let run = || {
+            let (mut sys, specs) = serving_system(4, 500);
+            sys.set_object_cache(crate::CacheConfig::new(256 << 20));
+            let mut cfg = quick_cfg(Mode::Morpheus);
+            cfg.skew = 2.0;
+            let rep = sys.serve(&specs, &cfg).unwrap();
+            (format!("{rep}"), rep.cache.expect("cache installed"))
+        };
+        let (a, ac) = run();
+        let (b, _) = run();
+        assert_eq!(a, b, "skewed runs are deterministic");
+        assert!(
+            ac.hits > 0,
+            "skew concentrates picks, so the hot file hits within one run: {ac}"
+        );
+    }
+
+    #[test]
+    fn file_mutation_invalidates_cached_objects() {
+        let (mut sys, specs) = serving_system(1, 400);
+        sys.set_object_cache(crate::CacheConfig {
+            dram_bytes: 64 << 20,
+            host_bytes: 0,
+            policy: crate::CachePolicy::Lru,
+            seed: 42,
+        });
+        let mut cfg = quick_cfg(Mode::Morpheus);
+        cfg.policy = ServePolicy::HostFallback;
+        let _warm = sys.serve(&specs, &cfg).unwrap();
+        let hot = sys.serve(&specs, &cfg).unwrap();
+        assert!(hot.cache.expect("installed").hits > 0);
+        // Mutate the file; a stale hit would reproduce the old objects.
+        sys.overwrite_input_file("svc0.txt", &edge_text(400, 999))
+            .unwrap();
+        let fresh = sys.serve(&specs, &cfg).unwrap();
+        let fc = fresh.cache.expect("installed");
+        assert!(fc.invalidations > 0, "mutation dropped the entry: {fc}");
+        assert_ne!(
+            fresh.checksum_unordered, hot.checksum_unordered,
+            "new bytes must produce new objects"
+        );
+        sys.clear_object_cache();
+        let off = sys.serve(&specs, &cfg).unwrap();
+        assert_eq!(
+            off.checksum_unordered, fresh.checksum_unordered,
+            "post-mutation cached serving agrees with cache-off"
+        );
+    }
+
+    #[test]
+    fn host_tier_serves_spilled_objects() {
+        let (mut sys, specs) = serving_system(3, 1_000);
+        // A DRAM tier too small for the working set, with a host tier
+        // behind it: victims spill and later hit from host memory.
+        sys.set_object_cache(crate::CacheConfig {
+            dram_bytes: 20 << 10,
+            host_bytes: 1 << 20,
+            policy: crate::CachePolicy::Lru,
+            seed: 42,
+        });
+        let mut cfg = quick_cfg(Mode::Morpheus);
+        cfg.policy = ServePolicy::HostFallback;
+        let _warm = sys.serve(&specs, &cfg).unwrap();
+        let hot = sys.serve(&specs, &cfg).unwrap();
+        let hc = hot.cache.expect("installed");
+        assert!(hc.hits > 0, "tiered cache still serves hits: {hc}");
+        assert!(hc.host_hits > 0, "some hits come from the spill tier: {hc}");
+    }
+
+    #[test]
+    fn p2p_cache_hits_deliver_to_gpu() {
+        let (mut sys, specs) = serving_system(2, 500);
+        sys.set_object_cache(crate::CacheConfig::new(256 << 20));
+        let mut cfg = quick_cfg(Mode::MorpheusP2P);
+        cfg.policy = ServePolicy::HostFallback;
+        let warm = sys.serve(&specs, &cfg).unwrap();
+        let hot = sys.serve(&specs, &cfg).unwrap();
+        assert!(hot.cache.expect("installed").hits > 0);
+        assert_eq!(hot.checksum_unordered, warm.checksum_unordered);
     }
 }

@@ -1,5 +1,6 @@
 //! Full-system composition (Fig. 5): host, Morpheus-SSD, GPU, PCIe fabric.
 
+use crate::cache::{CacheConfig, CacheStats, ObjectCache};
 use crate::faults::FaultInjector;
 use crate::{MorpheusSsd, SystemParams};
 use morpheus_flash::EccModel;
@@ -78,6 +79,11 @@ pub struct System {
     /// True while the flash error model is overridden by the fault plan
     /// (so clearing the plan restores the configured model).
     media_overridden: bool,
+    /// The tiered deserialized-object cache; `None` (the default) is
+    /// cache-off and costs nothing. Installed via
+    /// [`set_object_cache`](System::set_object_cache); contents survive
+    /// [`reset_timing`](System::reset_timing) like staged files do.
+    pub(crate) object_cache: Option<ObjectCache>,
 }
 
 impl System {
@@ -118,6 +124,7 @@ impl System {
             fault_plan: FaultPlan::none(),
             faults: None,
             media_overridden: false,
+            object_cache: None,
             params,
         }
     }
@@ -166,13 +173,98 @@ impl System {
             .and_then(|f| f.fallback_cause.as_deref())
     }
 
+    /// Installs (or resizes) the tiered deserialized-object cache, see
+    /// `docs/CACHE.md`. The DRAM-tier budget is reserved up front through
+    /// the firmware's controller-DRAM accounting
+    /// ([`MorpheusSsd::reserve_object_cache`]) and the host spill-tier
+    /// budget from host DRAM, so cached objects occupy the same modelled
+    /// memory StorageApp instances and request buffers use. A config with
+    /// both capacities zero uninstalls the cache (cache-off must stay
+    /// byte-identical to the pre-cache reports).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a tier budget does not fit its memory (a config bug).
+    pub fn set_object_cache(&mut self, cfg: CacheConfig) {
+        self.clear_object_cache();
+        if !cfg.is_enabled() {
+            return;
+        }
+        if cfg.dram_bytes > 0 {
+            assert!(
+                self.mssd.reserve_object_cache(cfg.dram_bytes),
+                "object-cache DRAM tier must fit controller DRAM"
+            );
+        }
+        if cfg.host_bytes > 0 {
+            self.dram
+                .alloc(cfg.host_bytes)
+                .expect("object-cache host tier must fit host DRAM");
+        }
+        self.object_cache = Some(ObjectCache::new(cfg));
+    }
+
+    /// Uninstalls the object cache and returns its tier reservations.
+    pub fn clear_object_cache(&mut self) {
+        if let Some(c) = self.object_cache.take() {
+            self.mssd.release_object_cache(c.config().dram_bytes);
+            self.dram.free(c.config().host_bytes);
+        }
+    }
+
+    /// Counters and occupancy of the installed object cache (`None` when
+    /// no cache is installed).
+    pub fn object_cache_stats(&self) -> Option<CacheStats> {
+        self.object_cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Drops every cached object deserialized from `file` (the
+    /// MWRITE/file-mutation invalidation hook; every staging and
+    /// serialization path calls this so cached objects can never go
+    /// stale). Returns how many entries were dropped.
+    pub fn invalidate_cached_objects(&mut self, file: &str) -> u64 {
+        let Some(cache) = self.object_cache.as_mut() else {
+            return 0;
+        };
+        let n = cache.invalidate_file(file);
+        let events = cache.take_events();
+        let tracer = self.tracer.clone();
+        for _ in events {
+            // Mutation happens between timed runs; anchor at time zero.
+            tracer.instant(
+                morpheus_simcore::TraceLayer::Ssd,
+                "cache",
+                "invalidate",
+                morpheus_simcore::SimTime::ZERO,
+            );
+        }
+        n
+    }
+
+    /// Replaces a staged file's bytes (the file-mutation path; creates the
+    /// file if it does not exist). Cached objects parsed from the old
+    /// bytes are invalidated first. The bump-allocated filesystem does not
+    /// reuse the old extents — staging is untimed, so only capacity is
+    /// lost.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem and drive errors.
+    pub fn overwrite_input_file(&mut self, name: &str, data: &[u8]) -> Result<(), SsdError> {
+        let _ = self.fs.remove(name);
+        self.create_input_file(name, data)
+    }
+
     /// Creates a file and stages its bytes on the SSD (untimed: inputs are
     /// on the drive before the measured window starts, as in the paper).
+    /// Invalidates any cached objects keyed to `name` (a re-created name
+    /// is a mutation).
     ///
     /// # Errors
     ///
     /// Propagates filesystem and drive errors.
     pub fn create_input_file(&mut self, name: &str, data: &[u8]) -> Result<(), SsdError> {
+        self.invalidate_cached_objects(name);
         let meta = self
             .fs
             .create(name, data.len() as u64)
@@ -284,6 +376,16 @@ impl System {
         self.membus = MemBus::new(Bandwidth::from_gb_per_s(self.params.effective_membus_gbs()));
         self.dram = HostDram::new(self.params.host_dram_bytes);
         self.hdd.reset();
+        // Host DRAM was rebuilt above: re-apply the object cache's host
+        // spill-tier reservation (the controller-DRAM reservation lives in
+        // the drive's accounting, which reset_timing does not clear).
+        if let Some(c) = &self.object_cache {
+            if c.config().host_bytes > 0 {
+                self.dram
+                    .alloc(c.config().host_bytes)
+                    .expect("host tier fit at install time");
+            }
+        }
         self.mssd.reset_timing();
         self.gpu = Gpu::new(self.params.gpu);
         let mut fabric = Fabric::new(self.params.root_link);

@@ -10,6 +10,28 @@
 
 use crate::rng::SplitMix64;
 use crate::time::SimTime;
+use std::fmt;
+
+/// A rejected arrival-rate configuration: the rate was NaN, infinite,
+/// zero, or negative, all of which would yield a degenerate stream (gaps
+/// of NaN nanoseconds or a schedule that never advances).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrivalRateError {
+    /// The offending rate, requests per second.
+    pub rate_per_s: f64,
+}
+
+impl fmt::Display for ArrivalRateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "arrival rate must be positive and finite, got {}",
+            self.rate_per_s
+        )
+    }
+}
+
+impl std::error::Error for ArrivalRateError {}
 
 /// An infinite, deterministic Poisson arrival stream.
 ///
@@ -41,17 +63,94 @@ impl ArrivalProcess {
     ///
     /// # Panics
     ///
-    /// Panics unless `rate_per_s` is positive and finite.
+    /// Panics unless `rate_per_s` is positive and finite; use
+    /// [`try_new`](ArrivalProcess::try_new) to handle untrusted rates.
     pub fn new(seed: u64, rate_per_s: f64) -> Self {
-        assert!(
-            rate_per_s.is_finite() && rate_per_s > 0.0,
-            "arrival rate must be positive, got {rate_per_s}"
-        );
-        ArrivalProcess {
+        Self::try_new(seed, rate_per_s).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: a NaN, infinite, zero, or negative rate is a
+    /// typed configuration error instead of a degenerate stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrivalRateError`] unless `rate_per_s` is positive and
+    /// finite.
+    pub fn try_new(seed: u64, rate_per_s: f64) -> Result<Self, ArrivalRateError> {
+        if !(rate_per_s.is_finite() && rate_per_s > 0.0) {
+            return Err(ArrivalRateError { rate_per_s });
+        }
+        Ok(ArrivalProcess {
             rng: SplitMix64::new(seed),
             mean_gap_ns: 1e9 / rate_per_s,
             clock_ns: 0.0,
+        })
+    }
+}
+
+/// A Zipfian popularity distribution over `n` ranks (rank 0 is the most
+/// popular; rank `r` has weight `1 / (r + 1)^skew`). This is the seeded
+/// file-popularity generator behind the serve binary's `--skew` flag:
+/// draws come from the caller's [`SplitMix64`] stream, so a fixed seed
+/// gives a byte-identical popularity schedule. `skew = 0` degenerates to
+/// uniform — the serving layer keeps using its historical
+/// `next_below`-based pick there so pre-skew runs stay byte-identical.
+///
+/// ```
+/// use morpheus_simcore::{SplitMix64, Zipfian};
+///
+/// let z = Zipfian::new(8, 1.1);
+/// let mut rng = SplitMix64::new(7);
+/// let first = z.sample(&mut rng);
+/// assert!(first < 8);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipfian {
+    /// Normalized cumulative weights; `cum[r]` is P(rank <= r).
+    cum: Vec<f64>,
+}
+
+impl Zipfian {
+    /// Builds the distribution over `n` ranks with exponent `skew`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is zero or `skew` is negative or non-finite
+    /// (config bugs, not runtime outcomes).
+    pub fn new(n: usize, skew: f64) -> Self {
+        assert!(n > 0, "zipfian needs at least one rank");
+        assert!(
+            skew.is_finite() && skew >= 0.0,
+            "zipfian skew must be finite and non-negative, got {skew}"
+        );
+        let mut cum = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for r in 1..=n as u64 {
+            total += 1.0 / (r as f64).powf(skew);
+            cum.push(total);
         }
+        for c in &mut cum {
+            *c /= total;
+        }
+        Zipfian { cum }
+    }
+
+    /// Maps a uniform draw `u` in `[0, 1)` to a rank.
+    pub fn index_of(&self, u: f64) -> usize {
+        self.cum
+            .partition_point(|&c| c <= u)
+            .min(self.cum.len() - 1)
+    }
+
+    /// Draws a rank from `rng` (one `next_f64` per sample, so the stream
+    /// position matches one uniform pick).
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        self.index_of(rng.next_f64())
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.cum.len()
     }
 }
 
@@ -104,5 +203,79 @@ mod tests {
     #[should_panic(expected = "arrival rate must be positive")]
     fn zero_rate_rejected() {
         let _ = ArrivalProcess::new(0, 0.0);
+    }
+
+    #[test]
+    fn try_new_rejects_zero_and_negative_rates() {
+        for bad in [0.0, -1.0, -1e300] {
+            assert_eq!(
+                ArrivalProcess::try_new(1, bad).expect_err("degenerate rate"),
+                ArrivalRateError { rate_per_s: bad }
+            );
+        }
+    }
+
+    #[test]
+    fn try_new_rejects_non_finite_rates() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = ArrivalProcess::try_new(1, bad).expect_err("non-finite rate");
+            assert!(!err.rate_per_s.is_finite());
+            assert!(err.to_string().contains("positive and finite"));
+        }
+    }
+
+    #[test]
+    fn try_new_matches_new_for_valid_rates() {
+        let a: Vec<SimTime> = ArrivalProcess::try_new(5, 2000.0)
+            .expect("valid")
+            .take(100)
+            .collect();
+        let b: Vec<SimTime> = ArrivalProcess::new(5, 2000.0).take(100).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zipfian_is_deterministic_and_in_range() {
+        let z = Zipfian::new(16, 1.1);
+        let draw = |seed| {
+            let mut rng = SplitMix64::new(seed);
+            (0..1000).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        let a = draw(42);
+        assert_eq!(a, draw(42));
+        assert_ne!(a, draw(43));
+        assert!(a.iter().all(|&r| r < 16));
+    }
+
+    #[test]
+    fn zipfian_popularity_is_monotone_in_rank() {
+        let z = Zipfian::new(8, 1.2);
+        let mut rng = SplitMix64::new(9);
+        let mut counts = [0u32; 8];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for w in counts.windows(2) {
+            // Allow sampling noise on the flat tail, but the head must
+            // clearly dominate.
+            assert!(
+                w[0] as f64 >= w[1] as f64 * 0.8,
+                "rank popularity should not increase: {counts:?}"
+            );
+        }
+        assert!(counts[0] > counts[7] * 4, "skew 1.2 concentrates the head");
+    }
+
+    #[test]
+    fn zipfian_skew_zero_is_uniform() {
+        let z = Zipfian::new(4, 0.0);
+        let mut rng = SplitMix64::new(6);
+        let mut counts = [0u32; 4];
+        for _ in 0..4000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for c in counts {
+            assert!((800..1200).contains(&c), "bucket count {c} out of range");
+        }
     }
 }

@@ -16,8 +16,9 @@
 //! * [`Metrics`] — a small ordered metric bag used by reports.
 //! * [`SplitMix64`] — a tiny deterministic PRNG so lower-level crates do not
 //!   need the `rand` dependency.
-//! * [`ArrivalProcess`] — a seeded Poisson stream of request timestamps for
-//!   open-loop serving experiments.
+//! * [`ArrivalProcess`] / [`Zipfian`] — a seeded Poisson stream of request
+//!   timestamps and a seeded Zipfian popularity distribution for open-loop
+//!   serving experiments.
 //! * [`FaultPlan`] / [`FaultDice`] / [`FaultCounters`] — the seeded,
 //!   deterministic fault-injection plane (see `docs/FAULT_MODEL.md`).
 //!
@@ -50,7 +51,7 @@ mod time;
 mod timeline;
 mod trace;
 
-pub use arrivals::ArrivalProcess;
+pub use arrivals::{ArrivalProcess, ArrivalRateError, Zipfian};
 pub use energy::{EnergyReport, PowerModel, Rail, RailId};
 pub use faults::{render_error_chain, FaultCounters, FaultDice, FaultPlan};
 pub use gantt::render_gantt;
