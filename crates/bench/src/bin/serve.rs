@@ -13,17 +13,19 @@
 
 use morpheus::{
     AppSpec, CacheConfig, CachePolicy, Mode, RunError, ServeConfig, ServePolicy, ServeReport,
-    System, SystemParams,
+    SloSpec, System, SystemParams, TelemetryConfig,
 };
 use morpheus_bench::{print_table, run_parallel, Harness};
 use morpheus_format::{FieldKind, Schema, TextWriter};
-use morpheus_simcore::{render_error_chain, SplitMix64, Tracer};
+use morpheus_simcore::{parse_duration, render_error_chain, SimDuration, SplitMix64, Tracer};
 
 const USAGE: &str =
     "usage: serve [--rps LIST] [--duration S] [--depth N] [--batch N] [--sq-depth N]
              [--policy shed|fallback] [--mode all|conventional|morpheus|morpheus+p2p]
              [--apps N] [--bytes N] [--trace-out <path>]
              [--skew F] [--cache-mb N] [--cache-host-mb N] [--cache-policy tinylfu|lru]
+             [--telemetry-window DUR] [--slo SPEC] [--telemetry-out <path>]
+             [--prom-out <path>]
              [--csv] [--seed N] [--jobs N] [--faults SPEC]";
 
 /// One parsed invocation.
@@ -43,6 +45,10 @@ struct Cli {
     cache_mb: u64,
     cache_host_mb: u64,
     cache_policy: CachePolicy,
+    telemetry_window: Option<SimDuration>,
+    slo: SloSpec,
+    telemetry_out: Option<String>,
+    prom_out: Option<String>,
     csv: bool,
     harness: Harness,
 }
@@ -57,6 +63,17 @@ impl Cli {
             policy: self.cache_policy,
             seed: self.harness.seed,
         }
+    }
+
+    /// The serve-plane telemetry configuration, `None` when sampling is
+    /// off (the default — disabled runs stay byte-identical to pre-
+    /// telemetry builds).
+    fn telemetry_config(&self) -> Option<TelemetryConfig> {
+        self.telemetry_window.map(|w| {
+            let mut t = TelemetryConfig::new(w);
+            t.slo = self.slo.clone();
+            t
+        })
     }
 }
 
@@ -92,6 +109,10 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         cache_mb: 0,
         cache_host_mb: 0,
         cache_policy: CachePolicy::TinyLfu,
+        telemetry_window: None,
+        slo: SloSpec::none(),
+        telemetry_out: None,
+        prom_out: None,
         csv: false,
         harness: Harness::default(),
     };
@@ -180,6 +201,19 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                 cli.cache_policy = CachePolicy::parse(v)
                     .ok_or_else(|| format!("--cache-policy expects tinylfu|lru, got {v:?}"))?;
             }
+            "--telemetry-window" => {
+                let v = value("--telemetry-window", &mut it)?;
+                cli.telemetry_window =
+                    Some(parse_duration(v).map_err(|e| format!("--telemetry-window: {e}"))?);
+            }
+            "--slo" => {
+                let v = value("--slo", &mut it)?;
+                cli.slo = SloSpec::parse(v).map_err(|e| format!("--slo: {e}"))?;
+            }
+            "--telemetry-out" => {
+                cli.telemetry_out = Some(value("--telemetry-out", &mut it)?.clone())
+            }
+            "--prom-out" => cli.prom_out = Some(value("--prom-out", &mut it)?.clone()),
             "--csv" => cli.csv = true,
             // Harness flags: re-validated by the shared grammar so
             // `--faults bogus` fails exactly as in every figure binary.
@@ -197,6 +231,24 @@ fn parse(args: &[String]) -> Result<Cli, String> {
     }
     if cli.csv && cli.trace_out.is_some() {
         return Err("--csv and --trace-out are mutually exclusive (CSV owns stdout)".into());
+    }
+    if cli.telemetry_window.is_none() {
+        if !cli.slo.is_empty() {
+            return Err("--slo requires --telemetry-window".into());
+        }
+        if cli.telemetry_out.is_some() {
+            return Err("--telemetry-out requires --telemetry-window".into());
+        }
+        if cli.prom_out.is_some() {
+            return Err("--prom-out requires --telemetry-window".into());
+        }
+    }
+    if cli.prom_out.is_some() && (cli.modes.len() > 1 || cli.rps.len() > 1) {
+        return Err(
+            "--prom-out needs a single cell (one --mode, one --rps): a Prometheus \
+             exposition declares each metric once"
+                .into(),
+        );
     }
     Ok(cli)
 }
@@ -249,6 +301,7 @@ fn run_cell(cli: &Cli, mode: Mode, rps: f64) -> Result<(ServeReport, Option<Stri
         policy: cli.policy,
         seed: cli.harness.seed,
         skew: cli.skew,
+        telemetry: cli.telemetry_config(),
     };
     let rep = sys.serve(&specs, &cfg)?;
     let trace = cli
@@ -289,11 +342,20 @@ fn main() {
                 cli.skew, cli.cache_mb, cli.cache_host_mb, cli.cache_policy
             ));
         }
+        if let Some(w) = cli.telemetry_window {
+            banner.push_str(&format!(", telemetry {w}"));
+            if !cli.slo.is_empty() {
+                banner.push_str(&format!(", slo {}", cli.slo));
+            }
+        }
         println!("{banner}");
     }
     let mut rows = Vec::new();
     let mut fault_lines = Vec::new();
     let mut cache_lines = Vec::new();
+    let mut telemetry_blocks = Vec::new();
+    let mut telemetry_csv = String::new();
+    let mut prom_text = None;
     let mut trace_json = None;
     for ((mode, rps), cell) in grid.iter().zip(cells) {
         let (rep, trace) = match cell {
@@ -338,6 +400,26 @@ fn main() {
         if let Some(c) = rep.cache {
             cache_lines.push(format!("cache ({mode} @ {rps:.0} rps): {c}"));
         }
+        if let Some(t) = &rep.telemetry {
+            telemetry_blocks.push(format!("telemetry ({mode} @ {rps:.0} rps):\n{t}"));
+            if cli.telemetry_out.is_some() {
+                // One header+rows block per cell: window columns are
+                // data-dependent, so cells keep their own headers.
+                // "target_rps": the offered rate, distinct from the
+                // derived per-window "rps" (completed) column.
+                telemetry_csv.push_str(&t.to_csv(&[
+                    ("mode", mode.to_string()),
+                    ("target_rps", format!("{rps:.0}")),
+                ]));
+            }
+            if cli.prom_out.is_some() {
+                // Single cell by construction (validated at parse time).
+                prom_text = Some(t.to_prometheus(
+                    "morpheus",
+                    &[("mode", &mode.to_string()), ("rps", &format!("{rps:.0}"))],
+                ));
+            }
+        }
     }
     let mut header = vec![
         "mode", "rps", "offered", "done", "shed", "fb", "redisp", "fail", "p50us", "p95us",
@@ -345,6 +427,18 @@ fn main() {
     ];
     if cache_on {
         header.push("hit_rate");
+    }
+    let write_file = |path: &String, content: &str| {
+        std::fs::write(path, content).unwrap_or_else(|e| {
+            eprintln!("error: writing {path}: {e}");
+            std::process::exit(1);
+        });
+    };
+    if let Some(path) = &cli.telemetry_out {
+        write_file(path, &telemetry_csv);
+    }
+    if let (Some(path), Some(prom)) = (&cli.prom_out, &prom_text) {
+        write_file(path, prom);
     }
     if cli.csv {
         // CSV owns stdout: exactly one header line plus one line per cell.
@@ -360,6 +454,15 @@ fn main() {
     }
     for line in cache_lines {
         println!("{line}");
+    }
+    for block in telemetry_blocks {
+        println!("{block}");
+    }
+    if let Some(path) = &cli.telemetry_out {
+        println!("wrote windowed telemetry CSV to {path}");
+    }
+    if let Some(path) = &cli.prom_out {
+        println!("wrote Prometheus text exposition to {path}");
     }
     if let (Some(path), Some(json)) = (&cli.trace_out, trace_json) {
         std::fs::write(path, json).unwrap_or_else(|e| {
@@ -486,6 +589,77 @@ mod tests {
             vec!["--cache-policy", "arc"], // unknown cache policy
             vec!["--cache-policy"],        // missing value
             vec!["--csv", "x"],            // --csv takes no value
+        ] {
+            assert!(parse(&argv(&bad)).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_telemetry_grammar() {
+        let cli = parse(&argv(&[
+            "--telemetry-window",
+            "10ms",
+            "--slo",
+            "p99<500us,avail>99.9",
+            "--telemetry-out",
+            "t.csv",
+        ]))
+        .expect("valid");
+        assert_eq!(
+            cli.telemetry_window.unwrap(),
+            morpheus_simcore::SimDuration::from_millis(10)
+        );
+        assert_eq!(cli.slo.objectives.len(), 2);
+        let t = cli.telemetry_config().expect("window set");
+        assert_eq!(t.slo.objectives.len(), 2);
+        assert!(
+            parse(&argv(&[])).unwrap().telemetry_config().is_none(),
+            "telemetry is off by default"
+        );
+    }
+
+    #[test]
+    fn telemetry_flags_require_a_window() {
+        for bad in [
+            vec!["--slo", "avail>99.9"],
+            vec!["--telemetry-out", "t.csv"],
+            vec!["--prom-out", "t.prom"],
+        ] {
+            assert!(parse(&argv(&bad)).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn prom_out_needs_single_cell() {
+        assert!(parse(&argv(&[
+            "--telemetry-window",
+            "10ms",
+            "--prom-out",
+            "t.prom"
+        ]))
+        .is_err());
+        assert!(parse(&argv(&[
+            "--telemetry-window",
+            "10ms",
+            "--prom-out",
+            "t.prom",
+            "--mode",
+            "morpheus",
+            "--rps",
+            "100"
+        ]))
+        .is_ok());
+    }
+
+    #[test]
+    fn parse_rejects_bad_telemetry_values() {
+        for bad in [
+            vec!["--telemetry-window"],                             // missing value
+            vec!["--telemetry-window", "0ms"],                      // zero window
+            vec!["--telemetry-window", "soon"],                     // malformed
+            vec!["--telemetry-window", "10ms", "--slo"],            // missing value
+            vec!["--telemetry-window", "10ms", "--slo", "x"],       // bad term
+            vec!["--telemetry-window", "10ms", "--slo", "p99<0ns"], // bad threshold
         ] {
             assert!(parse(&argv(&bad)).is_err(), "should reject {bad:?}");
         }

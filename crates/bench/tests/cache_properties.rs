@@ -63,6 +63,7 @@ fn serve_cfg(seed: u64, rps: f64, skew: f64, mode: Mode) -> ServeConfig {
         policy: ServePolicy::HostFallback, // every offered request completes
         seed,
         skew,
+        telemetry: None,
     }
 }
 

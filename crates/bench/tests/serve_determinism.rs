@@ -51,6 +51,7 @@ fn run_once(seed: u64, rps: f64, mode: Mode, faults: Option<&FaultPlan>) -> (Str
         policy: ServePolicy::Shed,
         seed,
         skew: 0.0,
+        telemetry: None,
     };
     let rep: ServeReport = sys.serve(&specs, &cfg).expect("serve");
     (format!("{rep:?}"), sys.tracer().take().to_chrome_json())

@@ -815,6 +815,22 @@ mod tests {
     }
 
     #[test]
+    fn hit_rate_is_defined_for_a_zero_lookup_window() {
+        // A per-run window in which the cache saw no lookups (e.g. a
+        // serve window that shed everything) divides by zero unless
+        // guarded: the defined answer is 0.0, finite, never NaN.
+        let s = CacheStats {
+            hits: 7,
+            misses: 3,
+            ..Default::default()
+        };
+        let window = s.since(&s.clone());
+        assert_eq!(window.hits + window.misses, 0, "empty window");
+        assert_eq!(window.hit_rate(), 0.0);
+        assert!(window.hit_rate().is_finite());
+    }
+
+    #[test]
     fn events_report_state_changes() {
         let mut c = cache(1 << 20, 0, CachePolicy::Lru);
         c.admit("a", "f", 1, obj(10, 0));

@@ -24,7 +24,9 @@ use morpheus_gpu::KernelCost;
 use morpheus_host::CodeClass;
 use morpheus_nvme::{MorpheusCommand, NvmeCommand, StatusCode};
 use morpheus_pcie::{DmaDir, PcieError};
-use morpheus_simcore::{FaultCounters, Metrics, SimDuration, SimTime, TraceLayer};
+use morpheus_simcore::{
+    FaultCounters, Metrics, SimDuration, SimTime, TelemetryReport, TraceLayer, TraceLog,
+};
 use morpheus_ssd::SsdError;
 use std::error::Error;
 use std::fmt;
@@ -319,6 +321,10 @@ impl System {
             return Err(RunError::MissingGpuKernel(spec.name.clone()));
         }
         self.reset_timing();
+        // Bookmark the trace so suite telemetry folds only this run's
+        // events: the log accumulates across runs while run clocks restart
+        // at zero, and mixing runs would double-count every window.
+        self.telemetry_mark = self.tracer.recorded();
         match mode {
             Mode::Conventional => self.run_conventional(spec),
             Mode::Morpheus => self.run_morpheus(spec, false),
@@ -1020,6 +1026,14 @@ impl System {
             host_dram_peak: self.dram.high_watermark(),
             faults: self.collect_fault_counters(),
             metrics,
+            telemetry: self.telemetry_window.map(|w| {
+                let log = self.tracer.snapshot();
+                let mark = self.telemetry_mark.min(log.events.len());
+                let tail = TraceLog {
+                    events: log.events[mark..].to_vec(),
+                };
+                TelemetryReport::from_trace(&tail, w)
+            }),
         };
         Ok(RunOutcome { report, objects })
     }
@@ -1092,6 +1106,47 @@ mod tests {
         assert_eq!(conv.report.checksum, morp.report.checksum);
         assert_eq!(conv.objects, morp.objects);
         assert_eq!(conv.report.records, 5000);
+    }
+
+    #[test]
+    fn run_telemetry_folds_only_this_runs_trace() {
+        let mut sys = test_system();
+        sys.set_tracer(morpheus_simcore::Tracer::enabled());
+        sys.set_telemetry_window(Some(SimDuration::from_micros(100)));
+        sys.create_input_file("edges.txt", &edge_text(5000))
+            .unwrap();
+        let spec = AppSpec::cpu_app("bfs", "edges.txt", edge_schema(), 4, 100.0);
+        let a = sys.run(&spec, Mode::Morpheus).unwrap();
+        let ta = a.report.telemetry.as_ref().expect("telemetry enabled");
+        assert!(
+            !ta.windows.is_empty(),
+            "an enabled tracer must yield windows"
+        );
+        // A second identical run folds the same number of events even
+        // though the trace log has accumulated both runs: the bookmark
+        // keeps earlier runs out of the windows.
+        let b = sys.run(&spec, Mode::Morpheus).unwrap();
+        let tb = b.report.telemetry.as_ref().expect("telemetry enabled");
+        assert_eq!(
+            ta.to_csv(&[]),
+            tb.to_csv(&[]),
+            "identical runs fold identical telemetry"
+        );
+    }
+
+    #[test]
+    fn run_telemetry_absent_when_disabled_and_empty_without_tracer() {
+        let mut sys = test_system();
+        sys.create_input_file("edges.txt", &edge_text(1000))
+            .unwrap();
+        let spec = AppSpec::cpu_app("bfs", "edges.txt", edge_schema(), 1, 100.0);
+        let off = sys.run(&spec, Mode::Morpheus).unwrap();
+        assert!(off.report.telemetry.is_none(), "off by default");
+        // With a window but no tracer the report exists but sees nothing.
+        sys.set_telemetry_window(Some(SimDuration::from_micros(100)));
+        let dark = sys.run(&spec, Mode::Morpheus).unwrap();
+        let t = dark.report.telemetry.expect("window installed");
+        assert!(t.windows.is_empty(), "no tracer, no events, no windows");
     }
 
     #[test]

@@ -24,7 +24,13 @@
 //!   controller DRAM with a host-memory spill tier
 //!   ([`System::set_object_cache`], [`CacheConfig`], [`ObjectCache`]):
 //!   under Zipfian serve traffic a hit skips flash, parsing, and the
-//!   embedded cores, paying only PCIe delivery (`docs/CACHE.md`).
+//!   embedded cores, paying only PCIe delivery (`docs/CACHE.md`);
+//! * **windowed telemetry + SLO engine** — sim-time sampling of the whole
+//!   serving plane at a fixed window with burn-rate / error-budget
+//!   evaluation ([`ServeConfig::telemetry`],
+//!   [`System::set_telemetry_window`],
+//!   [`TelemetryConfig`], [`TelemetryReport`], [`SloSpec`] —
+//!   `docs/TELEMETRY.md`).
 //!
 //! Deserialization is functionally real end to end: bytes live in simulated
 //! flash behind a real FTL, StorageApps parse them with the same parser the
@@ -81,3 +87,9 @@ pub use serialize::SerializeReport;
 pub use serve::{ServeConfig, ServePolicy, ServeReport};
 pub use storage_app::{AppError, DeserializeApp, DeviceCtx, StorageApp};
 pub use system::{ChunkIo, System};
+
+// Re-export the telemetry vocabulary used in public signatures so bench
+// code can configure serving telemetry without naming the simcore crate.
+pub use morpheus_simcore::{
+    SloOutcome, SloSpec, TelemetryConfig, TelemetryReport, TelemetrySampler,
+};

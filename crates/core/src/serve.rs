@@ -24,7 +24,7 @@ use morpheus_nvme::{AdminController, MorpheusCommand, NvmeCommand, StatusCode};
 use morpheus_pcie::{BarWindow, DmaDir};
 use morpheus_simcore::{
     ArrivalProcess, FaultCounters, Histogram, Metrics, SimDuration, SimTime, SplitMix64,
-    TraceLayer, Zipfian,
+    TelemetryConfig, TelemetryReport, TelemetrySampler, TraceLayer, Zipfian,
 };
 use std::collections::VecDeque;
 use std::fmt;
@@ -34,6 +34,8 @@ use std::sync::Arc;
 const SERVE_TRACK: &str = "serve";
 /// Trace track for object-cache events (hits, misses, admission churn).
 const CACHE_TRACK: &str = "cache";
+/// Trace track for telemetry window-boundary instants.
+const TELEMETRY_TRACK: &str = "telemetry";
 /// Queue id of the first per-tenant I/O queue pair. Qid 0 is the admin
 /// queue and qid 1 is the legacy shared queue the solo drivers use.
 const FIRST_TENANT_QID: u16 = 2;
@@ -99,6 +101,11 @@ pub struct ServeConfig {
     /// (rank 0 = most popular), which is what makes the object cache
     /// earn hits.
     pub skew: f64,
+    /// Windowed telemetry sampling plus SLO objectives. `None` (the
+    /// default) is the zero-cost path: no sampler is allocated, every
+    /// hook is a single `Option` branch, and the report renders exactly
+    /// as before.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl ServeConfig {
@@ -114,6 +121,7 @@ impl ServeConfig {
             policy: ServePolicy::Shed,
             seed: 42,
             skew: 0.0,
+            telemetry: None,
         }
     }
 }
@@ -180,6 +188,9 @@ pub struct ServeReport {
     /// Object-cache counters for this run (`None` when no cache is
     /// installed, so cache-off reports render exactly as before).
     pub cache: Option<CacheStats>,
+    /// Windowed telemetry and SLO outcomes (`None` when sampling was not
+    /// requested, so telemetry-off reports render exactly as before).
+    pub telemetry: Option<TelemetryReport>,
     /// Extra measurements (latency quantiles, core utilization; sorted).
     pub metrics: Metrics,
 }
@@ -219,6 +230,9 @@ impl fmt::Display for ServeReport {
         if let Some(c) = &self.cache {
             write!(f, "\ncache         {c}")?;
         }
+        if let Some(t) = &self.telemetry {
+            write!(f, "\n{t}")?;
+        }
         Ok(())
     }
 }
@@ -245,6 +259,31 @@ struct ServeState {
     rep: ServeReport,
     obj_bytes: u64,
     makespan: SimTime,
+    /// Windowed sampler (`None` keeps every hook a single branch).
+    sampler: Option<TelemetrySampler>,
+}
+
+/// Which engine completed a request — the occupancy series a completed
+/// request's service span is attributed to.
+#[derive(Debug, Clone, Copy)]
+enum ServePath {
+    /// Parsed on the drive's embedded cores.
+    Embedded,
+    /// Parsed on host cores (conventional mode, overflow, re-dispatch).
+    Host,
+    /// Delivered straight from the object cache.
+    CacheHit,
+}
+
+impl ServePath {
+    /// The `*_busy_ns` telemetry series this path's service time feeds.
+    fn busy_series(self) -> &'static str {
+        match self {
+            ServePath::Embedded => "ssd_busy_ns",
+            ServePath::Host => "host_busy_ns",
+            ServePath::CacheHit => "cache_busy_ns",
+        }
+    }
 }
 
 /// Immutable-ish dispatch context (the admin controller owns the queues).
@@ -385,10 +424,12 @@ impl System {
                 e2e_ns: Histogram::new(),
                 faults: FaultCounters::default(),
                 cache: None,
+                telemetry: None,
                 metrics: Metrics::new(),
             },
             obj_bytes: 0,
             makespan: SimTime::ZERO,
+            sampler: cfg.telemetry.as_ref().map(TelemetrySampler::new),
         };
         // Per-run cache view: counters are lifetime totals (the cache
         // survives across runs so warmed state carries over), so the
@@ -407,26 +448,40 @@ impl System {
             // Serve everything whose dispatch time has passed, so the
             // queue length this arrival sees is current.
             self.drain_due(&mut st, &mut ctx, r.arrival)?;
+            if let Some(s) = st.sampler.as_mut() {
+                s.count("offered", r.arrival);
+                s.gauge("queue_depth", r.arrival, st.queued as f64);
+            }
             if st.queued >= cfg.depth {
                 match cfg.policy {
                     ServePolicy::Shed => {
                         st.rep.shed += 1;
+                        if let Some(s) = st.sampler.as_mut() {
+                            s.count("shed", r.arrival);
+                            s.lost(r.arrival);
+                        }
                         let tracer = self.tracer.clone();
                         tracer.instant(TraceLayer::Host, SERVE_TRACK, "shed", r.arrival);
                     }
                     ServePolicy::HostFallback => {
                         st.rep.overflow_fallbacks += 1;
+                        if let Some(s) = st.sampler.as_mut() {
+                            s.count("overflow_fallbacks", r.arrival);
+                        }
                         let tracer = self.tracer.clone();
                         tracer.instant(TraceLayer::Host, SERVE_TRACK, "admit-overflow", r.arrival);
                         let mut wire: Vec<WireCmd> = Vec::new();
                         self.host_service(&mut st, &ctx.apps[r.app], r, r.arrival, &mut wire)?;
-                        self.pump_wire(&mut st, &mut ctx, r.app, &wire);
+                        self.pump_wire(&mut st, &mut ctx, r.app, &wire, r.arrival);
                     }
                 }
             } else {
                 st.pending[r.app].push_back(r);
                 st.queued += 1;
                 st.rep.admitted += 1;
+                if let Some(s) = st.sampler.as_mut() {
+                    s.count("admitted", r.arrival);
+                }
             }
         }
         // The arrival window closed; serve out the queue.
@@ -476,6 +531,19 @@ impl System {
             st.rep.cache = Some(run);
         }
         st.rep.metrics = metrics;
+        if let Some(s) = st.sampler.take() {
+            let telemetry = s.finalize(st.makespan);
+            let tracer = self.tracer.clone();
+            for w in &telemetry.windows {
+                tracer.instant(
+                    TraceLayer::Host,
+                    TELEMETRY_TRACK,
+                    "window",
+                    SimTime::from_nanos(w.start_ns),
+                );
+            }
+            st.rep.telemetry = Some(telemetry);
+        }
         Ok(st.rep)
     }
 
@@ -538,6 +606,9 @@ impl System {
         at: SimTime,
     ) -> Result<(), RunError> {
         st.rep.batches += 1;
+        if let Some(s) = st.sampler.as_mut() {
+            s.count("batches", at);
+        }
         let spec = &ctx.apps[app];
         let mut wire: Vec<WireCmd> = Vec::new();
         let mut start = at;
@@ -555,7 +626,7 @@ impl System {
             start = start.max(end);
         }
         st.next_free[app] = start;
-        self.pump_wire(st, ctx, app, &wire);
+        self.pump_wire(st, ctx, app, &wire, at);
         Ok(())
     }
 
@@ -577,6 +648,10 @@ impl System {
             Ok(f) => f,
             Err((at, _attempts)) => {
                 st.rep.failed += 1;
+                if let Some(s) = st.sampler.as_mut() {
+                    s.count("failed", at);
+                    s.lost(at);
+                }
                 let tracer = self.tracer.clone();
                 tracer.instant(TraceLayer::Host, SERVE_TRACK, "request-failed", at);
                 st.makespan = st.makespan.max(at);
@@ -608,7 +683,7 @@ impl System {
         // its objects are handed to the application.
         let freed = self.dram.allocated().saturating_sub(dram_before);
         self.dram.free(freed);
-        self.record_done(st, r, start, end, &objects);
+        self.record_done(st, r, start, end, &objects, ServePath::Host);
         Ok(end)
     }
 
@@ -644,15 +719,23 @@ impl System {
                         CacheTier::Host => "hit-host",
                     };
                     tracer.instant(TraceLayer::Ssd, CACHE_TRACK, what, start);
+                    if let Some(s) = st.sampler.as_mut() {
+                        s.count("cache_hits", start);
+                    }
                     self.emit_cache_events(start);
                     let dram_before = self.dram.allocated();
                     let end = self.cache_delivery(&hit, start, bar)?;
                     let freed = self.dram.allocated().saturating_sub(dram_before);
                     self.dram.free(freed);
-                    self.record_done(st, r, start, end, &hit.objects);
+                    self.record_done(st, r, start, end, &hit.objects, ServePath::CacheHit);
                     return Ok(end);
                 }
-                None => tracer.instant(TraceLayer::Ssd, CACHE_TRACK, "miss", start),
+                None => {
+                    tracer.instant(TraceLayer::Ssd, CACHE_TRACK, "miss", start);
+                    if let Some(s) = st.sampler.as_mut() {
+                        s.count("cache_misses", start);
+                    }
+                }
             }
         }
         let dram_before = self.dram.allocated();
@@ -660,7 +743,7 @@ impl System {
             Ok((end, objects)) => {
                 let freed = self.dram.allocated().saturating_sub(dram_before);
                 self.dram.free(freed);
-                self.record_done(st, r, start, end, &objects);
+                self.record_done(st, r, start, end, &objects, ServePath::Embedded);
                 if let Some(c) = self.object_cache.as_mut() {
                     c.admit(&spec.name, &spec.input, digest, Arc::new(objects));
                     self.emit_cache_events(end);
@@ -675,6 +758,9 @@ impl System {
                 cause,
             }) => {
                 st.rep.fault_redispatches += 1;
+                if let Some(s) = st.sampler.as_mut() {
+                    s.count("fault_redispatches", at);
+                }
                 self.mssd.abort_instance(iid);
                 let cid = self.alloc_cid();
                 wire.push((
@@ -857,7 +943,9 @@ impl System {
         Ok((end, objects))
     }
 
-    /// Books one completed request: counters, latency histograms, trace.
+    /// Books one completed request: counters, latency histograms, trace,
+    /// and — when sampling — the telemetry window holding its completion
+    /// (exact SLO good/bad classification plus path-attributed occupancy).
     fn record_done(
         &mut self,
         st: &mut ServeState,
@@ -865,6 +953,7 @@ impl System {
         service_start: SimTime,
         end: SimTime,
         objects: &ParsedColumns,
+        path: ServePath,
     ) {
         st.rep.completed += 1;
         st.rep.records += objects.records;
@@ -878,6 +967,13 @@ impl System {
         st.rep.service_ns.record(service.as_nanos());
         st.rep.e2e_ns.record(e2e.as_nanos());
         st.makespan = st.makespan.max(end);
+        if let Some(s) = st.sampler.as_mut() {
+            s.count("completed", end);
+            s.latency("e2e_ns", end, e2e.as_nanos());
+            s.latency("queue_wait_ns", end, wait.as_nanos());
+            s.served(end, e2e.as_nanos());
+            s.span(path.busy_series(), service_start, end);
+        }
         let tracer = self.tracer.clone();
         tracer.span(
             TraceLayer::Host,
@@ -988,7 +1084,14 @@ impl System {
         ctx: &mut ServeCtx<'_>,
         app: usize,
         wire: &[WireCmd],
+        at: SimTime,
     ) {
+        if let Some(s) = st.sampler.as_mut() {
+            if !wire.is_empty() {
+                s.add("nvme_commands", at, wire.len() as f64);
+                s.gauge("nvme_wire", at, wire.len() as f64);
+            }
+        }
         let qp = ctx
             .admin
             .io_queue(FIRST_TENANT_QID + app as u16)
@@ -1272,5 +1375,133 @@ mod tests {
         let hot = sys.serve(&specs, &cfg).unwrap();
         assert!(hot.cache.expect("installed").hits > 0);
         assert_eq!(hot.checksum_unordered, warm.checksum_unordered);
+    }
+
+    fn telemetry_cfg(mode: Mode, slo: &str) -> ServeConfig {
+        let mut cfg = quick_cfg(mode);
+        let mut t = TelemetryConfig::new(SimDuration::from_millis(1));
+        if !slo.is_empty() {
+            t.slo = morpheus_simcore::SloSpec::parse(slo).unwrap();
+        }
+        cfg.telemetry = Some(t);
+        cfg
+    }
+
+    #[test]
+    fn telemetry_off_leaves_the_report_untouched() {
+        let (mut sys, specs) = serving_system(2, 500);
+        let cfg = quick_cfg(Mode::Morpheus);
+        let rep = sys.serve(&specs, &cfg).unwrap();
+        assert!(rep.telemetry.is_none(), "off by default");
+        assert!(
+            !format!("{rep}").contains("telemetry"),
+            "no telemetry section when disabled"
+        );
+    }
+
+    #[test]
+    fn telemetry_windows_balance_the_request_ledger() {
+        let (mut sys, specs) = serving_system(3, 2_000);
+        let mut cfg = telemetry_cfg(Mode::Morpheus, "");
+        cfg.depth = 2; // force shed so every counter class is exercised
+        let rep = sys.serve(&specs, &cfg).unwrap();
+        let t = rep.telemetry.as_ref().expect("telemetry installed");
+        assert!(!t.windows.is_empty());
+        let sum = |name: &str| t.series(name).iter().sum::<f64>() as u64;
+        assert_eq!(sum("offered"), rep.offered, "offered ledger per window");
+        assert_eq!(sum("completed"), rep.completed);
+        assert_eq!(sum("shed"), rep.shed);
+        assert_eq!(sum("admitted"), rep.admitted);
+        assert_eq!(
+            t.totals.get("offered") as u64,
+            rep.offered,
+            "totals row agrees with the serve report"
+        );
+        // The e2e histogram folded into telemetry matches the report's.
+        let (_, h) = t
+            .hists
+            .iter()
+            .find(|(n, _)| n == "e2e_ns")
+            .expect("e2e histogram present");
+        assert_eq!(h.count(), rep.e2e_ns.count());
+        assert_eq!(h.p99(), rep.e2e_ns.p99());
+    }
+
+    #[test]
+    fn telemetry_slo_verdicts_count_exactly() {
+        let (mut sys, specs) = serving_system(2, 1_000);
+        let mut cfg = telemetry_cfg(Mode::Morpheus, "p99<500us,avail>99.9");
+        cfg.depth = 2; // shed some load so availability has bad events
+        let rep = sys.serve(&specs, &cfg).unwrap();
+        let t = rep.telemetry.as_ref().expect("telemetry installed");
+        assert_eq!(t.slo.len(), 2);
+        let avail = t.slo.iter().find(|o| o.spec.starts_with("avail")).unwrap();
+        assert_eq!(avail.good, rep.completed, "avail good = completed");
+        assert_eq!(avail.bad, rep.shed + rep.failed, "avail bad = shed+failed");
+        let lat = t.slo.iter().find(|o| o.spec.starts_with("p99")).unwrap();
+        assert_eq!(
+            lat.good + lat.bad,
+            rep.completed,
+            "latency objective sees only completed requests"
+        );
+        for o in &t.slo {
+            assert_eq!(o.points.len(), t.windows.len());
+        }
+    }
+
+    #[test]
+    fn telemetry_is_deterministic_across_repeats() {
+        let (mut sys, specs) = serving_system(2, 1_000);
+        let cfg = telemetry_cfg(Mode::Morpheus, "p99<500us,avail>99.9");
+        let a = sys.serve(&specs, &cfg).unwrap();
+        let b = sys.serve(&specs, &cfg).unwrap();
+        assert_eq!(
+            a.telemetry.as_ref().unwrap().to_csv(&[]),
+            b.telemetry.as_ref().unwrap().to_csv(&[])
+        );
+        assert_eq!(
+            a.telemetry.as_ref().unwrap().to_prometheus("morpheus", &[]),
+            b.telemetry.as_ref().unwrap().to_prometheus("morpheus", &[])
+        );
+        assert_eq!(format!("{a}"), format!("{b}"));
+    }
+
+    #[test]
+    fn telemetry_sees_the_cache_warm_up() {
+        let (mut sys, specs) = serving_system(3, 1_000);
+        sys.set_object_cache(crate::CacheConfig::new(256 << 20));
+        let mut cfg = telemetry_cfg(Mode::Morpheus, "");
+        cfg.policy = ServePolicy::HostFallback;
+        cfg.skew = 1.1;
+        cfg.duration_s = 0.05;
+        let rep = sys.serve(&specs, &cfg).unwrap();
+        let t = rep.telemetry.as_ref().expect("telemetry installed");
+        let hit_rate = t.series("cache_hit_rate");
+        assert!(!hit_rate.is_empty(), "cache column derived");
+        let (first, last) = (hit_rate[0], hit_rate[hit_rate.len() - 1]);
+        assert!(
+            last > first,
+            "hit rate must ramp as the cache warms: first={first} last={last}"
+        );
+        let sum = |name: &str| t.series(name).iter().sum::<f64>() as u64;
+        let c = rep.cache.expect("cache installed");
+        assert_eq!(sum("cache_hits"), c.hits, "windowed hits match the stats");
+        sys.clear_object_cache();
+    }
+
+    #[test]
+    fn telemetry_counts_faults_and_fallbacks() {
+        let (mut sys, specs) = serving_system(2, 1_000);
+        sys.set_fault_plan(FaultPlan::parse("seed=9,crash=0.2,stall=0.1").unwrap());
+        let cfg = telemetry_cfg(Mode::Morpheus, "avail>99");
+        let rep = sys.serve(&specs, &cfg).unwrap();
+        let t = rep.telemetry.as_ref().expect("telemetry installed");
+        let sum = |name: &str| t.series(name).iter().sum::<f64>() as u64;
+        assert_eq!(
+            sum("fault_redispatches"),
+            rep.fault_redispatches,
+            "per-window fault counts sum to the report"
+        );
+        sys.set_fault_plan(FaultPlan::none());
     }
 }

@@ -21,6 +21,9 @@
 //!   serving experiments.
 //! * [`FaultPlan`] / [`FaultDice`] / [`FaultCounters`] — the seeded,
 //!   deterministic fault-injection plane (see `docs/FAULT_MODEL.md`).
+//! * [`TelemetrySampler`] / [`TelemetryReport`] / [`SloSpec`] — windowed
+//!   sim-time telemetry and the SLO / error-budget engine (see
+//!   `docs/TELEMETRY.md`).
 //!
 //! Everything here is deterministic: the same inputs produce the same
 //! timings, which the integration suite relies on.
@@ -47,6 +50,7 @@ mod gantt;
 mod metrics;
 mod pipeline;
 mod rng;
+mod telemetry;
 mod time;
 mod timeline;
 mod trace;
@@ -58,6 +62,11 @@ pub use gantt::render_gantt;
 pub use metrics::{Histogram, Metrics};
 pub use pipeline::{pipeline, PipelineResult, StageDemand};
 pub use rng::SplitMix64;
+pub use telemetry::{
+    fmt_num, parse_duration, sparkline, BudgetPoint, SloKind, SloObjective, SloOutcome, SloSpec,
+    TelemetryConfig, TelemetryReport, TelemetrySampler, TelemetryWindow, FAST_BURN_ALERT,
+    SLOW_BURN_ALERT, SLOW_BURN_WINDOWS,
+};
 pub use time::{SimDuration, SimTime};
 pub use timeline::{Bandwidth, Interval, Timeline};
 pub use trace::{

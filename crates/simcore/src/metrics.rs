@@ -119,6 +119,7 @@ pub struct Histogram {
     counts: [u64; 65],
     count: u64,
     max: u64,
+    sum: u64,
 }
 
 impl Default for Histogram {
@@ -127,6 +128,7 @@ impl Default for Histogram {
             counts: [0; 65],
             count: 0,
             max: 0,
+            sum: 0,
         }
     }
 }
@@ -143,6 +145,7 @@ impl Histogram {
         self.counts[bucket] += 1;
         self.count += 1;
         self.max = self.max.max(v);
+        self.sum = self.sum.saturating_add(v);
     }
 
     /// Number of recorded values.
@@ -158,6 +161,32 @@ impl Histogram {
     /// Largest recorded value (zero when empty).
     pub fn max(&self) -> u64 {
         self.max
+    }
+
+    /// Sum of all recorded values (saturating; zero when empty). Together
+    /// with [`count`](Histogram::count) this is what a Prometheus
+    /// histogram's `_sum`/`_count` series expose.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// The raw bucket counts: `counts[0]` holds zeros and `counts[b]`
+    /// holds values in `[2^(b-1), 2^b)`. Exposed for exposition-format
+    /// exporters that need the full distribution.
+    pub fn bucket_counts(&self) -> &[u64; 65] {
+        &self.counts
+    }
+
+    /// The largest value bucket `b` can hold (the inclusive `le` upper
+    /// bound of that bucket in exposition formats).
+    pub const fn bucket_upper(b: usize) -> u64 {
+        if b == 0 {
+            0
+        } else if b >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << b) - 1
+        }
     }
 
     /// The value at quantile `q` in `[0, 1]` (bucket upper bound, clamped
@@ -205,6 +234,7 @@ impl Histogram {
         }
         self.count += other.count;
         self.max = self.max.max(other.max);
+        self.sum = self.sum.saturating_add(other.sum);
     }
 
     /// Writes `p50/p95/p99/max/count` under `prefix` into a metric bag
@@ -276,6 +306,39 @@ mod tests {
     }
 
     #[test]
+    fn iteration_order_is_sorted_and_insertion_independent() {
+        // Telemetry CSV column order is derived from this iteration, so it
+        // must be lexicographic and stable regardless of write order.
+        let forward = ["a", "b/c", "b_d", "cache_hits", "rps", "zz"];
+        let mut reversed = forward;
+        reversed.reverse();
+        let fill = |names: &[&str]| {
+            let mut m = Metrics::new();
+            for (i, n) in names.iter().enumerate() {
+                m.set(n, i as f64);
+            }
+            m.iter().map(|(k, _)| k.to_string()).collect::<Vec<_>>()
+        };
+        let a = fill(&forward);
+        let b = fill(&reversed);
+        assert_eq!(a, b, "iteration order must not depend on insertion order");
+        let mut sorted = a.clone();
+        sorted.sort();
+        assert_eq!(a, sorted, "iteration must be lexicographically sorted");
+        // Overwrites and merges keep the order stable too.
+        let mut m = Metrics::new();
+        for n in reversed {
+            m.set(n, 1.0);
+        }
+        let mut other = Metrics::new();
+        other.set("b/c", 2.0);
+        m.merge(&other);
+        m.set("a", 9.0);
+        let after: Vec<_> = m.iter().map(|(k, _)| k.to_string()).collect();
+        assert_eq!(after, sorted);
+    }
+
+    #[test]
     fn display_is_nonempty() {
         let mut m = Metrics::new();
         m.set("a", 1.0);
@@ -331,6 +394,28 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(), 2);
         assert_eq!(a.max(), 1000);
+        assert_eq!(a.sum(), 1010);
+    }
+
+    #[test]
+    fn histogram_sum_and_buckets_expose_distribution() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(3);
+        assert_eq!(h.sum(), 4);
+        let c = h.bucket_counts();
+        assert_eq!(c[0], 1, "zeros land in bucket 0");
+        assert_eq!(c[1], 1, "1 lands in [1,2)");
+        assert_eq!(c[2], 1, "3 lands in [2,4)");
+        assert_eq!(Histogram::bucket_upper(0), 0);
+        assert_eq!(Histogram::bucket_upper(2), 3);
+        assert_eq!(Histogram::bucket_upper(64), u64::MAX);
+        // Saturating sum never wraps.
+        let mut s = Histogram::new();
+        s.record(u64::MAX);
+        s.record(u64::MAX);
+        assert_eq!(s.sum(), u64::MAX);
     }
 
     #[test]

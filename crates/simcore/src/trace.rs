@@ -272,6 +272,26 @@ impl Tracer {
         };
         TraceLog { events }
     }
+
+    /// Number of events currently recorded (zero when disabled). Cheap —
+    /// no clone — so callers can bookmark a position in the log.
+    pub fn recorded(&self) -> usize {
+        match &self.inner {
+            Some(log) => log.lock().expect("tracer lock poisoned").len(),
+            None => 0,
+        }
+    }
+
+    /// Copies the recorded events into a [`TraceLog`] without draining
+    /// them (empty if disabled). Used by telemetry reconstruction, which
+    /// must not steal the trace from the exporter.
+    pub fn snapshot(&self) -> TraceLog {
+        let events = match &self.inner {
+            Some(log) => log.lock().expect("tracer lock poisoned").clone(),
+            None => Vec::new(),
+        };
+        TraceLog { events }
+    }
 }
 
 /// A completed run's events, ready for export or analysis.
@@ -323,6 +343,21 @@ impl TraceLog {
         let mut out: BTreeMap<(TraceLayer, String), TraceAggregate> = BTreeMap::new();
         for e in &self.events {
             let a = out.entry((e.layer, e.name.clone())).or_default();
+            a.count += 1;
+            a.total_ns += e.dur_ns;
+        }
+        out
+    }
+
+    /// Aggregates events per `(layer, track, name)` class, so per-track
+    /// structure (the `serve`, `cache`, and `telemetry` tracks, per-core
+    /// firmware rows, flash channels) survives into the diff table.
+    pub fn aggregate_tracks(&self) -> BTreeMap<(TraceLayer, String, String), TraceAggregate> {
+        let mut out: BTreeMap<(TraceLayer, String, String), TraceAggregate> = BTreeMap::new();
+        for e in &self.events {
+            let a = out
+                .entry((e.layer, e.track.clone(), e.name.clone()))
+                .or_default();
             a.count += 1;
             a.total_ns += e.dur_ns;
         }
@@ -610,19 +645,23 @@ impl TraceLog {
     }
 }
 
-/// Renders a per-layer/per-event-class delta table between two traces
-/// (the `trace --diff a.json b.json` output).
+/// Renders a per-layer/per-track/per-event-class delta table between two
+/// traces (the `trace --diff a.json b.json` output). Every track either
+/// trace recorded gets its own rows, so a regression confined to one
+/// resource (a single flash channel, the `cache` track, the `telemetry`
+/// instants) is visible instead of averaged away.
 pub fn render_trace_diff(a: &TraceLog, b: &TraceLog) -> String {
-    let agg_a = a.aggregate();
-    let agg_b = b.aggregate();
-    let mut keys: Vec<&(TraceLayer, String)> = agg_a.keys().chain(agg_b.keys()).collect();
+    let agg_a = a.aggregate_tracks();
+    let agg_b = b.aggregate_tracks();
+    let mut keys: Vec<&(TraceLayer, String, String)> = agg_a.keys().chain(agg_b.keys()).collect();
     keys.sort();
     keys.dedup();
+    let track_w = keys.iter().map(|k| k.1.len()).max().unwrap_or(5).max(5);
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<6} {:<16} {:>9} {:>9} {:>11} {:>11} {:>12} {:>8}",
-        "layer", "event", "count a", "count b", "time a", "time b", "delta", "delta%"
+        "{:<6} {:<track_w$} {:<16} {:>9} {:>9} {:>11} {:>11} {:>12} {:>8}",
+        "layer", "track", "event", "count a", "count b", "time a", "time b", "delta", "delta%"
     );
     let (mut tot_a, mut tot_b) = (0u64, 0u64);
     for key in keys {
@@ -632,9 +671,10 @@ pub fn render_trace_diff(a: &TraceLog, b: &TraceLog) -> String {
         tot_b += b.total_ns;
         let _ = writeln!(
             out,
-            "{:<6} {:<16} {:>9} {:>9} {:>11} {:>11} {:>12} {:>8}",
+            "{:<6} {:<track_w$} {:<16} {:>9} {:>9} {:>11} {:>11} {:>12} {:>8}",
             key.0.as_str(),
             key.1,
+            key.2,
             a.count,
             b.count,
             fmt_ns(a.total_ns),
@@ -645,8 +685,9 @@ pub fn render_trace_diff(a: &TraceLog, b: &TraceLog) -> String {
     }
     let _ = writeln!(
         out,
-        "{:<6} {:<16} {:>9} {:>9} {:>11} {:>11} {:>12} {:>8}",
+        "{:<6} {:<track_w$} {:<16} {:>9} {:>9} {:>11} {:>11} {:>12} {:>8}",
         "TOTAL",
+        "",
         "",
         a.len(),
         b.len(),
@@ -1023,6 +1064,53 @@ mod tests {
         assert!(d.contains("dma-p2p"), "{d}");
         assert!(d.contains("new"), "{d}");
         assert!(d.contains("TOTAL"), "{d}");
+    }
+
+    #[test]
+    fn snapshot_copies_without_draining() {
+        let t = Tracer::enabled();
+        t.span(TraceLayer::Host, "cpu", "parse", at(0), at(10));
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(t.take().len(), 1, "snapshot must not drain the log");
+        assert!(Tracer::disabled().snapshot().is_empty());
+    }
+
+    #[test]
+    fn diff_covers_every_registered_track() {
+        // One event per track across the layers serve-time traces use,
+        // including the cache track and the telemetry window instants:
+        // each must get its own row in the delta table and the summary.
+        let tracks = [
+            (TraceLayer::Host, "serve", "request"),
+            (TraceLayer::Host, "telemetry", "window"),
+            (TraceLayer::Ssd, "cache", "hit-dram"),
+            (TraceLayer::Ssd, "ssd-core1", "parse"),
+            (TraceLayer::Flash, "ch0-cell", "read"),
+            (TraceLayer::Nvme, "ioq2", "MREAD"),
+        ];
+        let t = Tracer::enabled();
+        for (layer, track, name) in tracks {
+            t.span(layer, track, name, at(0), at(10));
+        }
+        let log = t.take();
+        let diff = render_trace_diff(&log, &log);
+        let summary = log.summary(20);
+        for (layer, track, _) in tracks {
+            assert!(
+                diff.contains(track),
+                "track {track:?} missing from diff:\n{diff}"
+            );
+            let row = format!("{}/{}", layer.as_str(), track);
+            assert!(
+                summary.contains(&row),
+                "row {row:?} missing from summary:\n{summary}"
+            );
+        }
+        assert!(diff.contains("track"), "diff must carry a track column");
+        // Same-track same-name events on different tracks stay separate.
+        let agg = log.aggregate_tracks();
+        assert_eq!(agg.len(), tracks.len());
     }
 
     #[test]

@@ -168,6 +168,21 @@ mod tests {
     }
 
     #[test]
+    fn zero_window_utilization_is_defined() {
+        // busy > 0 over a zero-width window is the NaN-dangerous case
+        // (0/0 and x/0 both lurk here): it must report exactly 0.0, not
+        // NaN or infinity, so telemetry windows that start at a run's
+        // t=0 fold cleanly.
+        let mut pool = EmbeddedCorePool::new(2, 1e9);
+        pool.exec(SimTime::ZERO, 1e9);
+        let u = pool.utilization(SimTime::ZERO);
+        assert_eq!(u, 0.0);
+        assert!(u.is_finite());
+        let idle = EmbeddedCorePool::new(4, 1e9);
+        assert_eq!(idle.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
     #[should_panic(expected = "at least one core")]
     fn zero_cores_rejected() {
         let _ = EmbeddedCorePool::new(0, 1e9);
