@@ -26,7 +26,7 @@ const USAGE: &str =
              [--skew F] [--cache-mb N] [--cache-host-mb N] [--cache-policy tinylfu|lru]
              [--telemetry-window DUR] [--slo SPEC] [--telemetry-out <path>]
              [--prom-out <path>]
-             [--csv] [--seed N] [--jobs N] [--faults SPEC]";
+             [--fast-forward] [--csv] [--seed N] [--jobs N] [--faults SPEC]";
 
 /// One parsed invocation.
 #[derive(Debug)]
@@ -50,6 +50,7 @@ struct Cli {
     telemetry_out: Option<String>,
     prom_out: Option<String>,
     csv: bool,
+    fast_forward: bool,
     harness: Harness,
 }
 
@@ -114,6 +115,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         telemetry_out: None,
         prom_out: None,
         csv: false,
+        fast_forward: false,
         harness: Harness::default(),
     };
     let mut harness_args: Vec<String> = Vec::new();
@@ -215,6 +217,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
             }
             "--prom-out" => cli.prom_out = Some(value("--prom-out", &mut it)?.clone()),
             "--csv" => cli.csv = true,
+            "--fast-forward" => cli.fast_forward = true,
             // Harness flags: re-validated by the shared grammar so
             // `--faults bogus` fails exactly as in every figure binary.
             "--seed" | "--jobs" | "--faults" => {
@@ -302,6 +305,7 @@ fn run_cell(cli: &Cli, mode: Mode, rps: f64) -> Result<(ServeReport, Option<Stri
         seed: cli.harness.seed,
         skew: cli.skew,
         telemetry: cli.telemetry_config(),
+        fast_forward: cli.fast_forward,
     };
     let rep = sys.serve(&specs, &cfg)?;
     let trace = cli

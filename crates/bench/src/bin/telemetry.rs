@@ -263,6 +263,7 @@ fn main() {
         seed: cli.harness.seed,
         skew: cli.skew,
         telemetry: Some(tcfg),
+        fast_forward: false,
     };
     let rep = sys.serve(&specs, &cfg).unwrap_or_else(|e| {
         eprintln!("error: serve failed: {}", render_error_chain(&e));

@@ -6,6 +6,7 @@
 //! same embedded core; the firmware stages StorageApp output in controller
 //! DRAM for DMA; the FTL and conventional command handling are untouched.
 
+use crate::deser_memo::{self, CmdRecord, DeviceReplay, MemoKey};
 use crate::{AppError, DeviceCtx, StorageApp};
 use morpheus_format::CostModel;
 use morpheus_nvme::{
@@ -141,6 +142,22 @@ pub struct MreadOutcome {
     pub core_busy: SimDuration,
 }
 
+/// Record/replay state of one instance's deserialization (see
+/// `deser_memo`). `Off` for unkeyed instances and anything that MWRITEs.
+#[derive(Debug)]
+enum InstanceMemo {
+    Off,
+    /// Fault-free keyed run with no prior recording: capture every MREAD's
+    /// per-page instruction counts and outputs, publish at MDEINIT.
+    Record { key: MemoKey, cmds: Vec<CmdRecord> },
+    /// Keyed run with a prior recording: skip the StorageApp entirely and
+    /// replay the recorded functional results against live timelines.
+    Play {
+        rec: std::sync::Arc<DeviceReplay>,
+        next: usize,
+    },
+}
+
 #[derive(Debug)]
 struct Instance {
     app: Box<dyn StorageApp>,
@@ -157,6 +174,7 @@ struct Instance {
     out_base_slba: Option<u64>,
     out_flushed: u64,
     out_pending: Vec<u8>,
+    memo: InstanceMemo,
 }
 
 /// The host-visible I/O queue pair id created at bring-up.
@@ -327,6 +345,20 @@ impl MorpheusSsd {
         app: Box<dyn StorageApp>,
         ready: SimTime,
     ) -> Result<SimTime, MorpheusError> {
+        self.minit_keyed(instance_id, app, ready, None)
+    }
+
+    /// MINIT with an optional deserialization-memo key (see `deser_memo`).
+    /// A key arms record/replay of the instance's functional work; `None`
+    /// behaves exactly like [`minit`](MorpheusSsd::minit). Install timing
+    /// (DRAM reservation, dispatch, the I-SRAM copy) always runs live.
+    pub(crate) fn minit_keyed(
+        &mut self,
+        instance_id: u32,
+        app: Box<dyn StorageApp>,
+        ready: SimTime,
+        memo_key: Option<MemoKey>,
+    ) -> Result<SimTime, MorpheusError> {
         if self.instances.contains_key(&instance_id) {
             return Err(MorpheusError::InstanceBusy(instance_id));
         }
@@ -353,6 +385,16 @@ impl MorpheusSsd {
             iv.start,
             iv.end,
         );
+        let memo = match memo_key {
+            Some(key) => match deser_memo::device_get(key) {
+                Some(rec) => InstanceMemo::Play { rec, next: 0 },
+                None => InstanceMemo::Record {
+                    key,
+                    cmds: Vec::new(),
+                },
+            },
+            None => InstanceMemo::Off,
+        };
         self.instances.insert(
             instance_id,
             Instance {
@@ -364,6 +406,7 @@ impl MorpheusSsd {
                 out_base_slba: None,
                 out_flushed: 0,
                 out_pending: Vec::new(),
+                memo,
             },
         );
         Ok(iv.end)
@@ -409,12 +452,40 @@ impl MorpheusSsd {
             done: dispatch.end,
             core_busy: SimDuration::ZERO,
         };
+        // A replaying instance consumes its recorded commands in issue
+        // order; a recording one collects per-page costs as it parses.
+        let play = {
+            let inst = self
+                .instances
+                .get_mut(&instance_id)
+                .expect("existence checked above");
+            match &mut inst.memo {
+                InstanceMemo::Play { rec, next } => {
+                    let k = *next;
+                    *next += 1;
+                    Some((rec.clone(), k))
+                }
+                _ => None,
+            }
+        };
+        if let Some((rec, k)) = play {
+            return self.mread_replay(&rec, k, instance_id, core, slba, blocks, valid_bytes, outcome);
+        }
+        let recording = matches!(
+            self.instances[&instance_id].memo,
+            InstanceMemo::Record { .. }
+        );
         if byte_len == 0 {
+            if recording {
+                // Keep the recorded command sequence aligned with replay.
+                self.record_mread(instance_id, slba, blocks, valid_bytes, Vec::new(), &[]);
+            }
             return Ok(outcome);
         }
         let first_page = byte_start / page_bytes;
         let last_page = (byte_start + byte_len - 1) / page_bytes;
 
+        let mut page_instr: Vec<f64> = Vec::new();
         for lpn in first_page..=last_page {
             let page_base = lpn * page_bytes;
             let lo = byte_start.max(page_base) - page_base;
@@ -435,6 +506,9 @@ impl MorpheusSsd {
             let work = inst.ctx.take_work();
             let extra = inst.ctx.take_extra_instructions();
             let instr = self.device_cost.total_instructions(&work) + extra;
+            if recording {
+                page_instr.push(instr);
+            }
             let start = avail.max(inst.last_done);
             let iv = self.dev.cores_mut().exec_on(core, start, instr);
             self.tracer.span_bytes(
@@ -458,6 +532,109 @@ impl MorpheusSsd {
             .get_mut(&instance_id)
             .expect("existence checked above");
         outcome.output = inst.ctx.take_output();
+        if recording {
+            self.record_mread(
+                instance_id,
+                slba,
+                blocks,
+                valid_bytes,
+                page_instr,
+                &outcome.output,
+            );
+        }
+        self.parse_core_busy += outcome.core_busy;
+        Ok(outcome)
+    }
+
+    /// Appends one MREAD's functional results to a recording instance.
+    fn record_mread(
+        &mut self,
+        instance_id: u32,
+        slba: u64,
+        blocks: u64,
+        valid_bytes: u64,
+        page_instr: Vec<f64>,
+        output: &[u8],
+    ) {
+        let inst = self
+            .instances
+            .get_mut(&instance_id)
+            .expect("existence checked above");
+        if let InstanceMemo::Record { cmds, .. } = &mut inst.memo {
+            cmds.push(CmdRecord {
+                slba,
+                blocks,
+                valid_bytes,
+                page_instr,
+                output: output.to_vec().into(),
+            });
+        }
+    }
+
+    /// Replays one recorded MREAD: flash page timing, embedded-core grants,
+    /// and trace spans all run live, but the per-page instruction counts
+    /// and the staged output come from the recording instead of the
+    /// StorageApp. Geometry is asserted against the record — a mismatch
+    /// means a memo-key collision, which must never pass silently.
+    #[allow(clippy::too_many_arguments)]
+    fn mread_replay(
+        &mut self,
+        rec: &DeviceReplay,
+        k: usize,
+        instance_id: u32,
+        core: usize,
+        slba: u64,
+        blocks: u64,
+        valid_bytes: u64,
+        mut outcome: MreadOutcome,
+    ) -> Result<MreadOutcome, MorpheusError> {
+        let cmd = rec
+            .cmds
+            .get(k)
+            .expect("deser-memo replay ran out of recorded MREADs (key collision?)");
+        assert!(
+            cmd.slba == slba && cmd.blocks == blocks && cmd.valid_bytes == valid_bytes,
+            "deser-memo replay geometry mismatch (key collision?)"
+        );
+        let dispatch_end = outcome.done;
+        let page_bytes = self.dev.page_bytes();
+        let byte_start = slba * LBA_BYTES;
+        let byte_len = (blocks * LBA_BYTES).min(valid_bytes);
+        if byte_len == 0 {
+            return Ok(outcome);
+        }
+        let first_page = byte_start / page_bytes;
+        let last_page = (byte_start + byte_len - 1) / page_bytes;
+        assert_eq!(
+            cmd.page_instr.len(),
+            (last_page - first_page + 1) as usize,
+            "deser-memo replay page-count mismatch (key collision?)"
+        );
+        for (pi, lpn) in (first_page..=last_page).enumerate() {
+            let page_base = lpn * page_bytes;
+            let lo = byte_start.max(page_base) - page_base;
+            let hi = (byte_start + byte_len).min(page_base + page_bytes) - page_base;
+            let (_page, avail) = self.dev.read_page_timed(morpheus_ftl::Lpn(lpn), dispatch_end)?;
+            let last_done = self.instances[&instance_id].last_done;
+            let start = avail.max(last_done);
+            let iv = self.dev.cores_mut().exec_on(core, start, cmd.page_instr[pi]);
+            self.tracer.span_bytes(
+                TraceLayer::Ssd,
+                self.dev.cores().core_name(core),
+                "parse",
+                iv.start,
+                iv.end,
+                hi - lo,
+            );
+            let inst = self
+                .instances
+                .get_mut(&instance_id)
+                .expect("existence checked above");
+            inst.last_done = iv.end;
+            outcome.core_busy += iv.duration();
+            outcome.done = outcome.done.max(iv.end);
+        }
+        outcome.output = cmd.output.to_vec();
         self.parse_core_busy += outcome.core_busy;
         Ok(outcome)
     }
@@ -487,6 +664,15 @@ impl MorpheusSsd {
             .instances
             .get_mut(&instance_id)
             .expect("existence checked above");
+        // The deser memo covers read-side lifecycles only: a replaying
+        // instance never fed its app, so it cannot absorb writes, and a
+        // recording one stops recording (serialization output depends on
+        // host-supplied data the key does not cover).
+        assert!(
+            !matches!(inst.memo, InstanceMemo::Play { .. }),
+            "memoized deserialization instance received MWRITE"
+        );
+        inst.memo = InstanceMemo::Off;
         inst.app
             .on_chunk(&mut inst.ctx, data)
             .map_err(MorpheusError::App)?;
@@ -569,6 +755,40 @@ impl MorpheusSsd {
             return Err(MorpheusError::NoSuchInstance(instance_id));
         }
         let core = self.instances[&instance_id].core;
+        let play = match &self.instances[&instance_id].memo {
+            InstanceMemo::Play { rec, next } => {
+                assert_eq!(
+                    *next,
+                    rec.cmds.len(),
+                    "deser-memo replay finished with unconsumed MREADs (key collision?)"
+                );
+                Some(rec.clone())
+            }
+            _ => None,
+        };
+        if let Some(rec) = play {
+            // Replay: the recorded finish cost (dispatch included) runs on
+            // the live core timeline; on_finish itself is skipped. Recorded
+            // lifecycles never wrote to flash, so there is nothing to flush.
+            let start = ready.max(self.instances[&instance_id].last_done);
+            let iv = self.dev.cores_mut().exec_on(core, start, rec.finish_instr);
+            self.tracer.span(
+                TraceLayer::Ssd,
+                self.dev.cores().core_name(core),
+                "finish",
+                iv.start,
+                iv.end,
+            );
+            self.parse_core_busy += iv.duration();
+            let inst = self.instances.remove(&instance_id).expect("still present");
+            self.dev.free_dram(inst.dram_reserved);
+            return Ok(DeinitOutcome {
+                retval: rec.retval,
+                host_output: rec.host_output.to_vec(),
+                done: iv.end,
+                flushed_to_flash: 0,
+            });
+        }
         let (retval, instr, start, writes_to_flash) = {
             let inst = self
                 .instances
@@ -618,6 +838,19 @@ impl MorpheusSsd {
         }
         let inst = self.instances.remove(&instance_id).expect("still present");
         self.dev.free_dram(inst.dram_reserved);
+        if let InstanceMemo::Record { key, cmds } = inst.memo {
+            if !writes_to_flash {
+                deser_memo::device_put(
+                    key,
+                    std::sync::Arc::new(DeviceReplay {
+                        cmds,
+                        finish_instr: instr,
+                        retval,
+                        host_output: host_output.clone().into(),
+                    }),
+                );
+            }
+        }
         Ok(DeinitOutcome {
             retval,
             host_output,

@@ -61,6 +61,7 @@
 mod apps;
 mod cache;
 mod concurrent;
+mod deser_memo;
 mod exec;
 mod faults;
 mod firmware;

@@ -106,6 +106,13 @@ pub struct ServeConfig {
     /// hook is a single `Option` branch, and the report renders exactly
     /// as before.
     pub telemetry: Option<TelemetryConfig>,
+    /// Skip the dispatch scan entirely while the system is quiescent
+    /// (admission queue empty): the clock jumps straight from one arrival
+    /// to the next. Dispatch order, telemetry, and SLO accounting are
+    /// unchanged — with nothing queued the scan is a no-op — so reports
+    /// and traces stay byte-identical with the flag on or off (pinned by
+    /// the serve determinism suite).
+    pub fast_forward: bool,
 }
 
 impl ServeConfig {
@@ -122,6 +129,7 @@ impl ServeConfig {
             seed: 42,
             skew: 0.0,
             telemetry: None,
+            fast_forward: false,
         }
     }
 }
@@ -261,6 +269,14 @@ struct ServeState {
     makespan: SimTime,
     /// Windowed sampler (`None` keeps every hook a single branch).
     sampler: Option<TelemetrySampler>,
+    /// Pooled scratch for one batch's wire commands: taken at the top of
+    /// each dispatch, cleared, and put back, so steady-state serving does
+    /// no per-batch `Vec` growth.
+    wire_scratch: Vec<WireCmd>,
+    /// Pooled scratch for the requests coalesced into one batch.
+    batch_scratch: Vec<Request>,
+    /// Pooled scratch for one doorbell wave's decoded commands.
+    cmds_scratch: Vec<NvmeCommand>,
 }
 
 /// Which engine completed a request — the occupancy series a completed
@@ -294,13 +310,18 @@ struct ServeCtx<'a> {
     admin: AdminController,
     /// Per-app format digests (part of the cache key), computed once.
     digests: Vec<u64>,
+    /// Per-app deserializer code sizes for MINIT, computed once — the
+    /// dispatch loop must not rebuild a `DeserializeApp` (name string +
+    /// schema clone) per request just to read this.
+    code_lens: Vec<u32>,
 }
 
 /// One tenant's spec plus its precomputed format digest (the cache key
-/// half that doesn't depend on the request).
+/// half that doesn't depend on the request) and MINIT code size.
 struct Tenant<'a> {
     spec: &'a AppSpec,
     digest: u64,
+    code_len: u32,
 }
 
 /// Why a Morpheus-path request was abandoned mid-service.
@@ -430,24 +451,36 @@ impl System {
             obj_bytes: 0,
             makespan: SimTime::ZERO,
             sampler: cfg.telemetry.as_ref().map(TelemetrySampler::new),
+            wire_scratch: Vec::new(),
+            batch_scratch: Vec::new(),
+            cmds_scratch: Vec::new(),
         };
         // Per-run cache view: counters are lifetime totals (the cache
         // survives across runs so warmed state carries over), so the
         // report subtracts this snapshot.
         let cache_base = self.object_cache.as_ref().map(|c| c.stats());
         let digests: Vec<u64> = apps.iter().map(cache::format_digest).collect();
+        let code_lens: Vec<u32> = apps
+            .iter()
+            .map(|a| DeserializeApp::new(&a.name, a.schema.clone()).code_bytes())
+            .collect();
         let mut ctx = ServeCtx {
             cfg,
             apps,
             bar,
             admin,
             digests,
+            code_lens,
         };
 
         for r in reqs {
             // Serve everything whose dispatch time has passed, so the
-            // queue length this arrival sees is current.
-            self.drain_due(&mut st, &mut ctx, r.arrival)?;
+            // queue length this arrival sees is current. With nothing
+            // queued the scan is a no-op; fast-forward skips it and jumps
+            // the clock straight to this arrival.
+            if !cfg.fast_forward || st.queued > 0 {
+                self.drain_due(&mut st, &mut ctx, r.arrival)?;
+            }
             if let Some(s) = st.sampler.as_mut() {
                 s.count("offered", r.arrival);
                 s.gauge("queue_depth", r.arrival, st.queued as f64);
@@ -460,19 +493,25 @@ impl System {
                             s.count("shed", r.arrival);
                             s.lost(r.arrival);
                         }
-                        let tracer = self.tracer.clone();
-                        tracer.instant(TraceLayer::Host, SERVE_TRACK, "shed", r.arrival);
+                        self.tracer
+                            .instant(TraceLayer::Host, SERVE_TRACK, "shed", r.arrival);
                     }
                     ServePolicy::HostFallback => {
                         st.rep.overflow_fallbacks += 1;
                         if let Some(s) = st.sampler.as_mut() {
                             s.count("overflow_fallbacks", r.arrival);
                         }
-                        let tracer = self.tracer.clone();
-                        tracer.instant(TraceLayer::Host, SERVE_TRACK, "admit-overflow", r.arrival);
-                        let mut wire: Vec<WireCmd> = Vec::new();
+                        self.tracer.instant(
+                            TraceLayer::Host,
+                            SERVE_TRACK,
+                            "admit-overflow",
+                            r.arrival,
+                        );
+                        let mut wire = std::mem::take(&mut st.wire_scratch);
+                        wire.clear();
                         self.host_service(&mut st, &ctx.apps[r.app], r, r.arrival, &mut wire)?;
                         self.pump_wire(&mut st, &mut ctx, r.app, &wire, r.arrival);
+                        st.wire_scratch = wire;
                     }
                 }
             } else {
@@ -533,9 +572,8 @@ impl System {
         st.rep.metrics = metrics;
         if let Some(s) = st.sampler.take() {
             let telemetry = s.finalize(st.makespan);
-            let tracer = self.tracer.clone();
             for w in &telemetry.windows {
-                tracer.instant(
+                self.tracer.instant(
                     TraceLayer::Host,
                     TELEMETRY_TRACK,
                     "window",
@@ -578,7 +616,8 @@ impl System {
             if d > up_to {
                 return Ok(());
             }
-            let mut batch = Vec::new();
+            let mut batch = std::mem::take(&mut st.batch_scratch);
+            batch.clear();
             while batch.len() < ctx.cfg.batch_max {
                 match st.pending[a].front() {
                     Some(r) if r.arrival <= d => {
@@ -589,7 +628,9 @@ impl System {
                     _ => break,
                 }
             }
-            self.serve_batch(st, ctx, a, &batch, d)?;
+            let served = self.serve_batch(st, ctx, a, &batch, d);
+            st.batch_scratch = batch;
+            served?;
         }
     }
 
@@ -610,24 +651,36 @@ impl System {
             s.count("batches", at);
         }
         let spec = &ctx.apps[app];
-        let mut wire: Vec<WireCmd> = Vec::new();
+        let mut wire = std::mem::take(&mut st.wire_scratch);
+        wire.clear();
         let mut start = at;
+        let mut outcome = Ok(());
         for r in batch {
             let end = match ctx.cfg.mode {
-                Mode::Conventional => self.host_service(st, spec, *r, start, &mut wire)?,
+                Mode::Conventional => self.host_service(st, spec, *r, start, &mut wire),
                 Mode::Morpheus | Mode::MorpheusP2P => {
                     let tenant = Tenant {
                         spec,
                         digest: ctx.digests[app],
+                        code_len: ctx.code_lens[app],
                     };
-                    self.morpheus_service(st, &tenant, *r, start, ctx.bar, &mut wire)?
+                    self.morpheus_service(st, &tenant, *r, start, ctx.bar, &mut wire)
                 }
             };
-            start = start.max(end);
+            match end {
+                Ok(end) => start = start.max(end),
+                Err(e) => {
+                    outcome = Err(e);
+                    break;
+                }
+            }
         }
-        st.next_free[app] = start;
-        self.pump_wire(st, ctx, app, &wire, at);
-        Ok(())
+        if outcome.is_ok() {
+            st.next_free[app] = start;
+            self.pump_wire(st, ctx, app, &wire, at);
+        }
+        st.wire_scratch = wire;
+        outcome
     }
 
     /// Serves one request on the host path (conventional mode, overflow
@@ -652,8 +705,8 @@ impl System {
                     s.count("failed", at);
                     s.lost(at);
                 }
-                let tracer = self.tracer.clone();
-                tracer.instant(TraceLayer::Host, SERVE_TRACK, "request-failed", at);
+                self.tracer
+                    .instant(TraceLayer::Host, SERVE_TRACK, "request-failed", at);
                 st.makespan = st.makespan.max(at);
                 return Ok(at);
             }
@@ -711,14 +764,13 @@ impl System {
         let (spec, digest) = (tenant.spec, tenant.digest);
         if let Some(c) = self.object_cache.as_mut() {
             let probed = c.lookup(&spec.name, &spec.input, digest);
-            let tracer = self.tracer.clone();
             match probed {
                 Some(hit) => {
                     let what = match hit.tier {
                         CacheTier::Dram => "hit-dram",
                         CacheTier::Host => "hit-host",
                     };
-                    tracer.instant(TraceLayer::Ssd, CACHE_TRACK, what, start);
+                    self.tracer.instant(TraceLayer::Ssd, CACHE_TRACK, what, start);
                     if let Some(s) = st.sampler.as_mut() {
                         s.count("cache_hits", start);
                     }
@@ -731,7 +783,7 @@ impl System {
                     return Ok(end);
                 }
                 None => {
-                    tracer.instant(TraceLayer::Ssd, CACHE_TRACK, "miss", start);
+                    self.tracer.instant(TraceLayer::Ssd, CACHE_TRACK, "miss", start);
                     if let Some(s) = st.sampler.as_mut() {
                         s.count("cache_misses", start);
                     }
@@ -739,13 +791,13 @@ impl System {
             }
         }
         let dram_before = self.dram.allocated();
-        match self.try_morpheus_service(spec, r.app, start, bar, wire) {
+        match self.try_morpheus_service(spec, r.app, tenant.code_len, start, bar, wire) {
             Ok((end, objects)) => {
                 let freed = self.dram.allocated().saturating_sub(dram_before);
                 self.dram.free(freed);
                 self.record_done(st, r, start, end, &objects, ServePath::Embedded);
                 if let Some(c) = self.object_cache.as_mut() {
-                    c.admit(&spec.name, &spec.input, digest, Arc::new(objects));
+                    c.admit(&spec.name, &spec.input, digest, objects);
                     self.emit_cache_events(end);
                 }
                 Ok(end)
@@ -768,8 +820,8 @@ impl System {
                     status,
                     0,
                 ));
-                let tracer = self.tracer.clone();
-                tracer.instant(TraceLayer::Host, SERVE_TRACK, "host-fallback", at);
+                self.tracer
+                    .instant(TraceLayer::Host, SERVE_TRACK, "host-fallback", at);
                 if let Some(fi) = self.faults.as_mut() {
                     fi.counters.host_fallbacks += 1;
                     fi.fallback_cause = Some(cause);
@@ -792,10 +844,11 @@ impl System {
         &mut self,
         spec: &AppSpec,
         app: usize,
+        code_len: u32,
         start: SimTime,
         bar: Option<BarWindow>,
         wire: &mut Vec<WireCmd>,
-    ) -> Result<(SimTime, ParsedColumns), ServeAbort> {
+    ) -> Result<(SimTime, Arc<ParsedColumns>), ServeAbort> {
         let ncores = self.mssd.dev.cores().cores();
         // Stable affinity: app k's instances always pin to core k % n, so
         // a tenant's requests queue behind each other, not behind
@@ -826,7 +879,6 @@ impl System {
             });
         }
         let cid = self.alloc_cid();
-        let code_len = DeserializeApp::new(&spec.name, spec.schema.clone()).code_bytes();
         wire.push((
             MorpheusCommand::Init {
                 instance_id: iid,
@@ -957,8 +1009,9 @@ impl System {
     ) {
         st.rep.completed += 1;
         st.rep.records += objects.records;
-        st.rep.checksum = st.rep.checksum.rotate_left(1) ^ objects.checksum();
-        st.rep.checksum_unordered = st.rep.checksum_unordered.wrapping_add(objects.checksum());
+        let ck = objects.checksum();
+        st.rep.checksum = st.rep.checksum.rotate_left(1) ^ ck;
+        st.rep.checksum_unordered = st.rep.checksum_unordered.wrapping_add(ck);
         st.obj_bytes += objects.binary_bytes();
         let wait = service_start.saturating_duration_since(r.arrival);
         let service = end.saturating_duration_since(service_start);
@@ -974,15 +1027,14 @@ impl System {
             s.served(end, e2e.as_nanos());
             s.span(path.busy_series(), service_start, end);
         }
-        let tracer = self.tracer.clone();
-        tracer.span(
+        self.tracer.span(
             TraceLayer::Host,
             SERVE_TRACK,
             "queue-wait",
             r.arrival,
             service_start,
         );
-        tracer.span_bytes(
+        self.tracer.span_bytes(
             TraceLayer::Host,
             SERVE_TRACK,
             "request",
@@ -1051,7 +1103,6 @@ impl System {
         if events.is_empty() {
             return;
         }
-        let tracer = self.tracer.clone();
         for ev in events {
             let what = match ev {
                 CacheEvent::Admitted {
@@ -1068,7 +1119,7 @@ impl System {
                 CacheEvent::Promoted { .. } => "promote",
                 CacheEvent::Invalidated { .. } => "invalidate",
             };
-            tracer.instant(TraceLayer::Ssd, CACHE_TRACK, what, at);
+            self.tracer.instant(TraceLayer::Ssd, CACHE_TRACK, what, at);
         }
     }
 
@@ -1096,10 +1147,12 @@ impl System {
             .admin
             .io_queue(FIRST_TENANT_QID + app as u16)
             .expect("queue created at serve start");
+        let mut cmds = std::mem::take(&mut st.cmds_scratch);
         let mut i = 0;
         while i < wire.len() {
             let wave = ctx.cfg.sq_depth.min(wire.len() - i);
-            let cmds: Vec<NvmeCommand> = wire[i..i + wave].iter().map(|(c, _, _)| *c).collect();
+            cmds.clear();
+            cmds.extend(wire[i..i + wave].iter().map(|(c, _, _)| *c));
             qp.sq
                 .submit_batch(&cmds)
                 .expect("wave sized to the ring depth");
@@ -1120,6 +1173,7 @@ impl System {
             st.rep.commands += wave as u64;
             i += wave;
         }
+        st.cmds_scratch = cmds;
     }
 }
 

@@ -28,6 +28,52 @@ pub struct ChunkIo {
     pub file_offset: u64,
 }
 
+/// Fixed-size bitmap over the full 16-bit command-identifier space.
+///
+/// The CID allocator probes and clears this on every command issue and
+/// completion — the serving hot path — where a `HashSet<u16>` pays a hash
+/// and a heap-bucket walk per operation. One bit per CID (8 KiB total)
+/// makes membership a shift and mask, with the same insert/remove
+/// semantics the set had.
+#[derive(Debug)]
+pub(crate) struct CidSet {
+    words: Box<[u64; 1024]>,
+    len: usize,
+}
+
+impl CidSet {
+    pub(crate) fn new() -> Self {
+        CidSet {
+            words: Box::new([0u64; 1024]),
+            len: 0,
+        }
+    }
+
+    /// Marks `id` in flight; returns false if it already was.
+    pub(crate) fn insert(&mut self, id: u16) -> bool {
+        let (w, bit) = (usize::from(id) >> 6, 1u64 << (id & 63));
+        if self.words[w] & bit != 0 {
+            return false;
+        }
+        self.words[w] |= bit;
+        self.len += 1;
+        true
+    }
+
+    /// Clears `id` after its completion is reaped.
+    pub(crate) fn remove(&mut self, id: u16) {
+        let (w, bit) = (usize::from(id) >> 6, 1u64 << (id & 63));
+        if self.words[w] & bit != 0 {
+            self.words[w] &= !bit;
+            self.len -= 1;
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+}
+
 /// The modelled platform: a quad-core Xeon host with DDR3 memory, a PCIe
 /// 3.0 fabric, the Morpheus-SSD, and a K20-class GPU.
 ///
@@ -70,7 +116,7 @@ pub struct System {
     /// CIDs handed out but not yet completed. A CID is only unique among
     /// commands in flight (NVMe 1.2 §4.2), so the allocator must skip
     /// these when the 16-bit counter wraps under sustained load.
-    pub(crate) in_flight_cids: std::collections::HashSet<u16>,
+    pub(crate) in_flight_cids: CidSet,
     pub(crate) tracer: Tracer,
     pub(crate) nvme_lat: Histogram,
     /// The installed fault plan (inactive by default).
@@ -94,6 +140,9 @@ pub struct System {
     /// folds only this run's events (the trace accumulates across runs
     /// while run clocks restart at zero).
     pub(crate) telemetry_mark: usize,
+    /// Per-file content digests backing the deserialization memo keys
+    /// (`deser_memo`); dropped whenever the file mutates.
+    pub(crate) deser_digests: std::collections::HashMap<String, u64>,
 }
 
 impl System {
@@ -128,7 +177,7 @@ impl System {
             gpu_bar: None,
             next_instance: 1,
             next_cid: 0,
-            in_flight_cids: std::collections::HashSet::new(),
+            in_flight_cids: CidSet::new(),
             tracer: Tracer::disabled(),
             nvme_lat: Histogram::new(),
             fault_plan: FaultPlan::none(),
@@ -137,6 +186,7 @@ impl System {
             object_cache: None,
             telemetry_window: None,
             telemetry_mark: 0,
+            deser_digests: std::collections::HashMap::new(),
             params,
         }
     }
@@ -250,6 +300,9 @@ impl System {
     /// serialization path calls this so cached objects can never go
     /// stale). Returns how many entries were dropped.
     pub fn invalidate_cached_objects(&mut self, file: &str) -> u64 {
+        // The deser-memo content digest is keyed by name and must never
+        // survive a mutation of the underlying bytes.
+        self.deser_digests.remove(file);
         let Some(cache) = self.object_cache.as_mut() else {
             return 0;
         };
@@ -513,7 +566,7 @@ impl System {
     /// Returns a command identifier to the pool after its completion was
     /// reaped.
     pub(crate) fn release_cid(&mut self, cid: u16) {
-        self.in_flight_cids.remove(&cid);
+        self.in_flight_cids.remove(cid);
     }
 
     /// Drives one command through the shared I/O queue's full wire

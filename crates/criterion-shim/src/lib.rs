@@ -227,6 +227,38 @@ where
         fmt_ns(median),
         fmt_ns(worst)
     );
+    emit_json(id, median, best, worst, throughput);
+}
+
+/// Appends one JSON line per benchmark to the file named by
+/// `MORPHEUS_BENCH_JSON` (CI collects these into its bench artifact).
+/// Unset or unwritable paths are silently ignored — machine output must
+/// never fail a measurement run.
+fn emit_json(id: &str, median: f64, best: f64, worst: f64, throughput: Option<Throughput>) {
+    let Ok(path) = std::env::var("MORPHEUS_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    else {
+        return;
+    };
+    let thrpt = match throughput {
+        Some(Throughput::Bytes(n)) => format!(",\"bytes\":{n}"),
+        Some(Throughput::Elements(n)) => format!(",\"elements\":{n}"),
+        None => String::new(),
+    };
+    use std::io::Write as _;
+    let _ = writeln!(
+        f,
+        "{{\"id\":\"{}\",\"median_ns\":{median},\"min_ns\":{best},\"max_ns\":{worst}{thrpt}}}",
+        id.escape_default()
+    );
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -299,6 +331,21 @@ mod tests {
             b.iter(|| 1)
         });
         assert!(!ran);
+    }
+
+    #[test]
+    fn json_lines_emit_when_env_set() {
+        let path = std::env::temp_dir().join(format!("shim-bench-{}.jsonl", std::process::id()));
+        std::env::set_var("MORPHEUS_BENCH_JSON", &path);
+        emit_json("g/a", 1234.5, 1000.0, 2000.0, Some(Throughput::Bytes(4096)));
+        emit_json("g/b", 10.0, 9.0, 11.0, None);
+        std::env::remove_var("MORPHEUS_BENCH_JSON");
+        let got = std::fs::read_to_string(&path).expect("json file written");
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = got.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"id\":\"g/a\"") && lines[0].contains("\"bytes\":4096"));
+        assert!(lines[1].contains("\"median_ns\":10") && !lines[1].contains("bytes"));
     }
 
     #[test]

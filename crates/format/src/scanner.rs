@@ -9,6 +9,77 @@ pub(crate) fn is_separator(b: u8) -> bool {
     matches!(b, b' ' | b'\t' | b'\n' | b'\r' | b',')
 }
 
+/// SWAR (SIMD-within-a-register) helpers: classify and fold 8-byte chunks
+/// of the input at once, leaving partial chunks and everything after the
+/// first match to the scalar tail. All masks put their verdict in the high
+/// bit of each byte; positions are read LE, so `trailing_zeros() / 8` is
+/// the index of the first flagged byte.
+mod swar {
+    /// 0x01 splat.
+    const LO: u64 = 0x0101_0101_0101_0101;
+    /// 0x80 splat.
+    const HI: u64 = 0x8080_8080_8080_8080;
+    /// b'0' splat: eight ASCII zeros.
+    pub(super) const ASCII_ZEROS: u64 = 0x3030_3030_3030_3030;
+
+    #[inline]
+    pub(super) fn load(chunk: &[u8]) -> u64 {
+        u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"))
+    }
+
+    /// High bit set in every byte that is not an ASCII digit. Lanes after
+    /// the first flagged byte may be misclassified (a wild byte >= 0x8A
+    /// carries into the next lane), so callers must only trust lanes up to
+    /// and including the first set bit — exactly what a first-non-digit
+    /// search needs.
+    #[inline]
+    pub(super) fn non_digit_mask(v: u64) -> u64 {
+        let x = v ^ ASCII_ZEROS;
+        let y = x.wrapping_add(LO * 0x76);
+        (x | y) & HI
+    }
+
+    /// Number of leading (lowest-address) ASCII-digit bytes in the chunk,
+    /// 0..=8.
+    #[inline]
+    pub(super) fn leading_digits(v: u64) -> usize {
+        (non_digit_mask(v).trailing_zeros() / 8) as usize
+    }
+
+    /// Folds a chunk of exactly eight ASCII digits (first digit in the
+    /// lowest byte) to its decimal value, 0..=99_999_999. Three
+    /// multiply-shift rounds combine neighbours at widening strides.
+    #[inline]
+    pub(super) fn fold8(v: u64) -> u64 {
+        let v = v & (LO * 0x0F);
+        let v = v.wrapping_mul((10 << 8) + 1) >> 8;
+        let v = (v & 0x00FF_00FF_00FF_00FF).wrapping_mul((100 << 16) + 1) >> 16;
+        (v & 0x0000_FFFF_0000_FFFF).wrapping_mul((10_000 << 32) + 1) >> 32
+    }
+
+    /// Folds the first `nd` (1..=7) digit bytes of `v`: the run is shifted
+    /// to the top lanes and the vacated low lanes refilled with ASCII
+    /// zeros, which become leading zeros of the 8-digit fold.
+    #[inline]
+    pub(super) fn fold_partial(v: u64, nd: usize) -> u64 {
+        debug_assert!((1..8).contains(&nd));
+        fold8((v << ((8 - nd) * 8)) | (ASCII_ZEROS >> (nd * 8)))
+    }
+
+    /// 10^n for n in 0..=8.
+    pub(super) const POW10_U64: [u64; 9] = [
+        1,
+        10,
+        100,
+        1_000,
+        10_000,
+        100_000,
+        1_000_000,
+        10_000_000,
+        100_000_000,
+    ];
+}
+
 /// Exact positive powers of ten. Every entry equals the result of the
 /// corresponding run of `*= 10.0` steps from 1.0 (exact through 10^22, the
 /// largest power of ten representable exactly in an f64).
@@ -70,6 +141,22 @@ impl Mantissa {
         }
     }
 
+    /// True when a `k`-digit SWAR fold is equivalent to `k` scalar pushes:
+    /// every one of those pushes would have taken the exact-integer branch.
+    #[inline]
+    fn can_fold(&self, k: u32) -> bool {
+        !self.spilled && self.folded + k <= 15
+    }
+
+    /// Folds a `k`-digit run whose decimal value is `run` in one step.
+    /// Callers must check [`can_fold`](Mantissa::can_fold) first.
+    #[inline]
+    fn fold_run(&mut self, run: u64, k: u32) {
+        debug_assert!(self.can_fold(k));
+        self.acc = self.acc * swar::POW10_U64[k as usize] + run;
+        self.folded += k;
+    }
+
     #[inline]
     fn value(&self) -> f64 {
         if self.spilled {
@@ -78,6 +165,51 @@ impl Mantissa {
             self.acc as f64
         }
     }
+}
+
+/// Advances past the digit run starting at `buf[i]`, feeding each digit to
+/// `m`, and returns the position after the run. Whole 8-byte chunks fold
+/// via SWAR while the mantissa can absorb them exactly; everything else —
+/// the partial tail, and digits past the mantissa's exact window — falls
+/// back to the scalar per-digit push, keeping results bit-identical to the
+/// pure scalar walk.
+#[inline]
+fn scan_digit_run(buf: &[u8], mut i: usize, m: &mut Mantissa) -> usize {
+    // Scalar walk over the first chunk's worth of digits: most mantissa
+    // runs are shorter than 8 digits and the per-digit loop is cheapest
+    // for them. Only a run that fills all 8 is worth chunk classification.
+    let quick = buf.len().min(i + 8);
+    while i < quick {
+        let d = buf[i].wrapping_sub(b'0');
+        if d >= 10 {
+            return i;
+        }
+        m.push(d);
+        i += 1;
+    }
+    while i + 8 <= buf.len() {
+        let w = swar::load(&buf[i..i + 8]);
+        let nd = swar::leading_digits(w);
+        if nd == 8 && m.can_fold(8) {
+            m.fold_run(swar::fold8(w), 8);
+            i += 8;
+            continue;
+        }
+        if nd > 0 && nd < 8 && m.can_fold(nd as u32) {
+            m.fold_run(swar::fold_partial(w, nd), nd as u32);
+            i += nd;
+        }
+        break;
+    }
+    while i < buf.len() {
+        let d = buf[i].wrapping_sub(b'0');
+        if d >= 10 {
+            break;
+        }
+        m.push(d);
+        i += 1;
+    }
+    i
 }
 
 /// A scanner over a byte buffer that converts ASCII tokens to binary values
@@ -131,7 +263,10 @@ impl<'a> TextScanner<'a> {
         self.work
     }
 
-    /// Skips separator bytes.
+    /// Skips separator bytes. The common gap between tokens is one or two
+    /// bytes, so the first few are walked scalar; only a longer run (blank
+    /// lines, padded columns) switches to 8-byte chunk classification,
+    /// with a scalar tail for the last partial chunk.
     pub fn skip_separators(&mut self) {
         let buf = self.buf;
         let start = self.pos;
@@ -161,9 +296,13 @@ impl<'a> TextScanner<'a> {
     /// advances past it, returning the value and digit count.
     ///
     /// Fast path: the first 19 digits cannot overflow `u64` (19 nines
-    /// < 2^64), so they accumulate without per-digit overflow checks. Only
-    /// a 20th digit switches to the checked continuation, so overflow is
-    /// still reported at the exact offending digit.
+    /// < 2^64), so they accumulate without per-digit overflow checks —
+    /// folded eight digits at a time via SWAR while a whole chunk fits in
+    /// both the input and the 19-digit budget, then digit by digit. Base-10
+    /// folding in `u64` is exact, so the chunked accumulation produces the
+    /// same value the per-digit walk did. Only a 20th digit switches to the
+    /// checked continuation, so overflow is still reported at the exact
+    /// offending digit.
     #[inline]
     fn scan_magnitude(&mut self) -> Result<(u64, usize), ParseError> {
         let start = self.pos;
@@ -171,6 +310,36 @@ impl<'a> TextScanner<'a> {
         let limit = rest.len().min(19);
         let mut v: u64 = 0;
         let mut n = 0usize;
+        // Scalar walk first: almost every token is shorter than a chunk,
+        // and for those the per-digit loop beats any whole-chunk classify.
+        let quick = limit.min(8);
+        while n < quick {
+            let d = rest[n].wrapping_sub(b'0');
+            if d >= 10 {
+                break;
+            }
+            v = v * 10 + d as u64;
+            n += 1;
+        }
+        // A run that filled the first 8 digits is a long literal: fold the
+        // remainder in SWAR chunks (whole and partial) up to the 19-digit
+        // unchecked budget, then let the scalar loop mop up the tail.
+        if n == 8 {
+            while n + 8 <= limit {
+                let w = swar::load(&rest[n..n + 8]);
+                let nd = swar::leading_digits(w);
+                if nd == 8 {
+                    v = v * swar::POW10_U64[8] + swar::fold8(w);
+                    n += 8;
+                    continue;
+                }
+                if nd > 0 {
+                    v = v * swar::POW10_U64[nd] + swar::fold_partial(w, nd);
+                    n += nd;
+                }
+                break;
+            }
+        }
         while n < limit {
             let d = rest[n].wrapping_sub(b'0');
             if d >= 10 {
@@ -281,27 +450,13 @@ impl<'a> TextScanner<'a> {
         let mut i = self.pos;
         let mut m = Mantissa::new();
         let int_start = i;
-        while i < buf.len() {
-            let d = buf[i].wrapping_sub(b'0');
-            if d >= 10 {
-                break;
-            }
-            m.push(d);
-            i += 1;
-        }
+        i = scan_digit_run(buf, i, &mut m);
         let mut digits = (i - int_start) as u64;
         let mut frac_scale = 1.0f64;
         if buf.get(i) == Some(&b'.') {
             i += 1;
             let frac_start = i;
-            while i < buf.len() {
-                let d = buf[i].wrapping_sub(b'0');
-                if d >= 10 {
-                    break;
-                }
-                m.push(d);
-                i += 1;
-            }
+            i = scan_digit_run(buf, i, &mut m);
             frac_scale = frac_scale_for(i - frac_start);
             digits += (i - frac_start) as u64;
         }
@@ -455,6 +610,105 @@ mod tests {
     fn error_offsets_account_for_base() {
         let mut s = TextScanner::with_base_offset(b"zz", 100);
         assert_eq!(s.parse_i64().unwrap_err().offset, 100);
+    }
+
+    #[test]
+    fn swar_fold8_matches_scalar_for_all_pair_patterns() {
+        for a in [0u64, 1, 9, 10, 99, 12_345_678, 99_999_999, 90_000_009] {
+            let text = format!("{a:08}");
+            assert_eq!(swar::fold8(swar::load(text.as_bytes())), a, "{text}");
+        }
+    }
+
+    #[test]
+    fn chunked_scanner_matches_reference_on_all_small_lengths() {
+        // Every prefix length 0..=33 of a digit/separator cycle: covers the
+        // empty input, sub-chunk inputs, exact one/two/four-chunk inputs,
+        // and trailing partial chunks on either side of the 8/16/32-byte
+        // boundaries. Truncation only ever shortens a token, so every
+        // prefix stays parseable and std's parser is the reference.
+        let pattern: &[u8] = b"12, 34\t5\n9876543210 0 77777 808";
+        for len in 0..=33 {
+            let input: Vec<u8> = pattern.iter().cycle().take(len).copied().collect();
+            let expect: Vec<i64> = input
+                .split(|b| is_separator(*b))
+                .filter(|t| !t.is_empty())
+                .map(|t| std::str::from_utf8(t).unwrap().parse::<i64>().unwrap())
+                .collect();
+            let mut s = TextScanner::new(&input);
+            let mut got = Vec::new();
+            while !s.at_end() {
+                got.push(s.parse_i64().unwrap());
+            }
+            assert_eq!(got, expect, "len {len}");
+            assert_eq!(s.work().bytes_scanned, len as u64, "len {len}");
+        }
+    }
+
+    #[test]
+    fn chunked_float_scan_matches_reference_on_all_small_lengths() {
+        let pattern: &[u8] = b"1.5 22.25,333.125\t4444.0625\n9.0 ";
+        for len in 0..=33 {
+            let input: Vec<u8> = pattern.iter().cycle().take(len).copied().collect();
+            // Drop a trailing lone '.' token truncation would create.
+            let input: Vec<u8> = if input.last() == Some(&b'.') {
+                input[..len - 1].to_vec()
+            } else {
+                input
+            };
+            let expect: Vec<f64> = input
+                .split(|b| is_separator(*b))
+                .filter(|t| !t.is_empty())
+                .map(|t| std::str::from_utf8(t).unwrap().parse::<f64>().unwrap())
+                .collect();
+            let mut s = TextScanner::new(&input);
+            let mut got = Vec::new();
+            while !s.at_end() {
+                got.push(s.parse_f64().unwrap());
+            }
+            // Dyadic fractions: both parsers are exact, so == is fair.
+            assert_eq!(got, expect, "len {len}");
+        }
+    }
+
+    #[test]
+    fn non_ascii_bytes_at_chunk_boundaries_error_at_exact_offset() {
+        // 0xC3/0x80/0xFF at every position 0..=24: 0xFF in particular
+        // exercises the SWAR carry case (a wild byte >= 0x8A corrupts the
+        // *next* lane's classification, which must never be trusted).
+        for wild in [0xC3u8, 0x80, 0xFF] {
+            for pos in 0..=24 {
+                // Zero digits: runs past 19 digits stay below the overflow
+                // path, so the only possible error is the wild byte itself.
+                let mut input = vec![b'0'; 25];
+                input[pos] = wild;
+                let mut s = TextScanner::new(&input);
+                let e = s.parse_u64().unwrap_err();
+                assert_eq!(e.kind, ParseErrorKind::UnexpectedChar(wild), "pos {pos}");
+                assert_eq!(e.offset, pos, "wild {wild:#x} at {pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn separator_skip_handles_long_runs_and_boundary_tails() {
+        for lead in 0..=33usize {
+            let mut input = Vec::new();
+            for k in 0..lead {
+                input.push(b" \t\n\r,"[k % 5]);
+            }
+            input.extend_from_slice(b"41");
+            let mut s = TextScanner::new(&input);
+            assert_eq!(s.parse_i64().unwrap(), 41, "lead {lead}");
+            assert_eq!(s.pos(), lead + 2);
+        }
+        // All-separator input of every small length ends cleanly.
+        for len in 0..=33usize {
+            let input = vec![b' '; len];
+            let mut s = TextScanner::new(&input);
+            assert!(s.at_end());
+            assert_eq!(s.work().bytes_scanned, len as u64);
+        }
     }
 
     #[test]

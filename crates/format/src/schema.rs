@@ -259,9 +259,10 @@ impl ParsedColumns {
             return Err(ParseError::new(bytes.len(), ParseErrorKind::UnexpectedEof));
         }
         let mut out = ParsedColumns::empty(schema);
+        let kinds = out.schema.fields().to_vec();
         let mut pos = 0;
         while pos < bytes.len() {
-            for (i, kind) in out.schema.fields().to_vec().iter().enumerate() {
+            for (i, kind) in kinds.iter().enumerate() {
                 let w = kind.byte_width() as usize;
                 let raw = &bytes[pos..pos + w];
                 match &mut out.columns[i] {

@@ -99,6 +99,13 @@ impl Interval {
 pub struct Timeline {
     name: String,
     next_free: Vec<SimTime>,
+    /// Earliest-free-unit index: one `(free_at, unit)` entry per unit,
+    /// kept in lock-step with `next_free` (each grant pops the minimum and
+    /// pushes the unit back with its new free time). Ordered by
+    /// `(free_at, unit)`, so ties go to the lowest unit index — the same
+    /// grant order the linear minimum scan produced. Empty (unused) for
+    /// single-unit timelines, which short-circuit to unit 0.
+    free_heap: std::collections::BinaryHeap<std::cmp::Reverse<(SimTime, usize)>>,
     busy: SimDuration,
     grants: u64,
     record: bool,
@@ -116,11 +123,23 @@ impl Timeline {
         Timeline {
             name: name.into(),
             next_free: vec![SimTime::ZERO; units],
+            free_heap: Self::fresh_heap(units),
             busy: SimDuration::ZERO,
             grants: 0,
             record: false,
             intervals: Vec::new(),
         }
+    }
+
+    fn fresh_heap(
+        units: usize,
+    ) -> std::collections::BinaryHeap<std::cmp::Reverse<(SimTime, usize)>> {
+        if units == 1 {
+            return std::collections::BinaryHeap::new();
+        }
+        (0..units)
+            .map(|i| std::cmp::Reverse((SimTime::ZERO, i)))
+            .collect()
     }
 
     /// Enables interval recording for trace dumps (off by default).
@@ -160,16 +179,20 @@ impl Timeline {
             }
             return iv;
         }
-        let unit = self
-            .next_free
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, t)| **t)
-            .map(|(i, _)| i)
-            .expect("timeline has at least one unit");
+        let unit = if self.next_free.len() == 1 {
+            0
+        } else {
+            let std::cmp::Reverse((free_at, unit)) =
+                self.free_heap.pop().expect("timeline has at least one unit");
+            debug_assert_eq!(free_at, self.next_free[unit], "free-heap out of sync");
+            unit
+        };
         let start = ready.max(self.next_free[unit]);
         let end = start + service;
         self.next_free[unit] = end;
+        if self.next_free.len() > 1 {
+            self.free_heap.push(std::cmp::Reverse((end, unit)));
+        }
         self.busy += service;
         self.grants += 1;
         let iv = Interval { start, end, unit };
@@ -223,6 +246,7 @@ impl Timeline {
     /// Clears all state back to time zero, keeping configuration.
     pub fn reset(&mut self) {
         self.next_free.fill(SimTime::ZERO);
+        self.free_heap = Self::fresh_heap(self.next_free.len());
         self.busy = SimDuration::ZERO;
         self.grants = 0;
         self.intervals.clear();
@@ -265,6 +289,20 @@ mod tests {
         assert_ne!(a.unit, b.unit);
         assert_eq!(c.start, at(10));
         assert_eq!(t.horizon(), at(20));
+    }
+
+    #[test]
+    fn tied_units_grant_in_index_order() {
+        // The heap must reproduce the linear scan's tie-break: among units
+        // freeing at the same time, the lowest index wins.
+        let mut t = Timeline::new("r", 4);
+        for round in 0..3 {
+            for want in 0..4 {
+                let iv = t.acquire(at(0), ns(10));
+                assert_eq!(iv.unit, want, "round {round}");
+                assert_eq!(iv.start, at(round * 10));
+            }
+        }
     }
 
     #[test]

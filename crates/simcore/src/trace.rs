@@ -141,14 +141,95 @@ impl TraceEvent {
     }
 }
 
+/// FNV-1a, as a [`std::hash::Hasher`], for the intern table: track/name
+/// strings are a few bytes, where SipHash's setup cost dominates.
+struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl std::hash::Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+type FnvBuild = std::hash::BuildHasherDefault<FnvHasher>;
+
+/// A recorded event in interned form: `track`/`name` are string-table ids,
+/// so recording allocates nothing in steady state. 40 bytes per event vs
+/// two heap strings; resolved to [`TraceEvent`]s only at export time.
+#[derive(Debug, Clone, Copy)]
+struct CompactEvent {
+    layer: TraceLayer,
+    kind: TraceEventKind,
+    track: u32,
+    name: u32,
+    start_ns: u64,
+    dur_ns: u64,
+    bytes: Option<u64>,
+}
+
+/// The shared trace buffer: interned events plus the per-tracer string
+/// table. The table only grows (ids stay valid across [`Tracer::take`]),
+/// and it stays small — tracks and names are drawn from a fixed set of
+/// layer resources and verbs.
+#[derive(Debug, Default)]
+struct TraceBuf {
+    events: Vec<CompactEvent>,
+    strings: Vec<Arc<str>>,
+    ids: std::collections::HashMap<Arc<str>, u32, FnvBuild>,
+}
+
+impl TraceBuf {
+    fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.ids.get(s) {
+            return id;
+        }
+        let id = u32::try_from(self.strings.len()).expect("string table overflow");
+        let owned: Arc<str> = s.into();
+        self.strings.push(owned.clone());
+        self.ids.insert(owned, id);
+        id
+    }
+
+    fn materialize(&self, ev: &CompactEvent) -> TraceEvent {
+        TraceEvent {
+            layer: ev.layer,
+            track: self.strings[ev.track as usize].as_ref().to_string(),
+            name: self.strings[ev.name as usize].as_ref().to_string(),
+            start_ns: ev.start_ns,
+            dur_ns: ev.dur_ns,
+            kind: ev.kind,
+            bytes: ev.bytes,
+        }
+    }
+}
+
 /// A shared handle for recording trace events.
 ///
 /// Cloning is cheap (an `Arc` bump); all clones append to one log. A
 /// disabled tracer ([`Tracer::disabled`], also [`Default`]) makes every
 /// record call a no-op branch — components can hold one unconditionally.
+///
+/// Internally events are slab-stored in interned form (see
+/// [`CompactEvent`]): the record path performs two string-table lookups
+/// and a 40-byte push, no allocation. The owned-`String`
+/// [`TraceEvent`]s the public API exposes are materialized lazily by
+/// [`take`](Tracer::take)/[`snapshot`](Tracer::snapshot).
 #[derive(Debug, Clone, Default)]
 pub struct Tracer {
-    inner: Option<Arc<Mutex<Vec<TraceEvent>>>>,
+    inner: Option<Arc<Mutex<TraceBuf>>>,
 }
 
 impl Tracer {
@@ -170,9 +251,29 @@ impl Tracer {
     }
 
     #[inline]
-    fn push(&self, ev: TraceEvent) {
+    fn record(
+        &self,
+        layer: TraceLayer,
+        track: &str,
+        name: &str,
+        start_ns: u64,
+        dur_ns: u64,
+        kind: TraceEventKind,
+        bytes: Option<u64>,
+    ) {
         if let Some(log) = &self.inner {
-            log.lock().expect("tracer lock poisoned").push(ev);
+            let mut buf = log.lock().expect("tracer lock poisoned");
+            let track = buf.intern(track);
+            let name = buf.intern(name);
+            buf.events.push(CompactEvent {
+                layer,
+                kind,
+                track,
+                name,
+                start_ns,
+                dur_ns,
+                bytes,
+            });
         }
     }
 
@@ -187,15 +288,15 @@ impl Tracer {
         if self.inner.is_none() {
             return;
         }
-        self.push(TraceEvent {
+        self.record(
             layer,
-            track: track.to_string(),
-            name: name.to_string(),
-            start_ns: start.as_nanos(),
-            dur_ns: end.duration_since(start).as_nanos(),
-            kind: TraceEventKind::Span,
-            bytes: None,
-        });
+            track,
+            name,
+            start.as_nanos(),
+            end.duration_since(start).as_nanos(),
+            TraceEventKind::Span,
+            None,
+        );
     }
 
     /// Records a span carrying a payload size.
@@ -212,15 +313,15 @@ impl Tracer {
         if self.inner.is_none() {
             return;
         }
-        self.push(TraceEvent {
+        self.record(
             layer,
-            track: track.to_string(),
-            name: name.to_string(),
-            start_ns: start.as_nanos(),
-            dur_ns: end.duration_since(start).as_nanos(),
-            kind: TraceEventKind::Span,
-            bytes: Some(bytes),
-        });
+            track,
+            name,
+            start.as_nanos(),
+            end.duration_since(start).as_nanos(),
+            TraceEventKind::Span,
+            Some(bytes),
+        );
     }
 
     /// Records an instant event.
@@ -229,15 +330,15 @@ impl Tracer {
         if self.inner.is_none() {
             return;
         }
-        self.push(TraceEvent {
+        self.record(
             layer,
-            track: track.to_string(),
-            name: name.to_string(),
-            start_ns: at.as_nanos(),
-            dur_ns: 0,
-            kind: TraceEventKind::Instant,
-            bytes: None,
-        });
+            track,
+            name,
+            at.as_nanos(),
+            0,
+            TraceEventKind::Instant,
+            None,
+        );
     }
 
     /// Records an instant event carrying a payload size.
@@ -253,21 +354,27 @@ impl Tracer {
         if self.inner.is_none() {
             return;
         }
-        self.push(TraceEvent {
+        self.record(
             layer,
-            track: track.to_string(),
-            name: name.to_string(),
-            start_ns: at.as_nanos(),
-            dur_ns: 0,
-            kind: TraceEventKind::Instant,
-            bytes: Some(bytes),
-        });
+            track,
+            name,
+            at.as_nanos(),
+            0,
+            TraceEventKind::Instant,
+            Some(bytes),
+        );
     }
 
     /// Drains all recorded events into a [`TraceLog`] (empty if disabled).
+    /// The string table survives the drain, so later events keep their
+    /// interned ids.
     pub fn take(&self) -> TraceLog {
         let events = match &self.inner {
-            Some(log) => std::mem::take(&mut *log.lock().expect("tracer lock poisoned")),
+            Some(log) => {
+                let mut buf = log.lock().expect("tracer lock poisoned");
+                let compact = std::mem::take(&mut buf.events);
+                compact.iter().map(|e| buf.materialize(e)).collect()
+            }
             None => Vec::new(),
         };
         TraceLog { events }
@@ -277,7 +384,7 @@ impl Tracer {
     /// no clone — so callers can bookmark a position in the log.
     pub fn recorded(&self) -> usize {
         match &self.inner {
-            Some(log) => log.lock().expect("tracer lock poisoned").len(),
+            Some(log) => log.lock().expect("tracer lock poisoned").events.len(),
             None => 0,
         }
     }
@@ -287,7 +394,10 @@ impl Tracer {
     /// must not steal the trace from the exporter.
     pub fn snapshot(&self) -> TraceLog {
         let events = match &self.inner {
-            Some(log) => log.lock().expect("tracer lock poisoned").clone(),
+            Some(log) => {
+                let buf = log.lock().expect("tracer lock poisoned");
+                buf.events.iter().map(|e| buf.materialize(e)).collect()
+            }
             None => Vec::new(),
         };
         TraceLog { events }
