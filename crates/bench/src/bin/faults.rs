@@ -9,11 +9,16 @@
 //!
 //! Flags: the shared harness grammar (`--scale`, `--seed`, `--jobs`);
 //! the sweep sets the per-rung fault plans itself, so `--faults` here
-//! only overrides the *seed* ladder via its `seed=` key.
+//! only overrides the *seed* ladder via its `seed=` key. With
+//! `--devices N` (and optional `--placement rr|hash|capacity`) the sweep
+//! appends a fleet serving-resilience table: the same fault ladder
+//! applied fleet-wide to an N-device serve cell, showing how aggregate
+//! completion and redispatch counts degrade.
 
-use morpheus::Mode;
+use morpheus::{AppSpec, Fleet, FleetConfig, Mode, PlacementPolicy, ServeConfig, SystemParams};
 use morpheus_bench::{geomean, print_table, Harness};
-use morpheus_simcore::{FaultCounters, FaultPlan};
+use morpheus_format::{FieldKind, Schema, TextWriter};
+use morpheus_simcore::{render_error_chain, FaultCounters, FaultPlan, SplitMix64};
 use morpheus_workloads::{run_benchmark, suite};
 
 /// The swept fault rates. Per rung `r`, probabilities scale as:
@@ -42,11 +47,46 @@ fn main() {
     // parser applies flags left to right.
     let mut args: Vec<String> = vec!["--scale".into(), "4096".into()];
     args.extend(std::env::args().skip(1));
-    let h = match Harness::parse(&args, &[]) {
+    let usage =
+        "usage: [--scale N] [--seed N] [--jobs N] [--faults SPEC] [--devices N] [--placement P]";
+    // Fleet flags are parsed here and registered with the shared grammar
+    // as pass-through extras.
+    let mut devices = 1usize;
+    let mut placement = PlacementPolicy::HashByFile;
+    {
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--devices" => {
+                    devices = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|d: &usize| *d >= 1)
+                        .unwrap_or_else(|| {
+                            eprintln!("error: --devices expects a positive integer");
+                            eprintln!("{usage}");
+                            std::process::exit(2);
+                        });
+                }
+                "--placement" => {
+                    placement = it
+                        .next()
+                        .and_then(|v| PlacementPolicy::parse(v))
+                        .unwrap_or_else(|| {
+                            eprintln!("error: --placement expects rr|hash|capacity");
+                            eprintln!("{usage}");
+                            std::process::exit(2);
+                        });
+                }
+                _ => {}
+            }
+        }
+    }
+    let h = match Harness::parse(&args, &["--devices", "--placement"]) {
         Ok(h) => h,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: [--scale N] [--seed N] [--jobs N] [--faults SPEC]");
+            eprintln!("{usage}");
             std::process::exit(2);
         }
     };
@@ -125,4 +165,73 @@ fn main() {
     println!();
     println!("speedup is the geomean over suite apps that completed; objects are checked");
     println!("bit-identical between modes at every rate (fallback keeps Morpheus correct).");
+
+    if devices > 1 {
+        // The same fault ladder applied fleet-wide to an N-device serving
+        // cell: every device degrades identically, so the table isolates
+        // how the *serving plane* (admission, redispatch, fallback)
+        // absorbs faults at fleet scale.
+        println!();
+        println!(
+            "Fleet serving resilience: {devices} devices, placement {placement}, \
+             morpheus @ 4000 rps x 0.02s, 3 apps"
+        );
+        let mut frows = Vec::new();
+        for rate in RATES {
+            let mut fc = FleetConfig::new(devices);
+            fc.placement = placement;
+            fc.seed = h.seed;
+            let mut fleet = Fleet::new(SystemParams::paper_testbed(), fc);
+            let schema = Schema::new(vec![FieldKind::U32, FieldKind::U32]);
+            let mut specs = Vec::new();
+            for i in 0..3u64 {
+                let name = format!("svc{i}");
+                let file = format!("{name}.txt");
+                let mut rng = SplitMix64::new(h.seed ^ i.wrapping_mul(0x9E37_79B9));
+                let mut w = TextWriter::new();
+                for _ in 0..(64 * 1024 / 12) {
+                    w.write_u64(rng.next_below(100_000));
+                    w.sep();
+                    w.write_u64(rng.next_below(100_000));
+                    w.newline();
+                }
+                fleet
+                    .create_input_file(&file, &w.into_bytes())
+                    .expect("staging tenant input");
+                specs.push(AppSpec::cpu_app(&name, &file, schema.clone(), 1, 50.0));
+            }
+            if let Some(plan) = plan_for(rate, fault_seed) {
+                fleet.set_fault_plan(plan);
+            }
+            let mut cfg = ServeConfig::new(4000.0, 0.02);
+            cfg.mode = Mode::Morpheus;
+            cfg.seed = h.seed;
+            let rep = fleet.serve(&specs, &cfg).unwrap_or_else(|e| {
+                eprintln!("error: fleet serve failed: {}", render_error_chain(&e));
+                std::process::exit(1);
+            });
+            let a = &rep.aggregate;
+            frows.push(vec![
+                format!("{rate:.0e}"),
+                a.offered.to_string(),
+                a.completed.to_string(),
+                a.shed.to_string(),
+                a.fault_redispatches.to_string(),
+                a.failed.to_string(),
+                format!("{:.1}", a.sustained_rps),
+            ]);
+        }
+        print_table(
+            &[
+                "fault rate",
+                "offered",
+                "done",
+                "shed",
+                "redisp",
+                "fail",
+                "sust_rps",
+            ],
+            &frows,
+        );
+    }
 }

@@ -12,8 +12,9 @@
 //! seeded system, so output is byte-identical across repeats and `--jobs`.
 
 use morpheus::{
-    AppSpec, CacheConfig, CachePolicy, Mode, RunError, ServeConfig, ServePolicy, ServeReport,
-    SloSpec, System, SystemParams, TelemetryConfig,
+    AppSpec, CacheConfig, CachePolicy, DeviceKill, Fleet, FleetConfig, Mode, PlacementPolicy,
+    RunError, ServeConfig, ServePolicy, ServeReport, SloSpec, System, SystemParams,
+    TelemetryConfig,
 };
 use morpheus_bench::{print_table, run_parallel, Harness};
 use morpheus_format::{FieldKind, Schema, TextWriter};
@@ -26,6 +27,7 @@ const USAGE: &str =
              [--skew F] [--cache-mb N] [--cache-host-mb N] [--cache-policy tinylfu|lru]
              [--telemetry-window DUR] [--slo SPEC] [--telemetry-out <path>]
              [--prom-out <path>]
+             [--devices N] [--placement rr|hash|capacity] [--kill-device DEV@SECS]
              [--fast-forward] [--csv] [--seed N] [--jobs N] [--faults SPEC]";
 
 /// One parsed invocation.
@@ -49,6 +51,9 @@ struct Cli {
     slo: SloSpec,
     telemetry_out: Option<String>,
     prom_out: Option<String>,
+    devices: usize,
+    placement: PlacementPolicy,
+    kills: Vec<DeviceKill>,
     csv: bool,
     fast_forward: bool,
     harness: Harness,
@@ -75,6 +80,22 @@ impl Cli {
             t.slo = self.slo.clone();
             t
         })
+    }
+
+    /// True when the invocation engages the fleet path: more than one
+    /// device, or a kill schedule. A plain `--devices 1` run stays on the
+    /// legacy single-[`System`] path, byte for byte.
+    fn fleet_mode(&self) -> bool {
+        self.devices > 1 || !self.kills.is_empty()
+    }
+
+    /// The fleet shape this invocation asked for.
+    fn fleet_config(&self) -> FleetConfig {
+        let mut cfg = FleetConfig::new(self.devices);
+        cfg.placement = self.placement;
+        cfg.seed = self.harness.seed;
+        cfg.kills = self.kills.clone();
+        cfg
     }
 }
 
@@ -114,6 +135,9 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         slo: SloSpec::none(),
         telemetry_out: None,
         prom_out: None,
+        devices: 1,
+        placement: PlacementPolicy::HashByFile,
+        kills: Vec::new(),
         csv: false,
         fast_forward: false,
         harness: Harness::default(),
@@ -216,6 +240,19 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                 cli.telemetry_out = Some(value("--telemetry-out", &mut it)?.clone())
             }
             "--prom-out" => cli.prom_out = Some(value("--prom-out", &mut it)?.clone()),
+            "--devices" => {
+                cli.devices = positive::<usize>("--devices", value("--devices", &mut it)?)?
+            }
+            "--placement" => {
+                let v = value("--placement", &mut it)?;
+                cli.placement = PlacementPolicy::parse(v)
+                    .ok_or_else(|| format!("--placement expects rr|hash|capacity, got {v:?}"))?;
+            }
+            "--kill-device" => {
+                let v = value("--kill-device", &mut it)?;
+                cli.kills
+                    .push(DeviceKill::parse(v).map_err(|e| format!("--kill-device: {e}"))?);
+            }
             "--csv" => cli.csv = true,
             "--fast-forward" => cli.fast_forward = true,
             // Harness flags: re-validated by the shared grammar so
@@ -253,6 +290,21 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                 .into(),
         );
     }
+    for k in &cli.kills {
+        if k.device >= cli.devices {
+            return Err(format!(
+                "--kill-device names device {} but --devices is {}",
+                k.device, cli.devices
+            ));
+        }
+    }
+    if cli.prom_out.is_some() && cli.devices > 1 {
+        return Err(
+            "--prom-out requires --devices 1: a Prometheus exposition declares each \
+             metric once (use --telemetry-out for per-device windows)"
+                .into(),
+        );
+    }
     Ok(cli)
 }
 
@@ -284,16 +336,48 @@ fn build_system(cli: &Cli) -> (System, Vec<AppSpec>) {
     (sys, specs)
 }
 
-/// Runs one (mode, rps) cell on its own fresh system. The cell builds its
-/// cache fresh too, so the grid stays byte-identical across `--jobs`
-/// fan-outs; cache-on cells therefore measure the within-run (cold-start
-/// plus steady-state) hit economy.
-fn run_cell(cli: &Cli, mode: Mode, rps: f64) -> Result<(ServeReport, Option<String>), RunError> {
-    let (mut sys, specs) = build_system(cli);
-    if cli.trace_out.is_some() {
-        sys.set_tracer(Tracer::enabled());
+/// Stages the same tenant inputs on every device of a fresh fleet (full
+/// replication — see `docs/FLEET.md`), then arms any fault plan fleet-wide.
+fn build_fleet(cli: &Cli) -> (Fleet, Vec<AppSpec>) {
+    let mut fleet = Fleet::new(SystemParams::paper_testbed(), cli.fleet_config());
+    let schema = Schema::new(vec![FieldKind::U32, FieldKind::U32]);
+    let mut specs = Vec::new();
+    for i in 0..cli.apps {
+        let name = format!("svc{i}");
+        let file = format!("{name}.txt");
+        let mut rng = SplitMix64::new(cli.harness.seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
+        let mut w = TextWriter::new();
+        for _ in 0..(cli.bytes / 12).max(1) {
+            w.write_u64(rng.next_below(100_000));
+            w.sep();
+            w.write_u64(rng.next_below(100_000));
+            w.newline();
+        }
+        fleet
+            .create_input_file(&file, &w.into_bytes())
+            .expect("staging tenant input");
+        specs.push(AppSpec::cpu_app(&name, &file, schema.clone(), 1, 50.0));
     }
-    sys.set_object_cache(cli.cache_config());
+    if let Some(plan) = cli.harness.faults {
+        fleet.set_fault_plan(plan);
+    }
+    (fleet, specs)
+}
+
+/// One cell's results: the (aggregate) report, per-device reports when the
+/// fleet path ran, and the rendered trace if this is the traced cell.
+struct CellOut {
+    rep: ServeReport,
+    per_device: Vec<ServeReport>,
+    rebalanced: u64,
+    trace: Option<String>,
+}
+
+/// Runs one (mode, rps) cell on its own fresh system or fleet. The cell
+/// builds its cache fresh too, so the grid stays byte-identical across
+/// `--jobs` fan-outs; cache-on cells therefore measure the within-run
+/// (cold-start plus steady-state) hit economy.
+fn run_cell(cli: &Cli, mode: Mode, rps: f64) -> Result<CellOut, RunError> {
     let cfg = ServeConfig {
         rps,
         duration_s: cli.duration_s,
@@ -307,12 +391,40 @@ fn run_cell(cli: &Cli, mode: Mode, rps: f64) -> Result<(ServeReport, Option<Stri
         telemetry: cli.telemetry_config(),
         fast_forward: cli.fast_forward,
     };
+    if cli.fleet_mode() {
+        let (mut fleet, specs) = build_fleet(cli);
+        if cli.trace_out.is_some() {
+            fleet.enable_tracing();
+        }
+        fleet.set_object_cache(cli.cache_config());
+        let rep = fleet.serve(&specs, &cfg)?;
+        let trace = cli
+            .trace_out
+            .as_ref()
+            .map(|_| fleet.take_merged_trace().to_chrome_json());
+        return Ok(CellOut {
+            rep: rep.aggregate,
+            per_device: rep.per_device,
+            rebalanced: rep.rebalanced,
+            trace,
+        });
+    }
+    let (mut sys, specs) = build_system(cli);
+    if cli.trace_out.is_some() {
+        sys.set_tracer(Tracer::enabled());
+    }
+    sys.set_object_cache(cli.cache_config());
     let rep = sys.serve(&specs, &cfg)?;
     let trace = cli
         .trace_out
         .as_ref()
         .map(|_| sys.tracer().take().to_chrome_json());
-    Ok((rep, trace))
+    Ok(CellOut {
+        rep,
+        per_device: Vec::new(),
+        rebalanced: 0,
+        trace,
+    })
 }
 
 fn main() {
@@ -352,17 +464,36 @@ fn main() {
                 banner.push_str(&format!(", slo {}", cli.slo));
             }
         }
+        if cli.fleet_mode() {
+            banner.push_str(&format!(
+                ", devices {} placement {}",
+                cli.devices, cli.placement
+            ));
+            for k in &cli.kills {
+                banner.push_str(&format!(
+                    ", kill dev{}@{:.3}s",
+                    k.device,
+                    (k.at - morpheus_simcore::SimTime::ZERO).as_secs_f64()
+                ));
+            }
+        }
         println!("{banner}");
     }
     let mut rows = Vec::new();
     let mut fault_lines = Vec::new();
     let mut cache_lines = Vec::new();
+    let mut fleet_lines = Vec::new();
     let mut telemetry_blocks = Vec::new();
     let mut telemetry_csv = String::new();
     let mut prom_text = None;
     let mut trace_json = None;
     for ((mode, rps), cell) in grid.iter().zip(cells) {
-        let (rep, trace) = match cell {
+        let CellOut {
+            rep,
+            per_device,
+            rebalanced,
+            trace,
+        } = match cell {
             Ok(v) => v,
             Err(e) => {
                 eprintln!(
@@ -374,6 +505,47 @@ fn main() {
         };
         if trace.is_some() {
             trace_json = trace;
+        }
+        if cli.fleet_mode() {
+            fleet_lines.push(format!(
+                "fleet ({mode} @ {rps:.0} rps): devices={} placement={} rebalanced={rebalanced}",
+                per_device.len(),
+                cli.placement
+            ));
+            for (i, d) in per_device.iter().enumerate() {
+                fleet_lines.push(format!(
+                    "  dev{i}: offered={} done={} shed={} fail={} sust_rps={:.1} p99_us={:.1}",
+                    d.offered,
+                    d.completed,
+                    d.shed,
+                    d.failed,
+                    d.sustained_rps,
+                    d.e2e_ns.p99() as f64 / 1e3
+                ));
+            }
+            // Telemetry lives per device on the fleet path (the aggregate
+            // report carries none): emit each device's windows, labelled.
+            for (i, d) in per_device.iter().enumerate() {
+                if let Some(t) = &d.telemetry {
+                    telemetry_blocks
+                        .push(format!("telemetry ({mode} @ {rps:.0} rps, dev{i}):\n{t}"));
+                    if cli.telemetry_out.is_some() {
+                        telemetry_csv.push_str(&t.to_csv(&[
+                            ("mode", mode.to_string()),
+                            ("target_rps", format!("{rps:.0}")),
+                            ("device", i.to_string()),
+                        ]));
+                    }
+                    if cli.prom_out.is_some() {
+                        // --devices 1 enforced at parse time, so this is
+                        // the lone device of a kill-schedule run.
+                        prom_text = Some(t.to_prometheus(
+                            "morpheus",
+                            &[("mode", &mode.to_string()), ("rps", &format!("{rps:.0}"))],
+                        ));
+                    }
+                }
+            }
         }
         let mut row = vec![
             mode.to_string(),
@@ -453,6 +625,9 @@ fn main() {
         return;
     }
     print_table(&header, &rows);
+    for line in fleet_lines {
+        println!("{line}");
+    }
     for line in fault_lines {
         println!("{line}");
     }
@@ -667,6 +842,69 @@ mod tests {
         ] {
             assert!(parse(&argv(&bad)).is_err(), "should reject {bad:?}");
         }
+    }
+
+    #[test]
+    fn parse_fleet_grammar() {
+        let cli = parse(&argv(&[])).expect("valid");
+        assert_eq!(cli.devices, 1);
+        assert_eq!(cli.placement, PlacementPolicy::HashByFile);
+        assert!(cli.kills.is_empty());
+        assert!(!cli.fleet_mode(), "defaults stay on the legacy path");
+
+        let cli = parse(&argv(&[
+            "--devices",
+            "4",
+            "--placement",
+            "capacity",
+            "--kill-device",
+            "2@0.01",
+            "--kill-device",
+            "3@0.02",
+        ]))
+        .expect("valid");
+        assert_eq!(cli.devices, 4);
+        assert_eq!(cli.placement, PlacementPolicy::CapacityAware);
+        assert_eq!(cli.kills.len(), 2);
+        assert_eq!(cli.kills[0].device, 2);
+        assert!(cli.fleet_mode());
+        let fc = cli.fleet_config();
+        assert_eq!((fc.devices, fc.kills.len()), (4, 2));
+
+        // A kill schedule alone engages the fleet path even on one device.
+        assert!(parse(&argv(&["--kill-device", "0@0.01"]))
+            .expect("valid")
+            .fleet_mode());
+    }
+
+    #[test]
+    fn parse_rejects_bad_fleet_input() {
+        for bad in [
+            vec!["--devices", "0"],                            // zero devices
+            vec!["--devices", "x"],                            // malformed
+            vec!["--placement", "random"],                     // unknown policy
+            vec!["--placement"],                               // missing value
+            vec!["--kill-device", "2"],                        // missing @SECS
+            vec!["--kill-device", "2@-1"],                     // negative time
+            vec!["--kill-device", "1@0.01"],                   // device outside fleet (devices=1)
+            vec!["--devices", "2", "--kill-device", "2@0.01"], // out of range
+        ] {
+            assert!(parse(&argv(&bad)).is_err(), "should reject {bad:?}");
+        }
+        // Prometheus exposition is single-device only.
+        assert!(parse(&argv(&[
+            "--telemetry-window",
+            "10ms",
+            "--prom-out",
+            "t.prom",
+            "--mode",
+            "morpheus",
+            "--rps",
+            "100",
+            "--devices",
+            "4"
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -16,8 +16,8 @@
 //! `docs/TELEMETRY.md` documents the sampling model and SLO semantics.
 
 use morpheus::{
-    AppSpec, CacheConfig, CachePolicy, Mode, ServeConfig, ServePolicy, SloSpec, System,
-    SystemParams, TelemetryConfig,
+    AppSpec, CacheConfig, CachePolicy, DeviceKill, Fleet, FleetConfig, Mode, PlacementPolicy,
+    ServeConfig, ServePolicy, SloSpec, System, SystemParams, TelemetryConfig,
 };
 use morpheus_bench::Harness;
 use morpheus_format::{FieldKind, Schema, TextWriter};
@@ -29,6 +29,7 @@ const USAGE: &str =
                  [--policy shed|fallback] [--skew F]
                  [--cache-mb N] [--cache-host-mb N] [--cache-policy tinylfu|lru]
                  [--window DUR] [--slo SPEC] [--format text|csv|prom] [--out <path>]
+                 [--devices N] [--placement rr|hash|capacity] [--kill-device DEV@SECS]
                  [--seed N] [--faults SPEC]";
 
 /// Output rendering selected by `--format`.
@@ -59,7 +60,18 @@ struct Cli {
     slo: SloSpec,
     format: Format,
     out: Option<String>,
+    devices: usize,
+    placement: PlacementPolicy,
+    kills: Vec<DeviceKill>,
     harness: Harness,
+}
+
+impl Cli {
+    /// True when the invocation engages the fleet path (see the `serve`
+    /// binary: more than one device, or a kill schedule).
+    fn fleet_mode(&self) -> bool {
+        self.devices > 1 || !self.kills.is_empty()
+    }
 }
 
 /// The flag grammar, separated from process state so tests can drive it.
@@ -97,6 +109,9 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         slo: SloSpec::none(),
         format: Format::Text,
         out: None,
+        devices: 1,
+        placement: PlacementPolicy::HashByFile,
+        kills: Vec::new(),
         harness: Harness::default(),
     };
     let mut harness_args: Vec<String> = Vec::new();
@@ -193,6 +208,19 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                 };
             }
             "--out" => cli.out = Some(value("--out", &mut it)?.clone()),
+            "--devices" => {
+                cli.devices = positive::<usize>("--devices", value("--devices", &mut it)?)?
+            }
+            "--placement" => {
+                let v = value("--placement", &mut it)?;
+                cli.placement = PlacementPolicy::parse(v)
+                    .ok_or_else(|| format!("--placement expects rr|hash|capacity, got {v:?}"))?;
+            }
+            "--kill-device" => {
+                let v = value("--kill-device", &mut it)?;
+                cli.kills
+                    .push(DeviceKill::parse(v).map_err(|e| format!("--kill-device: {e}"))?);
+            }
             // Harness flags: re-validated by the shared grammar so
             // `--faults bogus` fails exactly as in every figure binary.
             "--seed" | "--faults" => {
@@ -204,6 +232,21 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         }
     }
     cli.harness = Harness::parse(&harness_args, &[]).map_err(|e| e.0)?;
+    for k in &cli.kills {
+        if k.device >= cli.devices {
+            return Err(format!(
+                "--kill-device names device {} but --devices is {}",
+                k.device, cli.devices
+            ));
+        }
+    }
+    if cli.format == Format::Prom && cli.devices > 1 {
+        return Err(
+            "--format prom requires --devices 1: a Prometheus exposition declares \
+             each metric once (use --format csv for per-device windows)"
+                .into(),
+        );
+    }
     Ok(cli)
 }
 
@@ -243,13 +286,12 @@ fn main() {
         std::process::exit(2);
     });
 
-    let (mut sys, specs) = build_system(&cli);
-    sys.set_object_cache(CacheConfig {
+    let cache_cfg = CacheConfig {
         dram_bytes: cli.cache_mb << 20,
         host_bytes: cli.cache_host_mb << 20,
         policy: cli.cache_policy,
         seed: cli.harness.seed,
-    });
+    };
     let mut tcfg = TelemetryConfig::new(cli.window);
     tcfg.slo = cli.slo.clone();
     let cfg = ServeConfig {
@@ -265,13 +307,119 @@ fn main() {
         telemetry: Some(tcfg),
         fast_forward: false,
     };
+    let labels_owned = (cli.mode.to_string(), format!("{:.0}", cli.rps));
+
+    if cli.fleet_mode() {
+        // Fleet path: telemetry is sampled per device (the aggregate
+        // report carries none), so every format renders one labelled
+        // block per fleet member.
+        let mut fc = FleetConfig::new(cli.devices);
+        fc.placement = cli.placement;
+        fc.seed = cli.harness.seed;
+        fc.kills = cli.kills.clone();
+        let mut fleet = Fleet::new(SystemParams::paper_testbed(), fc);
+        let schema = Schema::new(vec![FieldKind::U32, FieldKind::U32]);
+        let mut specs = Vec::new();
+        for i in 0..cli.apps {
+            let name = format!("svc{i}");
+            let file = format!("{name}.txt");
+            let mut rng = SplitMix64::new(cli.harness.seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
+            let mut w = TextWriter::new();
+            for _ in 0..(cli.bytes / 12).max(1) {
+                w.write_u64(rng.next_below(100_000));
+                w.sep();
+                w.write_u64(rng.next_below(100_000));
+                w.newline();
+            }
+            fleet
+                .create_input_file(&file, &w.into_bytes())
+                .expect("staging tenant input");
+            specs.push(AppSpec::cpu_app(&name, &file, schema.clone(), 1, 50.0));
+        }
+        if let Some(plan) = cli.harness.faults {
+            fleet.set_fault_plan(plan);
+        }
+        fleet.set_object_cache(cache_cfg);
+        let rep = fleet.serve(&specs, &cfg).unwrap_or_else(|e| {
+            eprintln!("error: serve failed: {}", render_error_chain(&e));
+            std::process::exit(1);
+        });
+        let rendered = match cli.format {
+            Format::Text => {
+                let mut s = format!(
+                    "telemetry: {} @ {:.0} rps, duration {}s, window {}, policy {}, seed {}, \
+                     devices {} placement {}\n",
+                    cli.mode,
+                    cli.rps,
+                    cli.duration_s,
+                    cli.window,
+                    cli.policy,
+                    cli.harness.seed,
+                    cli.devices,
+                    cli.placement
+                );
+                s.push_str(&format!(
+                    "fleet: rebalanced {} | offered {} completed {} shed {} failed {}\n",
+                    rep.rebalanced,
+                    rep.aggregate.offered,
+                    rep.aggregate.completed,
+                    rep.aggregate.shed,
+                    rep.aggregate.failed,
+                ));
+                for (i, d) in rep.per_device.iter().enumerate() {
+                    let t = d.telemetry.as_ref().expect("sampler installed");
+                    s.push_str(&format!(
+                        "device {i}: offered {} completed {} shed {} failed {} | \
+                         p50 {:.1}us p99 {:.1}us\n",
+                        d.offered,
+                        d.completed,
+                        d.shed,
+                        d.failed,
+                        d.e2e_ns.p50() as f64 / 1e3,
+                        d.e2e_ns.p99() as f64 / 1e3,
+                    ));
+                    s.push_str(&format!("{t}"));
+                    if !s.ends_with('\n') {
+                        s.push('\n');
+                    }
+                }
+                s
+            }
+            Format::Csv => {
+                let mut s = String::new();
+                for (i, d) in rep.per_device.iter().enumerate() {
+                    let t = d.telemetry.as_ref().expect("sampler installed");
+                    s.push_str(&t.to_csv(&[
+                        ("mode", labels_owned.0.clone()),
+                        ("target_rps", labels_owned.1.clone()),
+                        ("device", i.to_string()),
+                    ]));
+                }
+                s
+            }
+            // --devices 1 enforced at parse time: the lone device of a
+            // kill-schedule run.
+            Format::Prom => rep.per_device[0]
+                .telemetry
+                .as_ref()
+                .expect("sampler installed")
+                .to_prometheus(
+                    "morpheus",
+                    &[("mode", &labels_owned.0), ("rps", &labels_owned.1)],
+                ),
+        };
+        emit(&cli, &rendered);
+        return;
+    }
+
+    let (mut sys, specs) = build_system(&cli);
+    sys.set_object_cache(cache_cfg);
     let rep = sys.serve(&specs, &cfg).unwrap_or_else(|e| {
         eprintln!("error: serve failed: {}", render_error_chain(&e));
         std::process::exit(1);
     });
     let t = rep.telemetry.as_ref().expect("sampler installed");
 
-    let labels_owned = (cli.mode.to_string(), format!("{:.0}", cli.rps));
     let rendered = match cli.format {
         Format::Text => {
             let mut s = format!(
@@ -301,9 +449,14 @@ fn main() {
             &[("mode", &labels_owned.0), ("rps", &labels_owned.1)],
         ),
     };
+    emit(&cli, &rendered);
+}
+
+/// Writes the rendered telemetry to `--out` (or stdout when unset).
+fn emit(cli: &Cli, rendered: &str) {
     match &cli.out {
         Some(path) => {
-            std::fs::write(path, &rendered).unwrap_or_else(|e| {
+            std::fs::write(path, rendered).unwrap_or_else(|e| {
                 eprintln!("error: writing {path}: {e}");
                 std::process::exit(1);
             });
@@ -377,21 +530,43 @@ mod tests {
     #[test]
     fn parse_rejects_bad_input() {
         for bad in [
-            vec!["--rps", "0"],                 // non-positive rate
-            vec!["--rps", "nan"],               // non-finite
-            vec!["--duration", "-1"],           // negative
-            vec!["--mode", "all"],              // sweep grammar not accepted here
-            vec!["--window", "0ms"],            // zero window
-            vec!["--window", "later"],          // malformed
-            vec!["--window"],                   // missing value
-            vec!["--slo", "p99<"],              // malformed objective
-            vec!["--slo", "avail>100"],         // target out of range
-            vec!["--format", "json"],           // unknown format
-            vec!["--jobs", "4"],                // single cell: no fan-out flag
-            vec!["--telemetry-window", "10ms"], // serve's spelling
-            vec!["--faults", "bogus"],          // bad fault spec
+            vec!["--rps", "0"],                         // non-positive rate
+            vec!["--rps", "nan"],                       // non-finite
+            vec!["--duration", "-1"],                   // negative
+            vec!["--mode", "all"],                      // sweep grammar not accepted here
+            vec!["--window", "0ms"],                    // zero window
+            vec!["--window", "later"],                  // malformed
+            vec!["--window"],                           // missing value
+            vec!["--slo", "p99<"],                      // malformed objective
+            vec!["--slo", "avail>100"],                 // target out of range
+            vec!["--format", "json"],                   // unknown format
+            vec!["--jobs", "4"],                        // single cell: no fan-out flag
+            vec!["--telemetry-window", "10ms"],         // serve's spelling
+            vec!["--faults", "bogus"],                  // bad fault spec
+            vec!["--devices", "0"],                     // zero devices
+            vec!["--placement", "random"],              // unknown policy
+            vec!["--kill-device", "1@0.01"],            // device outside fleet
+            vec!["--devices", "2", "--format", "prom"], // prom is single-device
         ] {
             assert!(parse(&argv(&bad)).is_err(), "should reject {bad:?}");
         }
+    }
+
+    #[test]
+    fn parse_fleet_grammar() {
+        let cli = parse(&argv(&[
+            "--devices",
+            "3",
+            "--placement",
+            "rr",
+            "--kill-device",
+            "1@0.02",
+        ]))
+        .expect("valid");
+        assert_eq!(cli.devices, 3);
+        assert_eq!(cli.placement, PlacementPolicy::RoundRobin);
+        assert_eq!(cli.kills.len(), 1);
+        assert!(cli.fleet_mode());
+        assert!(!parse(&argv(&[])).unwrap().fleet_mode());
     }
 }

@@ -157,7 +157,9 @@ impl System {
             self.cpu.duration(c.instructions, CodeClass::OsKernel),
         );
         let app = DeserializeApp::new(&spec.name, spec.schema.clone());
-        let ready = self.mssd.minit_keyed(iid, Box::new(app), iv.end, memo_key)?;
+        let ready = self
+            .mssd
+            .minit_keyed(iid, Box::new(app), iv.end, memo_key)?;
         Ok(TenantState::Morpheus {
             chunks,
             next: 0,

@@ -153,7 +153,11 @@ pub(crate) fn device_put(key: MemoKey, rec: Arc<DeviceReplay>) {
 }
 
 pub(crate) fn objects_get(key: MemoKey) -> Option<Arc<ParsedColumns>> {
-    objects_table().lock().expect("memo lock").get(&key).cloned()
+    objects_table()
+        .lock()
+        .expect("memo lock")
+        .get(&key)
+        .cloned()
 }
 
 pub(crate) fn objects_put(key: MemoKey, rec: Arc<ParsedColumns>) {
@@ -190,11 +194,7 @@ impl System {
             if remaining == 0 {
                 break;
             }
-            let bytes = self
-                .mssd
-                .dev
-                .read_range_untimed(e.slba, e.blocks)
-                .ok()?;
+            let bytes = self.mssd.dev.read_range_untimed(e.slba, e.blocks).ok()?;
             let take = remaining.min(e.blocks * morpheus_nvme::LBA_BYTES) as usize;
             s.bytes(&bytes[..take]);
             remaining -= take as u64;

@@ -205,6 +205,11 @@ pub enum RunError {
     },
     /// A multi-tenant or serving entry point was handed no work at all.
     NoTenants,
+    /// Fleet routing found no live device for a request: the placement
+    /// target was already killed at admission time and every rebalance
+    /// candidate was dead too ([`crate::fleet::DeviceDown`] carries the
+    /// devices and times).
+    DeviceDown(crate::fleet::DeviceDown),
 }
 
 impl fmt::Display for RunError {
@@ -225,6 +230,7 @@ impl fmt::Display for RunError {
                 write!(f, "nvme command timed out after {attempts} attempts")
             }
             RunError::NoTenants => write!(f, "no tenants: the request list is empty"),
+            RunError::DeviceDown(_) => write!(f, "fleet routing failed: no healthy device"),
         }
     }
 }
@@ -236,6 +242,7 @@ impl Error for RunError {
             RunError::Morpheus(e) => Some(e),
             RunError::Ssd(e) => Some(e),
             RunError::Pcie(e) => Some(e),
+            RunError::DeviceDown(e) => Some(e),
             _ => None,
         }
     }

@@ -149,7 +149,10 @@ enum InstanceMemo {
     Off,
     /// Fault-free keyed run with no prior recording: capture every MREAD's
     /// per-page instruction counts and outputs, publish at MDEINIT.
-    Record { key: MemoKey, cmds: Vec<CmdRecord> },
+    Record {
+        key: MemoKey,
+        cmds: Vec<CmdRecord>,
+    },
     /// Keyed run with a prior recording: skip the StorageApp entirely and
     /// replay the recorded functional results against live timelines.
     Play {
@@ -469,7 +472,16 @@ impl MorpheusSsd {
             }
         };
         if let Some((rec, k)) = play {
-            return self.mread_replay(&rec, k, instance_id, core, slba, blocks, valid_bytes, outcome);
+            return self.mread_replay(
+                &rec,
+                k,
+                instance_id,
+                core,
+                slba,
+                blocks,
+                valid_bytes,
+                outcome,
+            );
         }
         let recording = matches!(
             self.instances[&instance_id].memo,
@@ -614,10 +626,15 @@ impl MorpheusSsd {
             let page_base = lpn * page_bytes;
             let lo = byte_start.max(page_base) - page_base;
             let hi = (byte_start + byte_len).min(page_base + page_bytes) - page_base;
-            let (_page, avail) = self.dev.read_page_timed(morpheus_ftl::Lpn(lpn), dispatch_end)?;
+            let (_page, avail) = self
+                .dev
+                .read_page_timed(morpheus_ftl::Lpn(lpn), dispatch_end)?;
             let last_done = self.instances[&instance_id].last_done;
             let start = avail.max(last_done);
-            let iv = self.dev.cores_mut().exec_on(core, start, cmd.page_instr[pi]);
+            let iv = self
+                .dev
+                .cores_mut()
+                .exec_on(core, start, cmd.page_instr[pi]);
             self.tracer.span_bytes(
                 TraceLayer::Ssd,
                 self.dev.cores().core_name(core),

@@ -1,0 +1,811 @@
+//! Multi-SSD fleet: placement-aware serving across N Morpheus-SSDs.
+//!
+//! The paper evaluates one Morpheus-SSD; a datacenter serves millions of
+//! users from racks of them behind PCIe switch fabrics. [`Fleet`]
+//! generalizes the single-[`System`] simulator into N devices — each a
+//! full Morpheus-SSD with its own NVMe queues, [`AdminController`]
+//! (created per device inside [`System::serve_requests`]), admission
+//! queue, flash array, FTL, embedded cores, and PCIe link — plus a
+//! placement layer that assigns tenants to devices and a router that
+//! sends each request to its tenant's device, draining degraded devices
+//! onto healthy peers.
+//!
+//! Determinism contract (see `docs/FLEET.md`): placement is keyed by a
+//! *seeded hash of the tenant's input file* (or a pure function of the
+//! tenant index), never by arrival order or device load at arrival time,
+//! so the assignment — and therefore every byte of every per-device
+//! report — is a pure function of (seed, app list, fleet config). The
+//! offered load is the *same* global stream a single SSD would see
+//! ([`offered_requests`]); a fleet run partitions it, so `--devices 1`
+//! reproduces the single-SSD reports bit for bit.
+//!
+//! [`AdminController`]: morpheus_nvme::AdminController
+
+use crate::cache::{CacheConfig, CacheStats};
+use crate::exec::{AppSpec, RunError};
+use crate::serve::{offered_requests, validate_serve_cfg, Request, ServeConfig, ServeReport};
+use crate::{System, SystemParams};
+use morpheus_simcore::{FaultCounters, FaultPlan, Metrics, SimDuration, SimTime, Tracer};
+use morpheus_ssd::SsdError;
+use std::error::Error;
+use std::fmt;
+
+/// How the placement layer assigns tenants (and their input files) to
+/// devices. Every policy is a pure, seeded function of the app list —
+/// never of arrival order — so fleet runs stay byte-deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// Tenant `i` lives on device `i % N`. Perfectly even tenant counts,
+    /// oblivious to file sizes.
+    RoundRobin,
+    /// Device = seeded hash of the tenant's input-file name, mod N. Two
+    /// tenants sharing a file always land together, and the assignment
+    /// survives tenant-list reordering.
+    HashByFile,
+    /// Files are placed in tenant order, each onto the device with the
+    /// fewest placed bytes so far (ties break on the lowest device id).
+    /// Balances bytes instead of tenant counts.
+    CapacityAware,
+}
+
+impl PlacementPolicy {
+    /// Parses the CLI spelling (`rr`/`round-robin`, `hash`, `capacity`).
+    pub fn parse(s: &str) -> Option<PlacementPolicy> {
+        match s {
+            "rr" | "round-robin" => Some(PlacementPolicy::RoundRobin),
+            "hash" => Some(PlacementPolicy::HashByFile),
+            "capacity" => Some(PlacementPolicy::CapacityAware),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for PlacementPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PlacementPolicy::RoundRobin => "round-robin",
+            PlacementPolicy::HashByFile => "hash",
+            PlacementPolicy::CapacityAware => "capacity",
+        })
+    }
+}
+
+/// A scheduled device death: from `at` onward the device admits nothing;
+/// requests already dispatched to it drain to completion (the operator's
+/// "drain then pull" shape). Produced by the fleet-level fault plane
+/// (`--kill-device DEV@SECS`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceKill {
+    /// Which device dies.
+    pub device: usize,
+    /// When it dies (sim-time).
+    pub at: SimTime,
+}
+
+impl DeviceKill {
+    /// Parses `DEV@SECS`, e.g. `2@0.01` (device 2 dies 10 ms in).
+    /// Seconds may be zero: a device dead at t=0 is dead at admission
+    /// time for every request.
+    pub fn parse(s: &str) -> Result<DeviceKill, String> {
+        let (dev, secs) = s
+            .split_once('@')
+            .ok_or_else(|| format!("expected DEV@SECS, got {s:?}"))?;
+        let device: usize = dev
+            .parse()
+            .map_err(|_| format!("expected a device index, got {dev:?}"))?;
+        let at: f64 = secs
+            .parse()
+            .map_err(|_| format!("expected seconds, got {secs:?}"))?;
+        if !at.is_finite() || at < 0.0 {
+            return Err(format!("kill time must be finite and >= 0, got {secs:?}"));
+        }
+        Ok(DeviceKill {
+            device,
+            at: SimTime::ZERO + SimDuration::from_secs_f64(at),
+        })
+    }
+}
+
+/// Fleet shape and the fleet-level fault plane.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of Morpheus-SSDs behind the switch.
+    pub devices: usize,
+    /// Tenant→device assignment policy.
+    pub placement: PlacementPolicy,
+    /// Seed for the placement hash (decorrelated from the serve seed so
+    /// re-seeding traffic never migrates data).
+    pub seed: u64,
+    /// Scheduled device deaths (see [`DeviceKill`]).
+    pub kills: Vec<DeviceKill>,
+}
+
+impl FleetConfig {
+    /// A fleet of `devices` SSDs with the default hash placement, seed
+    /// 42, and no scheduled kills.
+    pub fn new(devices: usize) -> Self {
+        FleetConfig {
+            devices,
+            placement: PlacementPolicy::HashByFile,
+            seed: 42,
+            kills: Vec::new(),
+        }
+    }
+}
+
+/// The typed admission-time routing failure: a request's placement target
+/// was already dead when it arrived and every rebalance candidate was
+/// dead too. Carried by [`RunError::DeviceDown`] so binaries exit 1 with
+/// a rendered cause chain instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceDown {
+    /// The placement target.
+    pub device: usize,
+    /// When the fleet fault plane killed it, seconds.
+    pub killed_at_s: f64,
+    /// The request's arrival time, seconds.
+    pub at_s: f64,
+}
+
+impl fmt::Display for DeviceDown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "placement target device {} was killed at {:.6}s and no healthy peer \
+             remains for the request arriving at {:.6}s",
+            self.device, self.killed_at_s, self.at_s
+        )
+    }
+}
+
+impl Error for DeviceDown {}
+
+/// N simulated Morpheus-SSDs behind the PCIe switch fabric, with
+/// placement-aware request routing and fault-aware rebalancing.
+///
+/// Each device is a full [`System`]: its own flash array, FTL, embedded
+/// cores, NVMe front end, per-tenant submission queues, admission queue,
+/// object cache, and telemetry sampler. Staged files are replicated to
+/// every device (replication is the availability story that lets a
+/// drained device's traffic land on any healthy peer; placement chooses
+/// the *serving* device). See `docs/FLEET.md`.
+#[derive(Debug)]
+pub struct Fleet {
+    cfg: FleetConfig,
+    devices: Vec<System>,
+}
+
+/// FNV-1a over a file name, the stable half of the placement key.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer: diffuses the (file hash ^ seed) key so nearby
+/// names don't land on nearby devices.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Fleet {
+    /// Builds `cfg.devices` identical Morpheus-SSD systems.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero devices or a kill naming a device outside the
+    /// fleet (config bugs; the CLIs validate first and exit 2).
+    pub fn new(params: SystemParams, cfg: FleetConfig) -> Self {
+        assert!(cfg.devices >= 1, "a fleet needs at least one device");
+        for k in &cfg.kills {
+            assert!(
+                k.device < cfg.devices,
+                "kill names device {} but the fleet has {}",
+                k.device,
+                cfg.devices
+            );
+        }
+        let devices = (0..cfg.devices)
+            .map(|_| System::new(params.clone()))
+            .collect();
+        Fleet { cfg, devices }
+    }
+
+    /// The fleet configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.cfg
+    }
+
+    /// Number of devices.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// One device, immutably.
+    pub fn device(&self, i: usize) -> &System {
+        &self.devices[i]
+    }
+
+    /// One device, mutably (e.g. to install a per-device fault plan —
+    /// the PR-3 fault plane scoped to a single fleet member).
+    pub fn device_mut(&mut self, i: usize) -> &mut System {
+        &mut self.devices[i]
+    }
+
+    /// Stages a file on **every** device (full replication; see the type
+    /// docs). Untimed, like [`System::create_input_file`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first device's filesystem or drive error.
+    pub fn create_input_file(&mut self, name: &str, data: &[u8]) -> Result<(), SsdError> {
+        for d in &mut self.devices {
+            d.create_input_file(name, data)?;
+        }
+        Ok(())
+    }
+
+    /// Replaces a staged file's bytes on every device, invalidating any
+    /// cached objects parsed from the old bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first device's filesystem or drive error.
+    pub fn overwrite_input_file(&mut self, name: &str, data: &[u8]) -> Result<(), SsdError> {
+        for d in &mut self.devices {
+            d.overwrite_input_file(name, data)?;
+        }
+        Ok(())
+    }
+
+    /// Installs the same fault plan on every device (use
+    /// [`device_mut`](Fleet::device_mut) to degrade a single member).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        for d in &mut self.devices {
+            d.set_fault_plan(plan);
+        }
+    }
+
+    /// Installs an object cache of this shape on every device. Each
+    /// device caches independently — cached objects live in *its*
+    /// controller DRAM, charged against *its* accounting.
+    pub fn set_object_cache(&mut self, cfg: CacheConfig) {
+        for d in &mut self.devices {
+            d.set_object_cache(cfg);
+        }
+    }
+
+    /// Arms a fresh enabled tracer on every device. Each device records
+    /// into its own log; [`take_merged_trace`](Fleet::take_merged_trace)
+    /// re-homes them onto per-device tracks.
+    pub fn enable_tracing(&mut self) {
+        for d in &mut self.devices {
+            d.set_tracer(Tracer::enabled());
+        }
+    }
+
+    /// Drains every device's trace into one log. With more than one
+    /// device each event's track is prefixed `dev<K>/`, so Perfetto shows
+    /// one row group per fleet member; a single-device fleet keeps the
+    /// legacy track names (byte-identical to the pre-fleet export).
+    pub fn take_merged_trace(&self) -> morpheus_simcore::TraceLog {
+        let mut merged = morpheus_simcore::TraceLog::default();
+        let solo = self.devices.len() == 1;
+        for (i, d) in self.devices.iter().enumerate() {
+            let mut log = d.tracer().take();
+            if !solo {
+                for ev in &mut log.events {
+                    ev.track = format!("dev{i}/{}", ev.track);
+                }
+            }
+            merged.events.extend(log.events);
+        }
+        merged
+    }
+
+    /// The tenant→device assignment the configured policy produces for
+    /// this app list. Pure and seeded: same (policy, seed, apps, fleet
+    /// size) ⇒ same placement, regardless of traffic.
+    pub fn placement(&self, apps: &[AppSpec]) -> Vec<usize> {
+        let n = self.devices.len() as u64;
+        match self.cfg.placement {
+            PlacementPolicy::RoundRobin => (0..apps.len()).map(|i| i % n as usize).collect(),
+            PlacementPolicy::HashByFile => apps
+                .iter()
+                .map(|a| (mix(fnv1a(a.input.as_bytes()) ^ self.cfg.seed) % n) as usize)
+                .collect(),
+            PlacementPolicy::CapacityAware => {
+                // Greedy least-bytes-first over tenants in list order;
+                // a file shared by several tenants is placed (and its
+                // bytes counted) once.
+                let mut placed_bytes = vec![0u64; self.devices.len()];
+                let mut by_file: std::collections::HashMap<&str, usize> =
+                    std::collections::HashMap::new();
+                let mut out = Vec::with_capacity(apps.len());
+                for a in apps {
+                    if let Some(&d) = by_file.get(a.input.as_str()) {
+                        out.push(d);
+                        continue;
+                    }
+                    let len = self.devices[0]
+                        .fs
+                        .open(&a.input)
+                        .map(|m| m.len)
+                        .unwrap_or(0);
+                    let d = placed_bytes
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(i, b)| (**b, *i))
+                        .map(|(i, _)| i)
+                        .expect("fleet has at least one device");
+                    placed_bytes[d] += len;
+                    by_file.insert(a.input.as_str(), d);
+                    out.push(d);
+                }
+                out
+            }
+        }
+    }
+
+    /// When `device` dies per the kill schedule (`None` = never).
+    pub fn killed_at(&self, device: usize) -> Option<SimTime> {
+        self.cfg
+            .kills
+            .iter()
+            .filter(|k| k.device == device)
+            .map(|k| k.at)
+            .min()
+    }
+
+    /// True if `device` still admits requests at `at`.
+    pub fn alive_at(&self, device: usize, at: SimTime) -> bool {
+        self.killed_at(device).is_none_or(|t| at < t)
+    }
+
+    /// Routes one arrival: the placement target if alive, else the first
+    /// healthy peer scanning upward from it (deterministic in the fleet
+    /// config alone). `Err` carries the typed admission-time failure when
+    /// every device is dead.
+    fn route(&self, primary: usize, at: SimTime) -> Result<usize, DeviceDown> {
+        let n = self.devices.len();
+        for step in 0..n {
+            let d = (primary + step) % n;
+            if self.alive_at(d, at) {
+                return Ok(d);
+            }
+        }
+        Err(DeviceDown {
+            device: primary,
+            killed_at_s: self.killed_at(primary).map_or(0.0, |t| t.as_secs_f64()),
+            at_s: at.as_secs_f64(),
+        })
+    }
+
+    /// Runs one open-loop serving experiment over the whole fleet.
+    ///
+    /// The offered load is the exact global stream one SSD would see;
+    /// each request routes to its tenant's placed device (or a healthy
+    /// peer if that device is dead at arrival — counted in
+    /// [`FleetReport::rebalanced`]), and every device then serves its
+    /// slice through the single-SSD dispatcher: per-device admission
+    /// queue, same-app batching, per-tenant NVMe queues, per-device
+    /// telemetry windows. A one-device fleet with no kill schedule
+    /// delegates to [`System::serve`] outright, so its report is
+    /// byte-identical to the single-SSD path.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::NoTenants`] on an empty app list,
+    /// [`RunError::DeviceDown`] when a request finds every device dead,
+    /// plus everything [`System::serve`] can return.
+    ///
+    /// # Panics
+    ///
+    /// Panics on config-bug serve parameters, like [`System::serve`].
+    pub fn serve(&mut self, apps: &[AppSpec], cfg: &ServeConfig) -> Result<FleetReport, RunError> {
+        if apps.is_empty() {
+            return Err(RunError::NoTenants);
+        }
+        validate_serve_cfg(cfg);
+        let placement = self.placement(apps);
+        if self.devices.len() == 1 && self.cfg.kills.is_empty() {
+            let rep = self.devices[0].serve(apps, cfg)?;
+            return Ok(FleetReport {
+                policy: self.cfg.placement,
+                placement,
+                rebalanced: 0,
+                aggregate: rep.clone(),
+                per_device: vec![rep],
+            });
+        }
+        let n = self.devices.len();
+        let mut slices: Vec<Vec<Request>> = vec![Vec::new(); n];
+        let mut rebalanced = 0u64;
+        for r in offered_requests(cfg, apps.len()) {
+            let primary = placement[r.app];
+            let d = self
+                .route(primary, r.arrival)
+                .map_err(RunError::DeviceDown)?;
+            if d != primary {
+                rebalanced += 1;
+            }
+            slices[d].push(r);
+        }
+        let mut per_device = Vec::with_capacity(n);
+        for (d, slice) in slices.into_iter().enumerate() {
+            per_device.push(self.devices[d].serve_requests(apps, cfg, slice)?);
+        }
+        let aggregate = aggregate_reports(&per_device);
+        Ok(FleetReport {
+            policy: self.cfg.placement,
+            placement,
+            rebalanced,
+            aggregate,
+            per_device,
+        })
+    }
+}
+
+/// Everything measured during one fleet serve run.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// The placement policy in force.
+    pub policy: PlacementPolicy,
+    /// Tenant→device assignment used for routing.
+    pub placement: Vec<usize>,
+    /// Requests routed away from a dead placement target onto a healthy
+    /// peer.
+    pub rebalanced: u64,
+    /// The fleet-wide roll-up (see [`aggregate_reports`] for exactly
+    /// which fields sum, merge, or recompute).
+    pub aggregate: ServeReport,
+    /// Each device's own full serve report, in device order.
+    pub per_device: Vec<ServeReport>,
+}
+
+impl fmt::Display for FleetReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fleet devices={} placement={} rebalanced={}",
+            self.per_device.len(),
+            self.policy,
+            self.rebalanced
+        )?;
+        for (i, r) in self.per_device.iter().enumerate() {
+            writeln!(
+                f,
+                "device {i}: offered={} completed={} shed={} failed={} \
+                 sustained_rps={:.1} p99_us={:.1}",
+                r.offered,
+                r.completed,
+                r.shed,
+                r.failed,
+                r.sustained_rps,
+                r.e2e_ns.p99() as f64 / 1e3
+            )?;
+        }
+        write!(f, "aggregate:\n{}", self.aggregate)
+    }
+}
+
+/// Sums `b`'s fault counters into `a` (the simcore type carries no
+/// arithmetic of its own).
+fn add_faults(a: &mut FaultCounters, b: &FaultCounters) {
+    a.ecc_corrected += b.ecc_corrected;
+    a.media_retries += b.media_retries;
+    a.media_failures += b.media_failures;
+    a.nvme_timeouts += b.nvme_timeouts;
+    a.nvme_retries += b.nvme_retries;
+    a.core_stalls += b.core_stalls;
+    a.core_crashes += b.core_crashes;
+    a.pcie_degraded += b.pcie_degraded;
+    a.host_fallbacks += b.host_fallbacks;
+}
+
+/// Sums `b`'s cache counters into `a` (occupancy included: fleet-wide
+/// cached bytes across all controllers).
+fn add_cache(a: &mut CacheStats, b: &CacheStats) {
+    a.hits += b.hits;
+    a.dram_hits += b.dram_hits;
+    a.host_hits += b.host_hits;
+    a.misses += b.misses;
+    a.admitted += b.admitted;
+    a.rejected += b.rejected;
+    a.evictions += b.evictions;
+    a.spills += b.spills;
+    a.promotions += b.promotions;
+    a.invalidations += b.invalidations;
+    a.dram_bytes += b.dram_bytes;
+    a.host_bytes += b.host_bytes;
+}
+
+/// Rolls per-device serve reports into one fleet-wide report: counters
+/// sum, histograms merge, the makespan is the slowest device's, and the
+/// rates (`sustained_rps`, `aggregate_mbs`) are recomputed over that
+/// fleet makespan — the number an operator sees at the load balancer.
+/// Checksums fold in device order (`checksum`) and commutatively
+/// (`checksum_unordered`); per-device telemetry stays in the per-device
+/// reports.
+pub fn aggregate_reports(per_device: &[ServeReport]) -> ServeReport {
+    assert!(!per_device.is_empty(), "aggregate of an empty fleet");
+    let first = &per_device[0];
+    let mut agg = ServeReport {
+        mode: first.mode,
+        policy: first.policy,
+        target_rps: first.target_rps,
+        duration_s: first.duration_s,
+        offered: 0,
+        admitted: 0,
+        completed: 0,
+        shed: 0,
+        overflow_fallbacks: 0,
+        fault_redispatches: 0,
+        failed: 0,
+        batches: 0,
+        commands: 0,
+        doorbell_writes: 0,
+        makespan_s: 0.0,
+        sustained_rps: 0.0,
+        aggregate_mbs: 0.0,
+        records: 0,
+        checksum: 0,
+        checksum_unordered: 0,
+        queue_wait_ns: morpheus_simcore::Histogram::new(),
+        service_ns: morpheus_simcore::Histogram::new(),
+        e2e_ns: morpheus_simcore::Histogram::new(),
+        faults: FaultCounters::default(),
+        cache: None,
+        telemetry: None,
+        metrics: Metrics::new(),
+    };
+    let mut mb = 0.0f64;
+    let mut util = 0.0f64;
+    for r in per_device {
+        agg.offered += r.offered;
+        agg.admitted += r.admitted;
+        agg.completed += r.completed;
+        agg.shed += r.shed;
+        agg.overflow_fallbacks += r.overflow_fallbacks;
+        agg.fault_redispatches += r.fault_redispatches;
+        agg.failed += r.failed;
+        agg.batches += r.batches;
+        agg.commands += r.commands;
+        agg.doorbell_writes += r.doorbell_writes;
+        agg.makespan_s = agg.makespan_s.max(r.makespan_s);
+        agg.records += r.records;
+        agg.checksum = agg.checksum.rotate_left(1) ^ r.checksum;
+        agg.checksum_unordered = agg.checksum_unordered.wrapping_add(r.checksum_unordered);
+        agg.queue_wait_ns.merge(&r.queue_wait_ns);
+        agg.service_ns.merge(&r.service_ns);
+        agg.e2e_ns.merge(&r.e2e_ns);
+        add_faults(&mut agg.faults, &r.faults);
+        if let Some(c) = &r.cache {
+            add_cache(agg.cache.get_or_insert_with(CacheStats::default), c);
+        }
+        // aggregate_mbs is bytes/makespan per device; undo the division
+        // to sum bytes, then re-divide by the fleet makespan below.
+        mb += r.aggregate_mbs * r.makespan_s;
+        util += r.metrics.get("ssd_core_utilization");
+    }
+    if agg.makespan_s > 0.0 {
+        agg.sustained_rps = agg.completed as f64 / agg.makespan_s;
+        agg.aggregate_mbs = mb / agg.makespan_s;
+    }
+    let mut metrics = Metrics::new();
+    metrics.set("fleet_devices", per_device.len() as f64);
+    metrics.set("ssd_core_utilization", util / per_device.len() as f64);
+    agg.queue_wait_ns.export("queue_wait_ns", &mut metrics);
+    agg.service_ns.export("service_ns", &mut metrics);
+    agg.e2e_ns.export("e2e_ns", &mut metrics);
+    if let Some(c) = &agg.cache {
+        metrics.set("cache_hits", c.hits as f64);
+        metrics.set("cache_misses", c.misses as f64);
+        metrics.set("cache_hit_rate", c.hit_rate());
+    }
+    agg.metrics = metrics;
+    agg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Mode;
+    use morpheus_format::{FieldKind, Schema, TextWriter};
+
+    fn edge_text(n: u32, salt: u64) -> Vec<u8> {
+        let mut w = TextWriter::new();
+        for i in 0..n as u64 {
+            w.write_u64((i * 7 + salt) % 100_000);
+            w.sep();
+            w.write_u64((i * 13 + salt) % 100_000);
+            w.newline();
+        }
+        w.into_bytes()
+    }
+
+    fn fleet_with(cfg: FleetConfig, napps: usize, records: u32) -> (Fleet, Vec<AppSpec>) {
+        let mut fleet = Fleet::new(SystemParams::paper_testbed(), cfg);
+        let schema = Schema::new(vec![FieldKind::U32, FieldKind::U32]);
+        let mut specs = Vec::new();
+        for i in 0..napps {
+            let name = format!("svc{i}");
+            let file = format!("{name}.txt");
+            fleet
+                .create_input_file(&file, &edge_text(records, i as u64))
+                .unwrap();
+            specs.push(AppSpec::cpu_app(&name, &file, schema.clone(), 1, 50.0));
+        }
+        (fleet, specs)
+    }
+
+    fn quick_cfg() -> ServeConfig {
+        let mut cfg = ServeConfig::new(4000.0, 0.02);
+        cfg.mode = Mode::Morpheus;
+        cfg
+    }
+
+    #[test]
+    fn single_device_fleet_matches_solo_system_bit_for_bit() {
+        let (mut fleet, specs) = fleet_with(FleetConfig::new(1), 3, 500);
+        let cfg = quick_cfg();
+        let fleet_rep = fleet.serve(&specs, &cfg).unwrap();
+
+        let mut solo = System::new(SystemParams::paper_testbed());
+        for i in 0..3 {
+            solo.create_input_file(&format!("svc{i}.txt"), &edge_text(500, i as u64))
+                .unwrap();
+        }
+        let solo_rep = solo.serve(&specs, &cfg).unwrap();
+        assert_eq!(
+            format!("{}", fleet_rep.aggregate),
+            format!("{solo_rep}"),
+            "--devices 1 must reproduce the single-SSD report byte for byte"
+        );
+        assert_eq!(fleet_rep.per_device.len(), 1);
+        assert_eq!(fleet_rep.rebalanced, 0);
+    }
+
+    #[test]
+    fn placement_policies_are_deterministic_and_total() {
+        for policy in [
+            PlacementPolicy::RoundRobin,
+            PlacementPolicy::HashByFile,
+            PlacementPolicy::CapacityAware,
+        ] {
+            let mut cfg = FleetConfig::new(4);
+            cfg.placement = policy;
+            let (fleet, specs) = fleet_with(cfg.clone(), 8, 100);
+            let a = fleet.placement(&specs);
+            let b = fleet.placement(&specs);
+            assert_eq!(a, b, "{policy}: placement must be pure");
+            assert!(a.iter().all(|&d| d < 4), "{policy}: devices in range");
+            if policy == PlacementPolicy::RoundRobin {
+                assert_eq!(a, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_aware_balances_bytes_not_counts() {
+        let mut cfg = FleetConfig::new(2);
+        cfg.placement = PlacementPolicy::CapacityAware;
+        let mut fleet = Fleet::new(SystemParams::paper_testbed(), cfg);
+        let schema = Schema::new(vec![FieldKind::U32, FieldKind::U32]);
+        // One huge file then three small ones: greedy least-bytes puts
+        // the big file alone on device 0 and the small ones on device 1.
+        let sizes = [4000u32, 100, 100, 100];
+        let mut specs = Vec::new();
+        for (i, n) in sizes.iter().enumerate() {
+            let file = format!("svc{i}.txt");
+            fleet
+                .create_input_file(&file, &edge_text(*n, i as u64))
+                .unwrap();
+            specs.push(AppSpec::cpu_app(
+                &format!("svc{i}"),
+                &file,
+                schema.clone(),
+                1,
+                50.0,
+            ));
+        }
+        assert_eq!(fleet.placement(&specs), vec![0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn fleet_serve_accounts_every_offered_request() {
+        let (mut fleet, specs) = fleet_with(FleetConfig::new(4), 6, 500);
+        let rep = fleet.serve(&specs, &quick_cfg()).unwrap();
+        assert!(rep.aggregate.offered > 0);
+        assert_eq!(
+            rep.aggregate.offered,
+            rep.per_device.iter().map(|r| r.offered).sum::<u64>(),
+            "routing partitions the global stream"
+        );
+        assert_eq!(
+            rep.aggregate.completed + rep.aggregate.shed + rep.aggregate.failed,
+            rep.aggregate.offered
+        );
+    }
+
+    #[test]
+    fn fleet_serve_is_deterministic_across_rebuilds() {
+        let run = || {
+            let (mut fleet, specs) = fleet_with(FleetConfig::new(3), 5, 400);
+            format!("{}", fleet.serve(&specs, &quick_cfg()).unwrap())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn kill_schedule_rebalances_onto_healthy_peers() {
+        let mut cfg = FleetConfig::new(3);
+        cfg.placement = PlacementPolicy::RoundRobin;
+        cfg.kills = vec![DeviceKill::parse("1@0.005").unwrap()];
+        let (mut fleet, specs) = fleet_with(cfg, 3, 400);
+        let serve_cfg = quick_cfg();
+        let rep = fleet.serve(&specs, &serve_cfg).unwrap();
+        assert!(rep.rebalanced > 0, "post-kill arrivals must migrate");
+        assert_eq!(
+            rep.aggregate.completed + rep.aggregate.shed + rep.aggregate.failed,
+            rep.aggregate.offered,
+            "rebalanced requests still end served, shed, or failed"
+        );
+        // Device 1 saw only pre-kill arrivals; its peers absorbed the rest.
+        assert!(rep.per_device[1].offered < rep.per_device[0].offered + rep.per_device[2].offered);
+    }
+
+    #[test]
+    fn all_devices_dead_is_a_typed_error_not_a_panic() {
+        let mut cfg = FleetConfig::new(2);
+        cfg.kills = vec![
+            DeviceKill::parse("0@0").unwrap(),
+            DeviceKill::parse("1@0").unwrap(),
+        ];
+        let (mut fleet, specs) = fleet_with(cfg, 2, 100);
+        let err = fleet.serve(&specs, &quick_cfg()).unwrap_err();
+        let RunError::DeviceDown(d) = err else {
+            panic!("expected DeviceDown, got {err:?}");
+        };
+        assert_eq!(d.killed_at_s, 0.0);
+        let chain = morpheus_simcore::render_error_chain(&RunError::DeviceDown(d));
+        assert!(chain.contains("no healthy device"), "chain: {chain}");
+        assert!(chain.contains("killed at"), "chain: {chain}");
+    }
+
+    #[test]
+    fn kill_spec_parses_and_rejects() {
+        let k = DeviceKill::parse("2@0.01").unwrap();
+        assert_eq!(k.device, 2);
+        assert_eq!(k.at, SimTime::ZERO + SimDuration::from_secs_f64(0.01));
+        for bad in ["", "2", "@1", "x@1", "1@x", "1@-1", "1@inf"] {
+            assert!(DeviceKill::parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn merged_trace_has_per_device_tracks() {
+        let mut cfg = FleetConfig::new(2);
+        cfg.placement = PlacementPolicy::RoundRobin;
+        let (mut fleet, specs) = fleet_with(cfg, 4, 200);
+        fleet.enable_tracing();
+        fleet.serve(&specs, &quick_cfg()).unwrap();
+        let log = fleet.take_merged_trace();
+        assert!(!log.is_empty());
+        let tracks: std::collections::BTreeSet<&str> = log
+            .events
+            .iter()
+            .filter_map(|e| e.track.split('/').next())
+            .collect();
+        assert!(
+            tracks.contains("dev0") && tracks.contains("dev1"),
+            "{tracks:?}"
+        );
+    }
+}

@@ -30,7 +30,13 @@
 //!   evaluation ([`ServeConfig::telemetry`],
 //!   [`System::set_telemetry_window`],
 //!   [`TelemetryConfig`], [`TelemetryReport`], [`SloSpec`] —
-//!   `docs/TELEMETRY.md`).
+//!   `docs/TELEMETRY.md`);
+//! * the **fleet** — N Morpheus-SSDs behind the switch fabric with a
+//!   seeded-deterministic placement layer (round-robin / hash-by-file /
+//!   capacity-aware), tenant-aware routing, and fault-aware rebalancing
+//!   that drains killed devices onto healthy peers ([`Fleet`],
+//!   [`FleetConfig`], [`PlacementPolicy`], [`FleetReport`] —
+//!   `docs/FLEET.md`).
 //!
 //! Deserialization is functionally real end to end: bytes live in simulated
 //! flash behind a real FTL, StorageApps parse them with the same parser the
@@ -56,7 +62,7 @@
 //! // fig8 benchmark; a three-line file is dominated by fixed costs.)
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod apps;
 mod cache;
@@ -65,6 +71,7 @@ mod deser_memo;
 mod exec;
 mod faults;
 mod firmware;
+mod fleet;
 mod params;
 mod report;
 mod runtime;
@@ -81,6 +88,9 @@ pub use cache::{
 pub use concurrent::{ConcurrentReport, TenantReport};
 pub use exec::{AppSpec, GpuKernelPerRecord, InputFormat, ParallelModel, RunError, RunOutcome};
 pub use firmware::{MorpheusError, MorpheusSsd, MreadOutcome, MwriteOutcome};
+pub use fleet::{
+    aggregate_reports, DeviceDown, DeviceKill, Fleet, FleetConfig, FleetReport, PlacementPolicy,
+};
 pub use params::{CoRunner, StorageKind, SystemParams};
 pub use report::{mb_per_sec, Mode, Phases, RunReport, MB};
 pub use runtime::{ms_stream_create, CommandPlan, MsStream};

@@ -247,9 +247,50 @@ impl fmt::Display for ServeReport {
 
 /// One offered request.
 #[derive(Debug, Clone, Copy)]
-struct Request {
-    arrival: SimTime,
-    app: usize,
+pub(crate) struct Request {
+    pub(crate) arrival: SimTime,
+    pub(crate) app: usize,
+}
+
+/// Builds the offered load of one serve run: seeded Poisson arrivals over
+/// `[0, cfg.duration_s)`, each picking one of `napps` tenants. Skew 0
+/// keeps the historical uniform `next_below` stream so pre-skew runs stay
+/// byte-identical; positive skew draws Zipfian ranks from the same pick
+/// stream (one uniform draw per request). The fleet layer calls this too:
+/// a fleet run routes exactly this stream across devices, so placement is
+/// a partition of the single-SSD load, never a different one.
+pub(crate) fn offered_requests(cfg: &ServeConfig, napps: usize) -> Vec<Request> {
+    let horizon = SimTime::ZERO + SimDuration::from_secs_f64(cfg.duration_s);
+    let zipf = (cfg.skew > 0.0).then(|| Zipfian::new(napps, cfg.skew));
+    let mut pick = SplitMix64::new(cfg.seed ^ APP_PICK_SALT);
+    let mut reqs: Vec<Request> = Vec::new();
+    for t in ArrivalProcess::new(cfg.seed, cfg.rps) {
+        if t >= horizon {
+            break;
+        }
+        let app = match &zipf {
+            Some(z) => z.sample(&mut pick),
+            None => pick.next_below(napps as u64) as usize,
+        };
+        reqs.push(Request { arrival: t, app });
+    }
+    reqs
+}
+
+/// Panics on config-bug serve parameters (shared by the solo and fleet
+/// entry points so both reject the same inputs the same way).
+pub(crate) fn validate_serve_cfg(cfg: &ServeConfig) {
+    assert!(cfg.rps.is_finite() && cfg.rps > 0.0, "rps must be positive");
+    assert!(
+        cfg.duration_s.is_finite() && cfg.duration_s > 0.0,
+        "duration must be positive"
+    );
+    assert!(cfg.depth >= 1, "admission depth must be at least 1");
+    assert!(cfg.batch_max >= 1, "batch size must be at least 1");
+    assert!(
+        cfg.skew.is_finite() && cfg.skew >= 0.0,
+        "skew must be finite and non-negative"
+    );
 }
 
 /// A command plus the completion the device will post for it, staged per
@@ -367,20 +408,25 @@ impl System {
         if apps.is_empty() {
             return Err(RunError::NoTenants);
         }
+        validate_serve_cfg(cfg);
+        let reqs = offered_requests(cfg, apps.len());
+        self.serve_requests(apps, cfg, reqs)
+    }
+
+    /// Serves a pre-built request stream (the dispatch half of
+    /// [`serve`](System::serve), which builds the stream itself). The
+    /// fleet layer routes one global stream across devices and hands each
+    /// device its slice through this entry point, so a `--devices 1`
+    /// fleet run executes byte-for-byte the single-SSD path.
+    pub(crate) fn serve_requests(
+        &mut self,
+        apps: &[AppSpec],
+        cfg: &ServeConfig,
+        reqs: Vec<Request>,
+    ) -> Result<ServeReport, RunError> {
         assert!(
             self.params.storage == StorageKind::NvmeSsd,
             "serving models the NVMe path"
-        );
-        assert!(cfg.rps.is_finite() && cfg.rps > 0.0, "rps must be positive");
-        assert!(
-            cfg.duration_s.is_finite() && cfg.duration_s > 0.0,
-            "duration must be positive"
-        );
-        assert!(cfg.depth >= 1, "admission depth must be at least 1");
-        assert!(cfg.batch_max >= 1, "batch size must be at least 1");
-        assert!(
-            cfg.skew.is_finite() && cfg.skew >= 0.0,
-            "skew must be finite and non-negative"
         );
         self.reset_timing();
         let bar = match cfg.mode {
@@ -394,25 +440,6 @@ impl System {
         for a in 0..apps.len() {
             let sc = admin.create_io_queue(FIRST_TENANT_QID + a as u16, cfg.sq_depth);
             assert_eq!(sc, StatusCode::Success, "tenant queue creation failed");
-        }
-
-        // The offered load: seeded arrivals, seeded app picks. Skew 0
-        // keeps the historical uniform `next_below` stream so pre-skew
-        // runs stay byte-identical; positive skew draws Zipfian ranks
-        // from the same pick stream (one uniform draw per request).
-        let horizon = SimTime::ZERO + SimDuration::from_secs_f64(cfg.duration_s);
-        let zipf = (cfg.skew > 0.0).then(|| Zipfian::new(apps.len(), cfg.skew));
-        let mut pick = SplitMix64::new(cfg.seed ^ APP_PICK_SALT);
-        let mut reqs: Vec<Request> = Vec::new();
-        for t in ArrivalProcess::new(cfg.seed, cfg.rps) {
-            if t >= horizon {
-                break;
-            }
-            let app = match &zipf {
-                Some(z) => z.sample(&mut pick),
-                None => pick.next_below(apps.len() as u64) as usize,
-            };
-            reqs.push(Request { arrival: t, app });
         }
 
         let mut st = ServeState {
@@ -770,7 +797,8 @@ impl System {
                         CacheTier::Dram => "hit-dram",
                         CacheTier::Host => "hit-host",
                     };
-                    self.tracer.instant(TraceLayer::Ssd, CACHE_TRACK, what, start);
+                    self.tracer
+                        .instant(TraceLayer::Ssd, CACHE_TRACK, what, start);
                     if let Some(s) = st.sampler.as_mut() {
                         s.count("cache_hits", start);
                     }
@@ -783,7 +811,8 @@ impl System {
                     return Ok(end);
                 }
                 None => {
-                    self.tracer.instant(TraceLayer::Ssd, CACHE_TRACK, "miss", start);
+                    self.tracer
+                        .instant(TraceLayer::Ssd, CACHE_TRACK, "miss", start);
                     if let Some(s) = st.sampler.as_mut() {
                         s.count("cache_misses", start);
                     }

@@ -182,8 +182,10 @@ impl Timeline {
         let unit = if self.next_free.len() == 1 {
             0
         } else {
-            let std::cmp::Reverse((free_at, unit)) =
-                self.free_heap.pop().expect("timeline has at least one unit");
+            let std::cmp::Reverse((free_at, unit)) = self
+                .free_heap
+                .pop()
+                .expect("timeline has at least one unit");
             debug_assert_eq!(free_at, self.next_free[unit], "free-heap out of sync");
             unit
         };

@@ -251,6 +251,7 @@ impl Tracer {
     }
 
     #[inline]
+    #[allow(clippy::too_many_arguments)]
     fn record(
         &self,
         layer: TraceLayer,

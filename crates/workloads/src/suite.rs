@@ -267,6 +267,7 @@ const GENERATED_CAP: usize = 64;
 /// suite sweeps stage the same input onto every fresh [`System`], so the
 /// text is formatted once and shared by `Arc` thereafter.
 fn generated_input(bench: &Benchmark, target_bytes: u64, seed: u64) -> Arc<Vec<u8>> {
+    #[allow(clippy::type_complexity)]
     static T: OnceLock<Mutex<HashMap<(&'static str, u64, u64), Arc<Vec<u8>>>>> = OnceLock::new();
     let table = T.get_or_init(|| Mutex::new(HashMap::new()));
     let key = (bench.name, target_bytes, seed);

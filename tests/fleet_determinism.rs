@@ -1,0 +1,163 @@
+//! Fleet determinism: the sharded serving plane must be byte-identical
+//! across reruns and `--jobs` fan-outs, a one-device fleet must reproduce
+//! the single-SSD reports bit for bit, and a fully-dead fleet must fail
+//! with a typed error, not a panic.
+
+use morpheus::{
+    AppSpec, DeviceKill, Fleet, FleetConfig, Mode, PlacementPolicy, RunError, ServeConfig, System,
+    SystemParams,
+};
+use morpheus_bench::run_parallel;
+use morpheus_format::{FieldKind, Schema, TextWriter};
+use morpheus_simcore::{render_error_chain, SplitMix64};
+use proptest::prelude::*;
+
+fn edge_text(records: u32, salt: u64) -> Vec<u8> {
+    let mut rng = SplitMix64::new(salt);
+    let mut w = TextWriter::new();
+    for _ in 0..records {
+        w.write_u64(rng.next_below(100_000));
+        w.sep();
+        w.write_u64(rng.next_below(100_000));
+        w.newline();
+    }
+    w.into_bytes()
+}
+
+/// Stages `napps` tenants on a fresh fleet of the given shape.
+fn build_fleet(cfg: FleetConfig, napps: usize, records: u32) -> (Fleet, Vec<AppSpec>) {
+    let mut fleet = Fleet::new(SystemParams::paper_testbed(), cfg);
+    let schema = Schema::new(vec![FieldKind::U32, FieldKind::U32]);
+    let mut specs = Vec::new();
+    for i in 0..napps {
+        let file = format!("svc{i}.txt");
+        fleet
+            .create_input_file(&file, &edge_text(records, i as u64))
+            .unwrap();
+        specs.push(AppSpec::cpu_app(
+            &format!("svc{i}"),
+            &file,
+            schema.clone(),
+            1,
+            50.0,
+        ));
+    }
+    (fleet, specs)
+}
+
+fn serve_cfg(rps: f64, seed: u64) -> ServeConfig {
+    let mut cfg = ServeConfig::new(rps, 0.015);
+    cfg.mode = Mode::Morpheus;
+    cfg.seed = seed;
+    cfg
+}
+
+/// Renders everything an operator would diff: the full fleet report
+/// (placement, per-device rows, aggregate) — the integration-level
+/// equivalent of the CLI byte-diff CI runs.
+fn render(cfg: FleetConfig, napps: usize, rps: f64, seed: u64) -> String {
+    let (mut fleet, specs) = build_fleet(cfg, napps, 300);
+    let rep = fleet.serve(&specs, &serve_cfg(rps, seed)).unwrap();
+    format!("placement={:?}\n{rep}", rep.placement)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Rerunning an arbitrary fleet shape reproduces every byte, and a
+    /// 4-way jobs fan-out of an rps ladder matches the serial order.
+    #[test]
+    fn fleet_runs_are_byte_identical_across_reruns_and_jobs(
+        devices in 1usize..5,
+        napps in 1usize..7,
+        policy_idx in 0usize..3,
+        seed in 1u64..1_000,
+    ) {
+        let policy = [
+            PlacementPolicy::RoundRobin,
+            PlacementPolicy::HashByFile,
+            PlacementPolicy::CapacityAware,
+        ][policy_idx];
+        let shape = || {
+            let mut c = FleetConfig::new(devices);
+            c.placement = policy;
+            c.seed = seed;
+            c
+        };
+        // Rerun identity.
+        prop_assert_eq!(
+            render(shape(), napps, 3000.0, seed),
+            render(shape(), napps, 3000.0, seed)
+        );
+        // Jobs-fan-out identity over an rps ladder: each cell builds its
+        // own fleet (the bench binaries' recipe), so worker count must
+        // not leak into any byte.
+        let ladder = [1000.0, 2000.0, 4000.0];
+        let serial = run_parallel(1, &ladder, |r| render(shape(), napps, *r, seed));
+        let fanned = run_parallel(4, &ladder, |r| render(shape(), napps, *r, seed));
+        prop_assert_eq!(serial, fanned);
+    }
+
+    /// A one-device fleet is the single-SSD simulator, bit for bit: same
+    /// report rendering, same checksums, same admission counts.
+    #[test]
+    fn single_device_fleet_reproduces_solo_reports(
+        napps in 1usize..6,
+        seed in 1u64..1_000,
+        rps in 1500.0f64..6000.0,
+    ) {
+        let (mut fleet, specs) = build_fleet(FleetConfig::new(1), napps, 300);
+        let fleet_rep = fleet.serve(&specs, &serve_cfg(rps, seed)).unwrap();
+
+        let mut solo = System::new(SystemParams::paper_testbed());
+        for i in 0..napps {
+            solo.create_input_file(&format!("svc{i}.txt"), &edge_text(300, i as u64))
+                .unwrap();
+        }
+        let solo_rep = solo.serve(&specs, &serve_cfg(rps, seed)).unwrap();
+        prop_assert_eq!(format!("{}", fleet_rep.aggregate), format!("{solo_rep}"));
+        prop_assert_eq!(fleet_rep.aggregate.checksum, solo_rep.checksum);
+        prop_assert_eq!(fleet_rep.aggregate.offered, solo_rep.offered);
+        prop_assert_eq!(fleet_rep.per_device.len(), 1);
+    }
+}
+
+#[test]
+fn kill_rebalance_is_deterministic_and_complete() {
+    let shape = || {
+        let mut c = FleetConfig::new(3);
+        c.placement = PlacementPolicy::RoundRobin;
+        c.kills = vec![DeviceKill::parse("0@0.005").unwrap()];
+        c
+    };
+    let a = render(shape(), 6, 4000.0, 7);
+    let b = render(shape(), 6, 4000.0, 7);
+    assert_eq!(a, b, "a kill schedule must not break byte-determinism");
+
+    let (mut fleet, specs) = build_fleet(shape(), 6, 300);
+    let rep = fleet.serve(&specs, &serve_cfg(4000.0, 7)).unwrap();
+    assert!(rep.rebalanced > 0, "post-kill arrivals must migrate");
+    assert_eq!(
+        rep.aggregate.completed + rep.aggregate.shed + rep.aggregate.failed,
+        rep.aggregate.offered,
+        "every offered request is still accounted for after the drain"
+    );
+}
+
+#[test]
+fn placement_targeting_a_dead_fleet_is_a_typed_error() {
+    let mut cfg = FleetConfig::new(2);
+    cfg.kills = vec![
+        DeviceKill::parse("0@0").unwrap(),
+        DeviceKill::parse("1@0").unwrap(),
+    ];
+    let (mut fleet, specs) = build_fleet(cfg, 2, 100);
+    let err = fleet.serve(&specs, &serve_cfg(3000.0, 42)).unwrap_err();
+    assert!(
+        matches!(err, RunError::DeviceDown(_)),
+        "expected RunError::DeviceDown, got {err:?}"
+    );
+    let chain = render_error_chain(&err);
+    assert!(chain.contains("no healthy device"), "chain: {chain}");
+    assert!(chain.contains("killed at"), "chain: {chain}");
+}
