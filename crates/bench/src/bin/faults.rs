@@ -10,12 +10,17 @@
 //! Flags: the shared harness grammar (`--scale`, `--seed`, `--jobs`);
 //! the sweep sets the per-rung fault plans itself, so `--faults` here
 //! only overrides the *seed* ladder via its `seed=` key. With
-//! `--devices N` (and optional `--placement rr|hash|capacity`) the sweep
-//! appends a fleet serving-resilience table: the same fault ladder
+//! `--devices N` (and optional `--placement rr|hash|capacity`,
+//! `--kill-device DEV@SECS`, `--rolling-update SECS`, `--heal`) the
+//! sweep appends a fleet serving-resilience table: the same fault ladder
 //! applied fleet-wide to an N-device serve cell, showing how aggregate
-//! completion and redispatch counts degrade.
+//! completion and redispatch counts degrade — with the kill schedule and
+//! control plane in force.
 
-use morpheus::{AppSpec, Fleet, FleetConfig, Mode, PlacementPolicy, ServeConfig, SystemParams};
+use morpheus::{
+    AppSpec, DeviceKill, Fleet, FleetConfig, HealPolicy, Mode, PlacementPolicy, RollingUpdate,
+    ServeConfig, SystemParams,
+};
 use morpheus_bench::{geomean, print_table, Harness};
 use morpheus_format::{FieldKind, Schema, TextWriter};
 use morpheus_simcore::{render_error_chain, FaultCounters, FaultPlan, SplitMix64};
@@ -47,12 +52,20 @@ fn main() {
     // parser applies flags left to right.
     let mut args: Vec<String> = vec!["--scale".into(), "4096".into()];
     args.extend(std::env::args().skip(1));
-    let usage =
-        "usage: [--scale N] [--seed N] [--jobs N] [--faults SPEC] [--devices N] [--placement P]";
+    let usage = "usage: [--scale N] [--seed N] [--jobs N] [--faults SPEC] [--devices N] \
+                 [--placement P] [--kill-device DEV@SECS] [--rolling-update SECS] [--heal]";
     // Fleet flags are parsed here and registered with the shared grammar
     // as pass-through extras.
     let mut devices = 1usize;
     let mut placement = PlacementPolicy::HashByFile;
+    let mut kills: Vec<DeviceKill> = Vec::new();
+    let mut rolling_update: Option<f64> = None;
+    let mut heal = false;
+    let fail = |msg: &str| -> ! {
+        eprintln!("error: {msg}");
+        eprintln!("{usage}");
+        std::process::exit(2);
+    };
     {
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -62,27 +75,63 @@ fn main() {
                         .next()
                         .and_then(|v| v.parse().ok())
                         .filter(|d: &usize| *d >= 1)
-                        .unwrap_or_else(|| {
-                            eprintln!("error: --devices expects a positive integer");
-                            eprintln!("{usage}");
-                            std::process::exit(2);
-                        });
+                        .unwrap_or_else(|| fail("--devices expects a positive integer"));
                 }
                 "--placement" => {
                     placement = it
                         .next()
                         .and_then(|v| PlacementPolicy::parse(v))
-                        .unwrap_or_else(|| {
-                            eprintln!("error: --placement expects rr|hash|capacity");
-                            eprintln!("{usage}");
-                            std::process::exit(2);
-                        });
+                        .unwrap_or_else(|| fail("--placement expects rr|hash|capacity"));
                 }
+                "--kill-device" => match it.next() {
+                    Some(v) => match DeviceKill::parse(v) {
+                        Ok(k) => kills.push(k),
+                        Err(e) => fail(&format!("--kill-device: {e}")),
+                    },
+                    None => fail("--kill-device requires a value"),
+                },
+                "--rolling-update" => {
+                    rolling_update = Some(
+                        it.next()
+                            .and_then(|v| v.parse::<f64>().ok())
+                            .filter(|s| s.is_finite() && *s >= 0.0)
+                            .unwrap_or_else(|| {
+                                fail("--rolling-update expects seconds (finite, >= 0)")
+                            }),
+                    );
+                }
+                "--heal" => heal = true,
                 _ => {}
             }
         }
     }
-    let h = match Harness::parse(&args, &["--devices", "--placement"]) {
+    // Kill indices are validated against the fleet shape at parse time,
+    // like the serve/telemetry binaries: a kill that can never match a
+    // device is a config bug, not a silent no-op.
+    for k in &kills {
+        if k.device >= devices {
+            fail(&format!(
+                "--kill-device names device {} but --devices is {devices}",
+                k.device
+            ));
+        }
+    }
+    // `--heal` is valueless, so it is stripped before the shared grammar
+    // re-parse (extras there always consume one value).
+    let hargs: Vec<String> = args
+        .iter()
+        .filter(|a| a.as_str() != "--heal")
+        .cloned()
+        .collect();
+    let h = match Harness::parse(
+        &hargs,
+        &[
+            "--devices",
+            "--placement",
+            "--kill-device",
+            "--rolling-update",
+        ],
+    ) {
         Ok(h) => h,
         Err(e) => {
             eprintln!("error: {e}");
@@ -166,21 +215,43 @@ fn main() {
     println!("speedup is the geomean over suite apps that completed; objects are checked");
     println!("bit-identical between modes at every rate (fallback keeps Morpheus correct).");
 
-    if devices > 1 {
+    let control_on = rolling_update.is_some() || heal;
+    if devices > 1 || !kills.is_empty() || control_on {
         // The same fault ladder applied fleet-wide to an N-device serving
         // cell: every device degrades identically, so the table isolates
         // how the *serving plane* (admission, redispatch, fallback)
-        // absorbs faults at fleet scale.
+        // absorbs faults at fleet scale — under the kill schedule and
+        // control plane when given.
         println!();
-        println!(
+        let mut header = format!(
             "Fleet serving resilience: {devices} devices, placement {placement}, \
              morpheus @ 4000 rps x 0.02s, 3 apps"
         );
+        for k in &kills {
+            header.push_str(&format!(
+                ", kill dev{}@{:.3}s",
+                k.device,
+                k.at.as_secs_f64()
+            ));
+        }
+        if let Some(s) = rolling_update {
+            header.push_str(&format!(", rolling-update @{s:.3}s"));
+        }
+        if heal {
+            header.push_str(", heal");
+        }
+        println!("{header}");
         let mut frows = Vec::new();
+        let mut last_control = None;
         for rate in RATES {
             let mut fc = FleetConfig::new(devices);
             fc.placement = placement;
             fc.seed = h.seed;
+            fc.kills = kills.clone();
+            fc.control.rolling = rolling_update.map(RollingUpdate::starting_at);
+            if heal {
+                fc.control.heal = Some(HealPolicy::default());
+            }
             let mut fleet = Fleet::new(SystemParams::paper_testbed(), fc);
             let schema = Schema::new(vec![FieldKind::U32, FieldKind::U32]);
             let mut specs = Vec::new();
@@ -211,6 +282,9 @@ fn main() {
                 std::process::exit(1);
             });
             let a = &rep.aggregate;
+            if rep.control.is_some() {
+                last_control = rep.control.clone();
+            }
             frows.push(vec![
                 format!("{rate:.0e}"),
                 a.offered.to_string(),
@@ -233,5 +307,11 @@ fn main() {
             ],
             &frows,
         );
+        if let Some(c) = &last_control {
+            // The plan is rate-independent (it depends only on the fleet
+            // shape and schedule), so one summary covers the whole sweep.
+            println!();
+            print!("{c}");
+        }
     }
 }

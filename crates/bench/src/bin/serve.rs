@@ -12,9 +12,9 @@
 //! seeded system, so output is byte-identical across repeats and `--jobs`.
 
 use morpheus::{
-    AppSpec, CacheConfig, CachePolicy, DeviceKill, Fleet, FleetConfig, Mode, PlacementPolicy,
-    RunError, ServeConfig, ServePolicy, ServeReport, SloSpec, System, SystemParams,
-    TelemetryConfig,
+    AppSpec, CacheConfig, CachePolicy, ControlReport, DeviceKill, Fleet, FleetConfig, HealPolicy,
+    Mode, PlacementPolicy, RollingUpdate, RunError, ServeConfig, ServePolicy, ServeReport, SloSpec,
+    System, SystemParams, TelemetryConfig,
 };
 use morpheus_bench::{print_table, run_parallel, Harness};
 use morpheus_format::{FieldKind, Schema, TextWriter};
@@ -28,6 +28,7 @@ const USAGE: &str =
              [--telemetry-window DUR] [--slo SPEC] [--telemetry-out <path>]
              [--prom-out <path>]
              [--devices N] [--placement rr|hash|capacity] [--kill-device DEV@SECS]
+             [--rolling-update SECS] [--heal]
              [--fast-forward] [--csv] [--seed N] [--jobs N] [--faults SPEC]";
 
 /// One parsed invocation.
@@ -54,6 +55,8 @@ struct Cli {
     devices: usize,
     placement: PlacementPolicy,
     kills: Vec<DeviceKill>,
+    rolling_update: Option<f64>,
+    heal: bool,
     csv: bool,
     fast_forward: bool,
     harness: Harness,
@@ -83,10 +86,11 @@ impl Cli {
     }
 
     /// True when the invocation engages the fleet path: more than one
-    /// device, or a kill schedule. A plain `--devices 1` run stays on the
-    /// legacy single-[`System`] path, byte for byte.
+    /// device, a kill schedule, or control-plane intent. A plain
+    /// `--devices 1` run stays on the legacy single-[`System`] path,
+    /// byte for byte.
     fn fleet_mode(&self) -> bool {
-        self.devices > 1 || !self.kills.is_empty()
+        self.devices > 1 || !self.kills.is_empty() || self.rolling_update.is_some() || self.heal
     }
 
     /// The fleet shape this invocation asked for.
@@ -95,6 +99,10 @@ impl Cli {
         cfg.placement = self.placement;
         cfg.seed = self.harness.seed;
         cfg.kills = self.kills.clone();
+        cfg.control.rolling = self.rolling_update.map(RollingUpdate::starting_at);
+        if self.heal {
+            cfg.control.heal = Some(HealPolicy::default());
+        }
         cfg
     }
 }
@@ -138,6 +146,8 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         devices: 1,
         placement: PlacementPolicy::HashByFile,
         kills: Vec::new(),
+        rolling_update: None,
+        heal: false,
         csv: false,
         fast_forward: false,
         harness: Harness::default(),
@@ -253,6 +263,17 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                 cli.kills
                     .push(DeviceKill::parse(v).map_err(|e| format!("--kill-device: {e}"))?);
             }
+            "--rolling-update" => {
+                let v = value("--rolling-update", &mut it)?;
+                let s: f64 = v
+                    .parse()
+                    .map_err(|_| format!("--rolling-update expects seconds, got {v:?}"))?;
+                if !s.is_finite() || s < 0.0 {
+                    return Err("--rolling-update must be finite and >= 0".into());
+                }
+                cli.rolling_update = Some(s);
+            }
+            "--heal" => cli.heal = true,
             "--csv" => cli.csv = true,
             "--fast-forward" => cli.fast_forward = true,
             // Harness flags: re-validated by the shared grammar so
@@ -370,6 +391,7 @@ struct CellOut {
     rep: ServeReport,
     per_device: Vec<ServeReport>,
     rebalanced: u64,
+    control: Option<ControlReport>,
     trace: Option<String>,
 }
 
@@ -406,6 +428,7 @@ fn run_cell(cli: &Cli, mode: Mode, rps: f64) -> Result<CellOut, RunError> {
             rep: rep.aggregate,
             per_device: rep.per_device,
             rebalanced: rep.rebalanced,
+            control: rep.control,
             trace,
         });
     }
@@ -423,6 +446,7 @@ fn run_cell(cli: &Cli, mode: Mode, rps: f64) -> Result<CellOut, RunError> {
         rep,
         per_device: Vec::new(),
         rebalanced: 0,
+        control: None,
         trace,
     })
 }
@@ -476,6 +500,12 @@ fn main() {
                     (k.at - morpheus_simcore::SimTime::ZERO).as_secs_f64()
                 ));
             }
+            if let Some(s) = cli.rolling_update {
+                banner.push_str(&format!(", rolling-update @{s:.3}s"));
+            }
+            if cli.heal {
+                banner.push_str(", heal");
+            }
         }
         println!("{banner}");
     }
@@ -492,6 +522,7 @@ fn main() {
             rep,
             per_device,
             rebalanced,
+            control,
             trace,
         } = match cell {
             Ok(v) => v,
@@ -522,6 +553,14 @@ fn main() {
                     d.sustained_rps,
                     d.e2e_ns.p99() as f64 / 1e3
                 ));
+            }
+            // Control-plane outcome: the transition counters then one
+            // lifecycle/health line per device, labelled like the fleet
+            // rows above.
+            if let Some(c) = &control {
+                for line in format!("{c}").lines() {
+                    fleet_lines.push(format!("  {line}"));
+                }
             }
             // Telemetry lives per device on the fleet path (the aggregate
             // report carries none): emit each device's windows, labelled.
@@ -875,6 +914,48 @@ mod tests {
         assert!(parse(&argv(&["--kill-device", "0@0.01"]))
             .expect("valid")
             .fleet_mode());
+    }
+
+    #[test]
+    fn parse_control_grammar() {
+        let cli = parse(&argv(&[])).expect("valid");
+        assert!(cli.rolling_update.is_none());
+        assert!(!cli.heal);
+        assert!(!cli.fleet_config().control.is_active());
+
+        let cli = parse(&argv(&[
+            "--devices",
+            "4",
+            "--rolling-update",
+            "0.002",
+            "--heal",
+        ]))
+        .expect("valid");
+        assert_eq!(cli.rolling_update, Some(0.002));
+        assert!(cli.heal);
+        assert!(cli.fleet_mode());
+        let fc = cli.fleet_config();
+        assert!(fc.control.rolling.is_some());
+        assert!(fc.control.heal.is_some());
+
+        // Control intent alone engages the fleet path, even solo.
+        assert!(parse(&argv(&["--rolling-update", "0.01"]))
+            .expect("valid")
+            .fleet_mode());
+        assert!(parse(&argv(&["--heal"])).expect("valid").fleet_mode());
+    }
+
+    #[test]
+    fn parse_rejects_bad_control_input() {
+        for bad in [
+            vec!["--rolling-update"],          // missing value
+            vec!["--rolling-update", "-1"],    // negative start
+            vec!["--rolling-update", "inf"],   // non-finite
+            vec!["--rolling-update", "later"], // malformed
+            vec!["--heal", "now"],             // --heal takes no value
+        ] {
+            assert!(parse(&argv(&bad)).is_err(), "should reject {bad:?}");
+        }
     }
 
     #[test]

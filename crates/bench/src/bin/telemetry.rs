@@ -16,8 +16,9 @@
 //! `docs/TELEMETRY.md` documents the sampling model and SLO semantics.
 
 use morpheus::{
-    AppSpec, CacheConfig, CachePolicy, DeviceKill, Fleet, FleetConfig, Mode, PlacementPolicy,
-    ServeConfig, ServePolicy, SloSpec, System, SystemParams, TelemetryConfig,
+    AppSpec, CacheConfig, CachePolicy, DeviceKill, Fleet, FleetConfig, HealPolicy, Mode,
+    PlacementPolicy, RollingUpdate, ServeConfig, ServePolicy, SloSpec, System, SystemParams,
+    TelemetryConfig,
 };
 use morpheus_bench::Harness;
 use morpheus_format::{FieldKind, Schema, TextWriter};
@@ -30,6 +31,7 @@ const USAGE: &str =
                  [--cache-mb N] [--cache-host-mb N] [--cache-policy tinylfu|lru]
                  [--window DUR] [--slo SPEC] [--format text|csv|prom] [--out <path>]
                  [--devices N] [--placement rr|hash|capacity] [--kill-device DEV@SECS]
+                 [--rolling-update SECS] [--heal]
                  [--seed N] [--faults SPEC]";
 
 /// Output rendering selected by `--format`.
@@ -63,14 +65,17 @@ struct Cli {
     devices: usize,
     placement: PlacementPolicy,
     kills: Vec<DeviceKill>,
+    rolling_update: Option<f64>,
+    heal: bool,
     harness: Harness,
 }
 
 impl Cli {
     /// True when the invocation engages the fleet path (see the `serve`
-    /// binary: more than one device, or a kill schedule).
+    /// binary: more than one device, a kill schedule, or control-plane
+    /// intent).
     fn fleet_mode(&self) -> bool {
-        self.devices > 1 || !self.kills.is_empty()
+        self.devices > 1 || !self.kills.is_empty() || self.rolling_update.is_some() || self.heal
     }
 }
 
@@ -112,6 +117,8 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         devices: 1,
         placement: PlacementPolicy::HashByFile,
         kills: Vec::new(),
+        rolling_update: None,
+        heal: false,
         harness: Harness::default(),
     };
     let mut harness_args: Vec<String> = Vec::new();
@@ -221,6 +228,17 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                 cli.kills
                     .push(DeviceKill::parse(v).map_err(|e| format!("--kill-device: {e}"))?);
             }
+            "--rolling-update" => {
+                let v = value("--rolling-update", &mut it)?;
+                let s: f64 = v
+                    .parse()
+                    .map_err(|_| format!("--rolling-update expects seconds, got {v:?}"))?;
+                if !s.is_finite() || s < 0.0 {
+                    return Err("--rolling-update must be finite and >= 0".into());
+                }
+                cli.rolling_update = Some(s);
+            }
+            "--heal" => cli.heal = true,
             // Harness flags: re-validated by the shared grammar so
             // `--faults bogus` fails exactly as in every figure binary.
             "--seed" | "--faults" => {
@@ -317,6 +335,10 @@ fn main() {
         fc.placement = cli.placement;
         fc.seed = cli.harness.seed;
         fc.kills = cli.kills.clone();
+        fc.control.rolling = cli.rolling_update.map(RollingUpdate::starting_at);
+        if cli.heal {
+            fc.control.heal = Some(HealPolicy::default());
+        }
         let mut fleet = Fleet::new(SystemParams::paper_testbed(), fc);
         let schema = Schema::new(vec![FieldKind::U32, FieldKind::U32]);
         let mut specs = Vec::new();
@@ -366,6 +388,9 @@ fn main() {
                     rep.aggregate.shed,
                     rep.aggregate.failed,
                 ));
+                if let Some(c) = &rep.control {
+                    s.push_str(&format!("{c}"));
+                }
                 for (i, d) in rep.per_device.iter().enumerate() {
                     let t = d.telemetry.as_ref().expect("sampler installed");
                     s.push_str(&format!(
@@ -568,5 +593,29 @@ mod tests {
         assert_eq!(cli.kills.len(), 1);
         assert!(cli.fleet_mode());
         assert!(!parse(&argv(&[])).unwrap().fleet_mode());
+    }
+
+    #[test]
+    fn parse_control_grammar() {
+        let cli = parse(&argv(&[
+            "--devices",
+            "4",
+            "--rolling-update",
+            "0.005",
+            "--heal",
+        ]))
+        .expect("valid");
+        assert_eq!(cli.rolling_update, Some(0.005));
+        assert!(cli.heal);
+        assert!(cli.fleet_mode());
+        // Control intent alone engages the fleet path.
+        assert!(parse(&argv(&["--heal"])).expect("valid").fleet_mode());
+        for bad in [
+            vec!["--rolling-update"],
+            vec!["--rolling-update", "-0.1"],
+            vec!["--rolling-update", "nan"],
+        ] {
+            assert!(parse(&argv(&bad)).is_err(), "should reject {bad:?}");
+        }
     }
 }

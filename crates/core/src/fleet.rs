@@ -22,10 +22,14 @@
 //! [`AdminController`]: morpheus_nvme::AdminController
 
 use crate::cache::{CacheConfig, CacheStats};
+use crate::control::{ControlConfig, ControlPlan, ControlReport};
 use crate::exec::{AppSpec, RunError};
 use crate::serve::{offered_requests, validate_serve_cfg, Request, ServeConfig, ServeReport};
 use crate::{System, SystemParams};
-use morpheus_simcore::{FaultCounters, FaultPlan, Metrics, SimDuration, SimTime, Tracer};
+use morpheus_simcore::{
+    FaultCounters, FaultPlan, Metrics, SimDuration, SimTime, TraceEvent, TraceEventKind,
+    TraceLayer, Tracer,
+};
 use morpheus_ssd::SsdError;
 use std::error::Error;
 use std::fmt;
@@ -118,20 +122,80 @@ pub struct FleetConfig {
     pub seed: u64,
     /// Scheduled device deaths (see [`DeviceKill`]).
     pub kills: Vec<DeviceKill>,
+    /// Control-plane intent: rolling updates and kill healing (inactive
+    /// by default — see [`ControlConfig`]).
+    pub control: ControlConfig,
 }
 
 impl FleetConfig {
     /// A fleet of `devices` SSDs with the default hash placement, seed
-    /// 42, and no scheduled kills.
+    /// 42, no scheduled kills, and the control plane off.
     pub fn new(devices: usize) -> Self {
         FleetConfig {
             devices,
             placement: PlacementPolicy::HashByFile,
             seed: 42,
             kills: Vec::new(),
+            control: ControlConfig::default(),
+        }
+    }
+
+    /// Checks the config for internal consistency: at least one device,
+    /// and every kill naming a device inside the fleet.
+    ///
+    /// # Errors
+    ///
+    /// The first [`FleetConfigError`] found. CLIs surface it at parse
+    /// time and exit 2; library callers get it from
+    /// [`Fleet::try_new`].
+    pub fn validate(&self) -> Result<(), FleetConfigError> {
+        if self.devices == 0 {
+            return Err(FleetConfigError::NoDevices);
+        }
+        for k in &self.kills {
+            if k.device >= self.devices {
+                return Err(FleetConfigError::KillOutOfRange {
+                    device: k.device,
+                    devices: self.devices,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A fleet configuration that cannot describe a real fleet. Returned by
+/// [`FleetConfig::validate`] / [`Fleet::try_new`] at config build time,
+/// so an out-of-range kill spec fails loudly instead of silently never
+/// matching a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetConfigError {
+    /// Zero devices.
+    NoDevices,
+    /// A kill names a device index outside the fleet.
+    KillOutOfRange {
+        /// The device the kill names.
+        device: usize,
+        /// How many devices the fleet has.
+        devices: usize,
+    },
+}
+
+impl fmt::Display for FleetConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetConfigError::NoDevices => write!(f, "a fleet needs at least one device"),
+            FleetConfigError::KillOutOfRange { device, devices } => write!(
+                f,
+                "kill names device {device} but the fleet has {devices} \
+                 (valid indices are 0..={})",
+                devices - 1
+            ),
         }
     }
 }
+
+impl Error for FleetConfigError {}
 
 /// The typed admission-time routing failure: a request's placement target
 /// was already dead when it arrived and every rebalance candidate was
@@ -173,6 +237,10 @@ impl Error for DeviceDown {}
 pub struct Fleet {
     cfg: FleetConfig,
     devices: Vec<System>,
+    /// The control plan the last serve executed (kept so
+    /// [`take_merged_trace`](Fleet::take_merged_trace) can emit the
+    /// lifecycle track); `None` until a control-active serve runs.
+    ctl_plan: Option<ControlPlan>,
 }
 
 /// FNV-1a over a file name, the stable half of the placement key.
@@ -199,22 +267,31 @@ impl Fleet {
     ///
     /// # Panics
     ///
-    /// Panics on zero devices or a kill naming a device outside the
-    /// fleet (config bugs; the CLIs validate first and exit 2).
+    /// Panics on an invalid config — zero devices or a kill naming a
+    /// device outside the fleet. Library callers that want the typed
+    /// error use [`Fleet::try_new`]; the CLIs validate at parse time and
+    /// exit 2.
     pub fn new(params: SystemParams, cfg: FleetConfig) -> Self {
-        assert!(cfg.devices >= 1, "a fleet needs at least one device");
-        for k in &cfg.kills {
-            assert!(
-                k.device < cfg.devices,
-                "kill names device {} but the fleet has {}",
-                k.device,
-                cfg.devices
-            );
-        }
+        Fleet::try_new(params, cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds the fleet, rejecting an inconsistent config with a typed
+    /// [`FleetConfigError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`FleetConfig::validate`] finds — zero devices, or a
+    /// kill spec naming a device outside the fleet.
+    pub fn try_new(params: SystemParams, cfg: FleetConfig) -> Result<Self, FleetConfigError> {
+        cfg.validate()?;
         let devices = (0..cfg.devices)
             .map(|_| System::new(params.clone()))
             .collect();
-        Fleet { cfg, devices }
+        Ok(Fleet {
+            cfg,
+            devices,
+            ctl_plan: None,
+        })
     }
 
     /// The fleet configuration.
@@ -294,9 +371,15 @@ impl Fleet {
     /// device each event's track is prefixed `dev<K>/`, so Perfetto shows
     /// one row group per fleet member; a single-device fleet keeps the
     /// legacy track names (byte-identical to the pre-fleet export).
+    ///
+    /// When the last serve ran with the control plane active, the
+    /// executed lifecycle timeline is appended as instant events on
+    /// `ctl/dev<K>` tracks (one row group for the whole control plane),
+    /// one event per state entered.
     pub fn take_merged_trace(&self) -> morpheus_simcore::TraceLog {
         let mut merged = morpheus_simcore::TraceLog::default();
         let solo = self.devices.len() == 1;
+        let traced = self.devices.iter().any(|d| d.tracer().is_enabled());
         for (i, d) in self.devices.iter().enumerate() {
             let mut log = d.tracer().take();
             if !solo {
@@ -306,25 +389,62 @@ impl Fleet {
             }
             merged.events.extend(log.events);
         }
+        if let (true, Some(plan)) = (traced, &self.ctl_plan) {
+            for dev in 0..plan.devices() {
+                for t in plan.timeline(dev) {
+                    merged.events.push(TraceEvent {
+                        layer: TraceLayer::Host,
+                        track: format!("ctl/dev{dev}"),
+                        name: t.to.to_string(),
+                        start_ns: t.at.as_nanos(),
+                        dur_ns: 0,
+                        kind: TraceEventKind::Instant,
+                        bytes: None,
+                    });
+                }
+            }
+        }
         merged
+    }
+
+    /// The devices placement may target: every device, minus any that
+    /// the kill schedule declares dead at t=0 *permanently* (no heal
+    /// policy to bring them back). Placing a tenant on a device that can
+    /// never admit a single request just taxes every arrival with the
+    /// rebalance scan — the dead-device placement bug. When the whole
+    /// fleet is dead at t=0 the full device list is returned so serving
+    /// fails with the usual typed [`DeviceDown`] error.
+    fn placement_candidates(&self) -> Vec<usize> {
+        let healing = self.cfg.control.heal.is_some();
+        let eligible: Vec<usize> = (0..self.devices.len())
+            .filter(|&d| healing || self.killed_at(d) != Some(SimTime::ZERO))
+            .collect();
+        if eligible.is_empty() {
+            (0..self.devices.len()).collect()
+        } else {
+            eligible
+        }
     }
 
     /// The tenant→device assignment the configured policy produces for
     /// this app list. Pure and seeded: same (policy, seed, apps, fleet
-    /// size) ⇒ same placement, regardless of traffic.
+    /// size, kill schedule) ⇒ same placement, regardless of traffic.
+    /// Devices dead at t=0 with no heal policy receive no tenants (see
+    /// [`placement_candidates`](Self::placement_candidates)).
     pub fn placement(&self, apps: &[AppSpec]) -> Vec<usize> {
-        let n = self.devices.len() as u64;
+        let cand = self.placement_candidates();
+        let n = cand.len() as u64;
         match self.cfg.placement {
-            PlacementPolicy::RoundRobin => (0..apps.len()).map(|i| i % n as usize).collect(),
+            PlacementPolicy::RoundRobin => (0..apps.len()).map(|i| cand[i % n as usize]).collect(),
             PlacementPolicy::HashByFile => apps
                 .iter()
-                .map(|a| (mix(fnv1a(a.input.as_bytes()) ^ self.cfg.seed) % n) as usize)
+                .map(|a| cand[(mix(fnv1a(a.input.as_bytes()) ^ self.cfg.seed) % n) as usize])
                 .collect(),
             PlacementPolicy::CapacityAware => {
                 // Greedy least-bytes-first over tenants in list order;
                 // a file shared by several tenants is placed (and its
                 // bytes counted) once.
-                let mut placed_bytes = vec![0u64; self.devices.len()];
+                let mut placed_bytes = vec![0u64; cand.len()];
                 let mut by_file: std::collections::HashMap<&str, usize> =
                     std::collections::HashMap::new();
                 let mut out = Vec::with_capacity(apps.len());
@@ -338,15 +458,15 @@ impl Fleet {
                         .open(&a.input)
                         .map(|m| m.len)
                         .unwrap_or(0);
-                    let d = placed_bytes
+                    let slot = placed_bytes
                         .iter()
                         .enumerate()
                         .min_by_key(|(i, b)| (**b, *i))
                         .map(|(i, _)| i)
-                        .expect("fleet has at least one device");
-                    placed_bytes[d] += len;
-                    by_file.insert(a.input.as_str(), d);
-                    out.push(d);
+                        .expect("fleet has at least one candidate");
+                    placed_bytes[slot] += len;
+                    by_file.insert(a.input.as_str(), cand[slot]);
+                    out.push(cand[slot]);
                 }
                 out
             }
@@ -368,21 +488,24 @@ impl Fleet {
         self.killed_at(device).is_none_or(|t| at < t)
     }
 
-    /// Routes one arrival: the placement target if alive, else the first
-    /// healthy peer scanning upward from it (deterministic in the fleet
-    /// config alone). `Err` carries the typed admission-time failure when
-    /// every device is dead.
-    fn route(&self, primary: usize, at: SimTime) -> Result<usize, DeviceDown> {
+    /// Routes one arrival: the placement target if it admits at `at`,
+    /// else the first admitting peer scanning upward from it
+    /// (deterministic in the fleet config alone — the control plan is
+    /// compiled before any request is routed). `Err` carries the typed
+    /// admission-time failure when no device admits.
+    fn route(&self, plan: &ControlPlan, primary: usize, at: SimTime) -> Result<usize, DeviceDown> {
         let n = self.devices.len();
         for step in 0..n {
             let d = (primary + step) % n;
-            if self.alive_at(d, at) {
+            if plan.admits(d, at) {
                 return Ok(d);
             }
         }
         Err(DeviceDown {
             device: primary,
-            killed_at_s: self.killed_at(primary).map_or(0.0, |t| t.as_secs_f64()),
+            killed_at_s: plan
+                .down_since(primary, at)
+                .map_or(0.0, |t| t.as_secs_f64()),
             at_s: at.as_secs_f64(),
         })
     }
@@ -414,7 +537,8 @@ impl Fleet {
         }
         validate_serve_cfg(cfg);
         let placement = self.placement(apps);
-        if self.devices.len() == 1 && self.cfg.kills.is_empty() {
+        let control_on = self.cfg.control.is_active();
+        if self.devices.len() == 1 && self.cfg.kills.is_empty() && !control_on {
             let rep = self.devices[0].serve(apps, cfg)?;
             return Ok(FleetReport {
                 policy: self.cfg.placement,
@@ -422,15 +546,18 @@ impl Fleet {
                 rebalanced: 0,
                 aggregate: rep.clone(),
                 per_device: vec![rep],
+                control: None,
             });
         }
         let n = self.devices.len();
+        let horizon = SimTime::ZERO + SimDuration::from_secs_f64(cfg.duration_s);
+        let plan = ControlPlan::compile(&self.cfg.control, n, &self.cfg.kills, horizon);
         let mut slices: Vec<Vec<Request>> = vec![Vec::new(); n];
         let mut rebalanced = 0u64;
         for r in offered_requests(cfg, apps.len()) {
             let primary = placement[r.app];
             let d = self
-                .route(primary, r.arrival)
+                .route(&plan, primary, r.arrival)
                 .map_err(RunError::DeviceDown)?;
             if d != primary {
                 rebalanced += 1;
@@ -442,12 +569,15 @@ impl Fleet {
             per_device.push(self.devices[d].serve_requests(apps, cfg, slice)?);
         }
         let aggregate = aggregate_reports(&per_device);
+        let control = control_on.then(|| ControlReport::build(&plan, &per_device));
+        self.ctl_plan = control_on.then_some(plan);
         Ok(FleetReport {
             policy: self.cfg.placement,
             placement,
             rebalanced,
             aggregate,
             per_device,
+            control,
         })
     }
 }
@@ -467,6 +597,10 @@ pub struct FleetReport {
     pub aggregate: ServeReport,
     /// Each device's own full serve report, in device order.
     pub per_device: Vec<ServeReport>,
+    /// Lifecycle transitions and per-device health verdicts, present only
+    /// when the run had the control plane active (so control-off reports
+    /// render byte-identically to pre-control builds).
+    pub control: Option<ControlReport>,
 }
 
 impl fmt::Display for FleetReport {
@@ -490,6 +624,9 @@ impl fmt::Display for FleetReport {
                 r.sustained_rps,
                 r.e2e_ns.p99() as f64 / 1e3
             )?;
+        }
+        if let Some(c) = &self.control {
+            write!(f, "{c}")?;
         }
         write!(f, "aggregate:\n{}", self.aggregate)
     }
@@ -532,7 +669,9 @@ fn add_cache(a: &mut CacheStats, b: &CacheStats) {
 /// fleet makespan — the number an operator sees at the load balancer.
 /// Checksums fold in device order (`checksum`) and commutatively
 /// (`checksum_unordered`); per-device telemetry stays in the per-device
-/// reports.
+/// reports. `ssd_core_utilization` is the per-device makespan-weighted
+/// mean, so a device that died early (and idled thereafter) doesn't drag
+/// the fleet number down as if it had run the whole time.
 pub fn aggregate_reports(per_device: &[ServeReport]) -> ServeReport {
     assert!(!per_device.is_empty(), "aggregate of an empty fleet");
     let first = &per_device[0];
@@ -567,6 +706,7 @@ pub fn aggregate_reports(per_device: &[ServeReport]) -> ServeReport {
     };
     let mut mb = 0.0f64;
     let mut util = 0.0f64;
+    let mut util_weight = 0.0f64;
     for r in per_device {
         agg.offered += r.offered;
         agg.admitted += r.admitted;
@@ -592,7 +732,11 @@ pub fn aggregate_reports(per_device: &[ServeReport]) -> ServeReport {
         // aggregate_mbs is bytes/makespan per device; undo the division
         // to sum bytes, then re-divide by the fleet makespan below.
         mb += r.aggregate_mbs * r.makespan_s;
-        util += r.metrics.get("ssd_core_utilization");
+        // Utilization weighted by each device's busy window: an
+        // early-killed device was only measurable while it ran, so its
+        // (near-idle) number must not count like a full-run device's.
+        util += r.metrics.get("ssd_core_utilization") * r.makespan_s;
+        util_weight += r.makespan_s;
     }
     if agg.makespan_s > 0.0 {
         agg.sustained_rps = agg.completed as f64 / agg.makespan_s;
@@ -600,7 +744,14 @@ pub fn aggregate_reports(per_device: &[ServeReport]) -> ServeReport {
     }
     let mut metrics = Metrics::new();
     metrics.set("fleet_devices", per_device.len() as f64);
-    metrics.set("ssd_core_utilization", util / per_device.len() as f64);
+    metrics.set(
+        "ssd_core_utilization",
+        if util_weight > 0.0 {
+            util / util_weight
+        } else {
+            0.0
+        },
+    );
     agg.queue_wait_ns.export("queue_wait_ns", &mut metrics);
     agg.service_ns.export("service_ns", &mut metrics);
     agg.e2e_ns.export("e2e_ns", &mut metrics);
@@ -787,6 +938,192 @@ mod tests {
         for bad in ["", "2", "@1", "x@1", "1@x", "1@-1", "1@inf"] {
             assert!(DeviceKill::parse(bad).is_err(), "should reject {bad:?}");
         }
+    }
+
+    #[test]
+    fn out_of_range_kill_is_a_typed_config_error() {
+        let mut cfg = FleetConfig::new(4);
+        cfg.kills = vec![DeviceKill::parse("9@0.1").unwrap()];
+        let err = cfg.validate().unwrap_err();
+        assert_eq!(
+            err,
+            FleetConfigError::KillOutOfRange {
+                device: 9,
+                devices: 4
+            }
+        );
+        let err = Fleet::try_new(SystemParams::paper_testbed(), cfg).unwrap_err();
+        let text = format!("{err}");
+        assert!(text.contains("kill names device 9"), "{text}");
+        assert!(text.contains("the fleet has 4"), "{text}");
+        assert!(
+            Fleet::try_new(SystemParams::paper_testbed(), FleetConfig::new(0)).is_err(),
+            "zero devices is a config error too"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "kill names device 9")]
+    fn out_of_range_kill_still_panics_via_new() {
+        let mut cfg = FleetConfig::new(4);
+        cfg.kills = vec![DeviceKill::parse("9@0.1").unwrap()];
+        Fleet::new(SystemParams::paper_testbed(), cfg);
+    }
+
+    #[test]
+    fn placement_skips_devices_dead_at_t0() {
+        for policy in [
+            PlacementPolicy::RoundRobin,
+            PlacementPolicy::HashByFile,
+            PlacementPolicy::CapacityAware,
+        ] {
+            let mut cfg = FleetConfig::new(4);
+            cfg.placement = policy;
+            cfg.kills = vec![DeviceKill::parse("0@0").unwrap()];
+            let (fleet, specs) = fleet_with(cfg, 8, 100);
+            let p = fleet.placement(&specs);
+            assert!(
+                p.iter().all(|&d| d != 0),
+                "{policy}: a device dead at t=0 must receive no tenants, got {p:?}"
+            );
+            if policy == PlacementPolicy::RoundRobin {
+                // Round-robin over the three surviving devices.
+                assert_eq!(p, vec![1, 2, 3, 1, 2, 3, 1, 2]);
+            }
+        }
+    }
+
+    #[test]
+    fn placement_keeps_devices_killed_later_or_healed() {
+        // Killed mid-run: still placed (it serves until the kill).
+        let mut cfg = FleetConfig::new(2);
+        cfg.placement = PlacementPolicy::RoundRobin;
+        cfg.kills = vec![DeviceKill::parse("0@0.01").unwrap()];
+        let (fleet, specs) = fleet_with(cfg, 4, 100);
+        assert_eq!(fleet.placement(&specs), vec![0, 1, 0, 1]);
+
+        // Dead at t=0 but healing: it comes back, so it keeps tenants.
+        let mut cfg = FleetConfig::new(2);
+        cfg.placement = PlacementPolicy::RoundRobin;
+        cfg.kills = vec![DeviceKill::parse("0@0").unwrap()];
+        cfg.control.heal = Some(crate::control::HealPolicy::default());
+        let (fleet, specs) = fleet_with(cfg, 4, 100);
+        assert_eq!(fleet.placement(&specs), vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn t0_dead_device_serves_nothing_and_peers_absorb_all() {
+        let mut cfg = FleetConfig::new(3);
+        cfg.placement = PlacementPolicy::RoundRobin;
+        cfg.kills = vec![DeviceKill::parse("1@0").unwrap()];
+        let (mut fleet, specs) = fleet_with(cfg, 6, 300);
+        let rep = fleet.serve(&specs, &quick_cfg()).unwrap();
+        assert_eq!(rep.per_device[1].offered, 0, "dead at t=0 serves nothing");
+        assert_eq!(
+            rep.rebalanced, 0,
+            "placement already skipped the dead device, so nothing pays the rebalance path"
+        );
+        assert_eq!(
+            rep.aggregate.completed + rep.aggregate.shed + rep.aggregate.failed,
+            rep.aggregate.offered
+        );
+    }
+
+    #[test]
+    fn aggregate_utilization_is_makespan_weighted() {
+        let (mut fleet, specs) = fleet_with(FleetConfig::new(2), 4, 300);
+        let rep = fleet.serve(&specs, &quick_cfg()).unwrap();
+        let expected_num: f64 = rep
+            .per_device
+            .iter()
+            .map(|r| r.metrics.get("ssd_core_utilization") * r.makespan_s)
+            .sum();
+        let expected_den: f64 = rep.per_device.iter().map(|r| r.makespan_s).sum();
+        let got = rep.aggregate.metrics.get("ssd_core_utilization");
+        assert!(
+            (got - expected_num / expected_den).abs() < 1e-12,
+            "weighted mean: got {got}, want {}",
+            expected_num / expected_den
+        );
+        // An idle device (zero util, zero-ish makespan) must not halve
+        // the fleet number the way the old unweighted mean did.
+        let mut idle = rep.per_device[0].clone();
+        idle.makespan_s = 0.0;
+        idle.metrics.set("ssd_core_utilization", 0.0);
+        let busy = rep.per_device[1].clone();
+        let busy_util = busy.metrics.get("ssd_core_utilization");
+        let agg = aggregate_reports(&[idle, busy]);
+        assert!(
+            (agg.metrics.get("ssd_core_utilization") - busy_util).abs() < 1e-12,
+            "a zero-makespan device contributes zero weight"
+        );
+    }
+
+    #[test]
+    fn control_off_reports_render_like_pre_control_builds() {
+        let (mut fleet, specs) = fleet_with(FleetConfig::new(2), 4, 300);
+        let rep = fleet.serve(&specs, &quick_cfg()).unwrap();
+        assert!(rep.control.is_none());
+        assert!(
+            !format!("{rep}").contains("control:"),
+            "control-off display must not mention the control plane"
+        );
+    }
+
+    #[test]
+    fn rolling_update_serve_loses_nothing_and_cycles_every_device() {
+        let mut cfg = FleetConfig::new(4);
+        cfg.placement = PlacementPolicy::RoundRobin;
+        cfg.control.rolling = Some(crate::control::RollingUpdate::starting_at(0.002));
+        let (mut fleet, specs) = fleet_with(cfg, 8, 300);
+        let mut serve_cfg = ServeConfig::new(3000.0, 0.03);
+        serve_cfg.mode = Mode::Morpheus;
+        let rep = fleet.serve(&specs, &serve_cfg).unwrap();
+        assert_eq!(rep.aggregate.failed, 0, "a rolling update loses nothing");
+        assert_eq!(
+            rep.aggregate.completed + rep.aggregate.shed,
+            rep.aggregate.offered
+        );
+        assert!(
+            rep.rebalanced > 0,
+            "drained devices steer arrivals onto peers"
+        );
+        let ctl = rep.control.as_ref().expect("control plane was active");
+        assert!(ctl.all_in_service(), "every device returns to service");
+        assert_eq!(
+            (
+                ctl.counts.draining,
+                ctl.counts.updating,
+                ctl.counts.rebooting
+            ),
+            (4, 4, 4),
+            "every device walks the full cycle"
+        );
+        assert_eq!(ctl.counts.failed, 0);
+        let text = format!("{rep}");
+        assert!(text.contains("control: transitions"), "{text}");
+        assert!(text.contains("ctl dev3:"), "{text}");
+    }
+
+    #[test]
+    fn control_trace_lands_on_ctl_tracks() {
+        let mut cfg = FleetConfig::new(2);
+        cfg.placement = PlacementPolicy::RoundRobin;
+        cfg.control.rolling = Some(crate::control::RollingUpdate::starting_at(0.001));
+        let (mut fleet, specs) = fleet_with(cfg, 4, 200);
+        fleet.enable_tracing();
+        fleet.serve(&specs, &quick_cfg()).unwrap();
+        let log = fleet.take_merged_trace();
+        let ctl_events: Vec<&TraceEvent> = log
+            .events
+            .iter()
+            .filter(|e| e.track.starts_with("ctl/"))
+            .collect();
+        assert!(!ctl_events.is_empty(), "lifecycle events on ctl/ tracks");
+        assert!(ctl_events.iter().any(|e| e.name == "draining"));
+        assert!(ctl_events
+            .iter()
+            .all(|e| e.kind == TraceEventKind::Instant && e.layer == TraceLayer::Host));
     }
 
     #[test]

@@ -67,6 +67,7 @@
 mod apps;
 mod cache;
 mod concurrent;
+mod control;
 mod deser_memo;
 mod exec;
 mod faults;
@@ -86,10 +87,16 @@ pub use cache::{
     ObjectCache,
 };
 pub use concurrent::{ConcurrentReport, TenantReport};
+pub use control::{
+    ControlConfig, ControlPlan, ControlReport, DeviceControl, DeviceState, HealPolicy, Health,
+    IllegalTransition, Lifecycle, RollingUpdate, Transition, TransitionCounts, DEFAULT_DRAIN,
+    DEFAULT_REBOOT, DEFAULT_UPDATE,
+};
 pub use exec::{AppSpec, GpuKernelPerRecord, InputFormat, ParallelModel, RunError, RunOutcome};
 pub use firmware::{MorpheusError, MorpheusSsd, MreadOutcome, MwriteOutcome};
 pub use fleet::{
-    aggregate_reports, DeviceDown, DeviceKill, Fleet, FleetConfig, FleetReport, PlacementPolicy,
+    aggregate_reports, DeviceDown, DeviceKill, Fleet, FleetConfig, FleetConfigError, FleetReport,
+    PlacementPolicy,
 };
 pub use params::{CoRunner, StorageKind, SystemParams};
 pub use report::{mb_per_sec, Mode, Phases, RunReport, MB};

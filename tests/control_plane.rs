@@ -1,0 +1,214 @@
+//! Control-plane invariants at integration scope: illegal lifecycle
+//! edges are rejected wholesale, a rolling firmware update loses zero
+//! requests while cycling every device, the whole control-plane output
+//! is byte-identical across reruns and `--jobs` fan-outs, and a
+//! mid-run kill with healing ends the run healthy with the device back
+//! in service.
+
+use morpheus::{
+    AppSpec, DeviceKill, DeviceState, Fleet, FleetConfig, HealPolicy, Health, Lifecycle, Mode,
+    PlacementPolicy, RollingUpdate, ServeConfig, SystemParams,
+};
+use morpheus_bench::run_parallel;
+use morpheus_format::{FieldKind, Schema, TextWriter};
+use morpheus_simcore::{SimDuration, SloSpec, SplitMix64, TelemetryConfig};
+use proptest::prelude::*;
+
+fn edge_text(records: u32, salt: u64) -> Vec<u8> {
+    let mut rng = SplitMix64::new(salt);
+    let mut w = TextWriter::new();
+    for _ in 0..records {
+        w.write_u64(rng.next_below(100_000));
+        w.sep();
+        w.write_u64(rng.next_below(100_000));
+        w.newline();
+    }
+    w.into_bytes()
+}
+
+/// Stages `napps` tenants on a fresh fleet of the given shape.
+fn build_fleet(cfg: FleetConfig, napps: usize, records: u32) -> (Fleet, Vec<AppSpec>) {
+    let mut fleet = Fleet::new(SystemParams::paper_testbed(), cfg);
+    let schema = Schema::new(vec![FieldKind::U32, FieldKind::U32]);
+    let mut specs = Vec::new();
+    for i in 0..napps {
+        let file = format!("svc{i}.txt");
+        fleet
+            .create_input_file(&file, &edge_text(records, i as u64))
+            .unwrap();
+        specs.push(AppSpec::cpu_app(
+            &format!("svc{i}"),
+            &file,
+            schema.clone(),
+            1,
+            50.0,
+        ));
+    }
+    (fleet, specs)
+}
+
+fn serve_cfg(rps: f64, seed: u64) -> ServeConfig {
+    let mut cfg = ServeConfig::new(rps, 0.03);
+    cfg.mode = Mode::Morpheus;
+    cfg.seed = seed;
+    cfg
+}
+
+/// A 4-device round-robin fleet with a rolling update starting 2 ms in.
+fn rolling_shape() -> FleetConfig {
+    let mut c = FleetConfig::new(4);
+    c.placement = PlacementPolicy::RoundRobin;
+    c.seed = 7;
+    c.control.rolling = Some(RollingUpdate::starting_at(0.002));
+    c
+}
+
+/// Renders everything an operator would diff: placement, per-device
+/// rows, the control block, and the aggregate.
+fn render(cfg: FleetConfig, napps: usize, rps: f64, seed: u64) -> String {
+    let (mut fleet, specs) = build_fleet(cfg, napps, 300);
+    let rep = fleet.serve(&specs, &serve_cfg(rps, seed)).unwrap();
+    format!("placement={:?}\n{rep}", rep.placement)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every (from, to) pair outside the lifecycle table is rejected
+    /// with the typed error and leaves the machine's state unchanged.
+    #[test]
+    fn illegal_transitions_are_rejected_and_leave_state_unchanged(
+        from_idx in 0usize..6,
+        to_idx in 0usize..6,
+        device in 0usize..64,
+    ) {
+        let from = DeviceState::ALL[from_idx];
+        let to = DeviceState::ALL[to_idx];
+        // Drive a fresh machine into `from` through legal edges only.
+        let mut m = Lifecycle::new(device);
+        let path: &[DeviceState] = match from {
+            DeviceState::Provisioning => &[],
+            DeviceState::InService => &[DeviceState::InService],
+            DeviceState::Draining => &[DeviceState::InService, DeviceState::Draining],
+            DeviceState::Updating => &[
+                DeviceState::InService,
+                DeviceState::Draining,
+                DeviceState::Updating,
+            ],
+            DeviceState::Rebooting => &[DeviceState::Failed, DeviceState::Rebooting],
+            DeviceState::Failed => &[DeviceState::Failed],
+        };
+        for &s in path {
+            m.transition(s).unwrap();
+        }
+        prop_assert_eq!(m.state(), from);
+        match m.transition(to) {
+            Ok(()) => prop_assert!(Lifecycle::legal(from, to)),
+            Err(e) => {
+                prop_assert!(!Lifecycle::legal(from, to));
+                prop_assert_eq!(e.device, device);
+                prop_assert_eq!(e.from, from);
+                prop_assert_eq!(e.to, to);
+                prop_assert_eq!(m.state(), from, "failed edge must be a no-op");
+            }
+        }
+    }
+}
+
+#[test]
+fn rolling_update_loses_zero_requests_and_cycles_every_device() {
+    let (mut fleet, specs) = build_fleet(rolling_shape(), 6, 300);
+    let rep = fleet.serve(&specs, &serve_cfg(3000.0, 7)).unwrap();
+    let a = &rep.aggregate;
+    assert_eq!(a.failed, 0, "a planned drain must not fail requests");
+    assert_eq!(
+        a.completed + a.shed,
+        a.offered,
+        "every request is completed or cleanly shed during the update"
+    );
+    let ctl = rep.control.as_ref().expect("control plane was active");
+    assert_eq!(ctl.counts.failed, 0);
+    assert_eq!(ctl.counts.draining, 4, "all four devices drained");
+    assert_eq!(ctl.counts.updating, 4);
+    assert_eq!(ctl.counts.rebooting, 4);
+    assert_eq!(
+        ctl.counts.in_service, 8,
+        "initial bring-up plus one re-entry per device"
+    );
+    for (i, d) in ctl.devices.iter().enumerate() {
+        assert_eq!(
+            d.final_state,
+            DeviceState::InService,
+            "dev{i} must finish its maintenance window inside the run"
+        );
+    }
+}
+
+#[test]
+fn control_plane_output_is_byte_identical_across_reruns_and_jobs() {
+    // Rerun identity with the control plane active.
+    let a = render(rolling_shape(), 6, 3000.0, 7);
+    let b = render(rolling_shape(), 6, 3000.0, 7);
+    assert_eq!(a, b, "control plan must not break byte-determinism");
+    assert!(a.contains("control: transitions"), "control block rendered");
+
+    // Jobs-fan-out identity over an rps ladder: each cell builds its own
+    // fleet (the bench binaries' recipe), so worker count must not leak
+    // into any byte of the control block either.
+    let ladder = [1000.0, 2000.0, 4000.0];
+    let serial = run_parallel(1, &ladder, |r| render(rolling_shape(), 6, *r, 7));
+    let fanned = run_parallel(4, &ladder, |r| render(rolling_shape(), 6, *r, 7));
+    assert_eq!(serial, fanned);
+}
+
+#[test]
+fn kill_with_heal_ends_healthy_and_back_in_service() {
+    let mut cfg = FleetConfig::new(4);
+    cfg.placement = PlacementPolicy::RoundRobin;
+    cfg.seed = 7;
+    cfg.kills = vec![DeviceKill::parse("1@0.005").unwrap()];
+    cfg.control.heal = Some(HealPolicy::default());
+    let (mut fleet, specs) = build_fleet(cfg, 6, 300);
+    let mut scfg = serve_cfg(3000.0, 7);
+    // A generous latency objective so the pinned verdict is about loop
+    // closure (SLO -> health), not about absolute simulator speed.
+    let mut tele = TelemetryConfig::new(SimDuration::from_millis(5));
+    tele.slo = SloSpec::parse("p99<500ms").unwrap();
+    scfg.telemetry = Some(tele);
+    let rep = fleet.serve(&specs, &scfg).unwrap();
+
+    let ctl = rep.control.as_ref().expect("control plane was active");
+    assert_eq!(ctl.counts.failed, 1, "exactly the scheduled kill");
+    assert_eq!(ctl.counts.rebooting, 1, "the heal pulled it for repair");
+    let dev1 = &ctl.devices[1];
+    assert_eq!(
+        dev1.final_state,
+        DeviceState::InService,
+        "healed device must be back in service by end of run"
+    );
+    let states: Vec<DeviceState> = dev1.transitions.iter().map(|t| t.to).collect();
+    assert_eq!(
+        states,
+        vec![
+            DeviceState::InService,
+            DeviceState::Failed,
+            DeviceState::Rebooting,
+            DeviceState::InService,
+        ],
+        "kill -> detect -> repair -> re-admit, in order"
+    );
+    // Pinned SLO verdict: the run ends healthy on every device that saw
+    // traffic, and no device is left violating.
+    for (i, d) in ctl.devices.iter().enumerate() {
+        assert_ne!(
+            d.health,
+            Health::Violating,
+            "dev{i} must not end the run violating its SLO"
+        );
+    }
+    assert!(
+        ctl.devices.iter().any(|d| d.health == Health::Healthy),
+        "at least one device closed the loop with a MET verdict"
+    );
+    assert_eq!(rep.aggregate.failed, 0, "redispatch absorbed the outage");
+}
